@@ -1,0 +1,95 @@
+// Command csearch runs CorpusSearch-dialect queries over a treebank (the
+// second baseline system of the paper's evaluation; see
+// internal/corpussearch for the dialect).
+//
+// Usage:
+//
+//	csearch -corpus trees.mrg 'node: VP; query: (VP iDoms VB) and (VB Precedes NN); print: NN'
+//	csearch -gen wsj -scale 0.01 -count 'node: S; query: (S Doms saw)'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lpath/internal/corpus"
+	"lpath/internal/corpussearch"
+	"lpath/internal/tree"
+)
+
+func main() {
+	var (
+		corpusFile = flag.String("corpus", "", "Penn-bracketed corpus file")
+		gen        = flag.String("gen", "", "generate a synthetic corpus: wsj or swb")
+		scale      = flag.Float64("scale", 0.01, "synthetic corpus scale")
+		seed       = flag.Int64("seed", 42, "synthetic corpus seed")
+		countOnly  = flag.Bool("count", false, "print match counts only")
+		limit      = flag.Int("limit", 10, "maximum matches to print per query")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: csearch [flags] 'node: ...; query: ...; print: ...'")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	trees, err := loadTrees(*corpusFile, *gen, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	cc := corpussearch.BuildCorpus(trees)
+	for _, src := range flag.Args() {
+		q, err := corpussearch.Parse(src)
+		if err != nil {
+			fatal(err)
+		}
+		ms, err := cc.Search(q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d matches\n", src, len(ms))
+		if *countOnly {
+			continue
+		}
+		for i, m := range ms {
+			if i >= *limit {
+				fmt.Printf("  ... and %d more\n", len(ms)-*limit)
+				break
+			}
+			if m.Node != nil {
+				fmt.Printf("  tree %d: %s[%s]\n", m.TreeID, m.Node.Tag,
+					strings.Join(m.Node.Words(), " "))
+			} else {
+				fmt.Printf("  tree %d: word %q\n", m.TreeID, m.Word)
+			}
+		}
+	}
+}
+
+func loadTrees(file, gen string, scale float64, seed int64) (*tree.Corpus, error) {
+	switch {
+	case file != "" && gen != "":
+		return nil, fmt.Errorf("csearch: -corpus and -gen are mutually exclusive")
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return tree.ReadAll(f)
+	case gen != "":
+		p, err := corpus.ParseProfile(gen)
+		if err != nil {
+			return nil, err
+		}
+		return corpus.Generate(corpus.Config{Profile: p, Scale: scale, Seed: seed}), nil
+	default:
+		return nil, fmt.Errorf("csearch: provide -corpus FILE or -gen wsj|swb")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "csearch:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,141 @@
+// Command lpath runs LPath queries over a treebank corpus.
+//
+// Usage:
+//
+//	lpath -corpus trees.mrg '//VP{/VB-->NN}'
+//	lpath -gen wsj -scale 0.01 -count '//NP[not(//JJ)]' '//VB->NP'
+//	lpath -sql '//VB->NP'
+//
+// The corpus is either a Penn-bracketed file (-corpus) or a generated
+// synthetic corpus (-gen wsj|swb with -scale and -seed). With -sql the tool
+// prints the relational translation instead of evaluating. With -count only
+// result sizes are printed; otherwise each match is shown as its tree ID,
+// tag and covered words (capped by -limit). -oracle cross-checks the engine
+// against the reference evaluator and reports any disagreement.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lpath"
+)
+
+func main() {
+	var (
+		corpusFile = flag.String("corpus", "", "Penn-bracketed corpus file")
+		gen        = flag.String("gen", "", "generate a synthetic corpus: wsj or swb")
+		index      = flag.String("index", "", "load a prebuilt store snapshot (see -save-index)")
+		saveIndex  = flag.String("save-index", "", "write the built store snapshot to this file")
+		scale      = flag.Float64("scale", 0.01, "synthetic corpus scale (1.0 = paper size)")
+		seed       = flag.Int64("seed", 42, "synthetic corpus seed")
+		sqlOnly    = flag.Bool("sql", false, "print the SQL translation and exit")
+		countOnly  = flag.Bool("count", false, "print result sizes only")
+		limit      = flag.Int("limit", 10, "maximum matches to print per query")
+		oracle     = flag.Bool("oracle", false, "cross-check against the reference evaluator")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: lpath [flags] QUERY...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	queries := make([]*lpath.Query, 0, flag.NArg())
+	for _, text := range flag.Args() {
+		q, err := lpath.Compile(text)
+		if err != nil {
+			fatal(err)
+		}
+		queries = append(queries, q)
+	}
+
+	if *sqlOnly {
+		for _, q := range queries {
+			sql, err := q.SQL()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("-- %s\n%s;\n\n", q, sql)
+		}
+		return
+	}
+
+	c, err := loadCorpus(*corpusFile, *gen, *index, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *saveIndex != "" {
+		f, err := os.Create(*saveIndex)
+		if err != nil {
+			fatal(err)
+		}
+		if err := c.SaveStore(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote store snapshot to %s\n", *saveIndex)
+	}
+	st := c.Stats()
+	fmt.Printf("corpus: %d trees, %d nodes, %d words\n\n", st.Sentences, st.TreeNodes, st.Words)
+
+	for _, q := range queries {
+		ms, err := c.Select(q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d matches\n", q, len(ms))
+		if !*countOnly {
+			for i, m := range ms {
+				if i >= *limit {
+					fmt.Printf("  ... and %d more\n", len(ms)-*limit)
+					break
+				}
+				fmt.Printf("  tree %d: %s[%s]\n", m.TreeID, m.Node.Tag,
+					strings.Join(m.Node.Words(), " "))
+			}
+		}
+		if *oracle {
+			slow, err := c.SelectOracle(q)
+			if err != nil {
+				fatal(err)
+			}
+			if len(slow) != len(ms) {
+				fmt.Printf("  ORACLE DISAGREES: engine %d, oracle %d\n", len(ms), len(slow))
+			} else {
+				fmt.Printf("  oracle agrees (%d matches)\n", len(slow))
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func loadCorpus(file, gen, index string, scale float64, seed int64) (*lpath.Corpus, error) {
+	sources := 0
+	for _, s := range []string{file, gen, index} {
+		if s != "" {
+			sources++
+		}
+	}
+	switch {
+	case sources > 1:
+		return nil, fmt.Errorf("lpath: -corpus, -gen and -index are mutually exclusive")
+	case file != "":
+		return lpath.OpenCorpus(file)
+	case gen != "":
+		return lpath.GenerateCorpus(gen, scale, seed)
+	case index != "":
+		return lpath.OpenStore(index)
+	default:
+		return nil, fmt.Errorf("lpath: provide -corpus FILE, -gen wsj|swb or -index FILE")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lpath:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command tgrep searches a treebank with TGrep2-dialect patterns (the first
+// baseline system of the paper's evaluation; see internal/tgrep for the
+// dialect).
+//
+// Usage:
+//
+//	tgrep -corpus trees.mrg 'S << saw'
+//	tgrep -gen wsj -scale 0.01 -count 'NP , VB' 'NN >> VP=p ,, (VB > =p)'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lpath/internal/corpus"
+	"lpath/internal/tgrep"
+	"lpath/internal/tree"
+)
+
+func main() {
+	var (
+		corpusFile = flag.String("corpus", "", "Penn-bracketed corpus file")
+		gen        = flag.String("gen", "", "generate a synthetic corpus: wsj or swb")
+		scale      = flag.Float64("scale", 0.01, "synthetic corpus scale")
+		seed       = flag.Int64("seed", 42, "synthetic corpus seed")
+		countOnly  = flag.Bool("count", false, "print match counts only")
+		limit      = flag.Int("limit", 10, "maximum matches to print per pattern")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tgrep [flags] PATTERN...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	trees, err := loadTrees(*corpusFile, *gen, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	tc := tgrep.BuildCorpus(trees)
+	for _, src := range flag.Args() {
+		p, err := tgrep.Compile(src)
+		if err != nil {
+			fatal(err)
+		}
+		ms := tc.Search(p)
+		fmt.Printf("%s: %d matches\n", src, len(ms))
+		if *countOnly {
+			continue
+		}
+		for i, m := range ms {
+			if i >= *limit {
+				fmt.Printf("  ... and %d more\n", len(ms)-*limit)
+				break
+			}
+			if m.Node != nil {
+				fmt.Printf("  tree %d: %s[%s]\n", m.TreeID, m.Node.Tag,
+					strings.Join(m.Node.Words(), " "))
+			} else {
+				fmt.Printf("  tree %d: word %q\n", m.TreeID, m.Word)
+			}
+		}
+	}
+}
+
+func loadTrees(file, gen string, scale float64, seed int64) (*tree.Corpus, error) {
+	switch {
+	case file != "" && gen != "":
+		return nil, fmt.Errorf("tgrep: -corpus and -gen are mutually exclusive")
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return tree.ReadAll(f)
+	case gen != "":
+		p, err := corpus.ParseProfile(gen)
+		if err != nil {
+			return nil, err
+		}
+		return corpus.Generate(corpus.Config{Profile: p, Scale: scale, Seed: seed}), nil
+	default:
+		return nil, fmt.Errorf("tgrep: provide -corpus FILE or -gen wsj|swb")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tgrep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Command treegen generates synthetic treebank corpora in Penn bracketed
+// format, calibrated to the WSJ or Switchboard profiles of the paper's
+// evaluation (see internal/corpus).
+//
+// Usage:
+//
+//	treegen -profile wsj -scale 0.1 -seed 42 -o wsj.mrg
+//	treegen -profile swb -stats
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"lpath/internal/corpus"
+	"lpath/internal/tree"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "wsj", "corpus profile: wsj or swb")
+		scale   = flag.Float64("scale", 0.01, "corpus scale (1.0 = paper size)")
+		seed    = flag.Int64("seed", 42, "generation seed")
+		out     = flag.String("o", "", "output file (default stdout)")
+		stats   = flag.Bool("stats", false, "print Figure 6(a)-style statistics to stderr")
+	)
+	flag.Parse()
+
+	p, err := corpus.ParseProfile(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	c := corpus.Generate(corpus.Config{Profile: p, Scale: *scale, Seed: *seed})
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if err := tree.WriteAll(bw, c); err != nil {
+		fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		fatal(err)
+	}
+
+	if *stats {
+		st := corpus.Measure(c)
+		fmt.Fprintf(os.Stderr, "profile=%s scale=%.3f seed=%d\n", p, *scale, *seed)
+		fmt.Fprintf(os.Stderr, "sentences=%d words=%d nodes=%d tags=%d depth=%d bytes=%d\n",
+			st.Sentences, st.Words, st.TreeNodes, st.UniqueTags, st.MaxDepth, st.FileSize)
+		for i, tf := range c.TopTags(10) {
+			fmt.Fprintf(os.Stderr, "  top%-2d %-12s %d\n", i+1, tf.Tag, tf.Count)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "treegen:", err)
+	os.Exit(1)
+}

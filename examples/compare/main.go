@@ -1,0 +1,112 @@
+// Compare: the same linguistic questions asked in three query dialects.
+//
+// Poses a set of linguistic questions in LPath, TGrep2 and CorpusSearch
+// syntax, runs each on its engine over the same corpus, and shows that the
+// three systems agree on result sizes — the setup behind Figures 7 and 8 of
+// the paper.
+//
+//	go run ./examples/compare
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"lpath"
+	"lpath/internal/corpussearch"
+	"lpath/internal/tgrep"
+	"lpath/internal/tree"
+)
+
+type question struct {
+	desc  string
+	lpath string
+	tgrep string
+	cs    string
+}
+
+var questions = []question{
+	{
+		desc:  "sentences containing the word `saw`",
+		lpath: `//S[//_[@lex=saw]]`,
+		tgrep: `S << saw`,
+		cs:    `node: S; query: (S Doms saw)`,
+	},
+	{
+		desc:  "noun phrases immediately following a base verb",
+		lpath: `//VB->NP`,
+		tgrep: `NP , VB`,
+		cs:    `node: $ROOT; query: (VB iPrecedes NP); print: NP`,
+	},
+	{
+		desc:  "within a VP, nouns following a verb child of that VP",
+		lpath: `//VP{/VB-->NN}`,
+		tgrep: `NN >> VP=p ,, (VB > =p)`,
+		cs:    `node: VP; query: (VP iDoms VB) and (VB Precedes NN); print: NN`,
+	},
+	{
+		desc:  "noun phrases that are the rightmost descendant of a VP",
+		lpath: `//VP{//NP$}`,
+		tgrep: `NP >>' VP`,
+		cs:    `node: VP; query: (VP DomsRightmost NP); print: NP`,
+	},
+	{
+		desc:  "noun phrases with no adjective anywhere below",
+		lpath: `//NP[not(//JJ)]`,
+		tgrep: `NP !<< JJ`,
+		cs:    `node: NP; query: not (NP Doms JJ); print: NP`,
+	},
+}
+
+func main() {
+	c, err := lpath.GenerateCorpus("wsj", 0.01, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Build(); err != nil {
+		log.Fatal(err)
+	}
+	// Build the baseline systems over the same trees.
+	trees := treeCorpus(c)
+	tg := tgrep.BuildCorpus(trees)
+	cs := corpussearch.BuildCorpus(trees)
+
+	st := c.Stats()
+	fmt.Printf("corpus: %d sentences, %d nodes\n\n", st.Sentences, st.TreeNodes)
+
+	for _, qq := range questions {
+		fmt.Println(qq.desc)
+
+		start := time.Now()
+		nl, err := c.Count(lpath.MustCompile(qq.lpath))
+		if err != nil {
+			log.Fatal(err)
+		}
+		dl := time.Since(start)
+
+		start = time.Now()
+		nt := tg.Count(tgrep.MustCompile(qq.tgrep))
+		dt := time.Since(start)
+
+		start = time.Now()
+		nc, err := cs.Count(corpussearch.MustParse(qq.cs))
+		if err != nil {
+			log.Fatal(err)
+		}
+		dc := time.Since(start)
+
+		fmt.Printf("  LPath        %-40s %6d matches %10v\n", qq.lpath, nl, dl.Round(time.Microsecond))
+		fmt.Printf("  TGrep2       %-40s %6d matches %10v\n", qq.tgrep, nt, dt.Round(time.Microsecond))
+		fmt.Printf("  CorpusSearch %-40s %6d matches %10v\n", qq.cs, nc, dc.Round(time.Microsecond))
+		if nl != nt || nl != nc {
+			fmt.Printf("  NOTE: dialects disagree (%d/%d/%d) — see docs on dialect equivalence\n", nl, nt, nc)
+		}
+		fmt.Println()
+	}
+}
+
+// treeCorpus exposes the corpus trees to the internal baseline builders.
+func treeCorpus(c *lpath.Corpus) *tree.Corpus {
+	return &tree.Corpus{Trees: c.Trees()}
+}

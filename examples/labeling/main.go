@@ -1,0 +1,77 @@
+// Labeling: the interval labeling scheme of Section 4, visualized.
+//
+// Labels the running-example tree and prints the relational representation
+// of Figure 5 ({left, right, depth, id, pid, name, value}), then
+// demonstrates the Table 2 label comparisons of Example 4.1: S is an
+// ancestor of NP(3,9) because the spans contain each other and S is
+// shallower, and V immediately precedes NP(3,9) because NP.left = V.right.
+//
+//	go run ./examples/labeling
+package main
+
+import (
+	"fmt"
+
+	"lpath/internal/label"
+	"lpath/internal/tree"
+)
+
+func main() {
+	t := tree.Figure1()
+	fmt.Println("Tree:", t.Root)
+	fmt.Println()
+
+	labeled := label.Assign(t)
+	fmt.Println("Relational representation (Figure 5):")
+	fmt.Printf("%6s %6s %6s %4s %4s  %-6s %s\n", "left", "right", "depth", "id", "pid", "name", "value")
+	for _, ln := range labeled {
+		l := ln.Label
+		fmt.Printf("%6d %6d %6d %4d %4d  %-6s\n", l.Left, l.Right, l.Depth, l.ID, l.PID, ln.Node.Tag)
+		if word, ok := ln.Node.Attr("lex"); ok {
+			fmt.Printf("%6d %6d %6d %4d %4d  %-6s %s\n", l.Left, l.Right, l.Depth, l.ID, l.PID, "@lex", word)
+		}
+	}
+
+	// Example 4.1: find the labels of S, V and the object NP.
+	var s, v, np label.Label
+	for _, ln := range labeled {
+		switch {
+		case ln.Node.Tag == "S":
+			s = ln.Label
+		case ln.Node.Tag == "V":
+			v = ln.Label
+		case ln.Node.Tag == "NP" && ln.Label.Left == 3 && ln.Label.Right == 9:
+			np = ln.Label
+		}
+	}
+	fmt.Println()
+	fmt.Println("Example 4.1, by label comparison alone:")
+	fmt.Printf("  S(l=%d,r=%d,d=%d) ancestor of NP(l=%d,r=%d,d=%d)?  %v\n",
+		s.Left, s.Right, s.Depth, np.Left, np.Right, np.Depth, label.IsAncestor(s, np))
+	fmt.Printf("  V(l=%d,r=%d) immediately precedes NP(l=%d,r=%d)?    %v  (NP.left = V.right)\n",
+		v.Left, v.Right, np.Left, np.Right, label.IsImmediatePreceding(v, np))
+	fmt.Printf("  NP immediately follows V?                          %v\n",
+		label.IsImmediateFollowing(np, v))
+
+	// The Section 1 motivation: every constituent immediately following
+	// the verb, read off the labels with a single comparison each.
+	fmt.Println()
+	fmt.Println("Constituents immediately following V (x.left = V.right):")
+	for _, ln := range labeled {
+		if label.IsImmediateFollowing(ln.Label, v) {
+			fmt.Printf("  %s  spanning %q\n", ln.Node.Tag, sentenceSpan(t, ln.Node))
+		}
+	}
+}
+
+func sentenceSpan(t *tree.Tree, n *tree.Node) string {
+	words := n.Words()
+	out := ""
+	for i, w := range words {
+		if i > 0 {
+			out += " "
+		}
+		out += w
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+// Persistence: label once, query many times.
+//
+// The paper's engine labels the treebank once, loads the relation into a
+// database, and then answers queries against the stored labels. This
+// example does the same with store snapshots: it generates a corpus, saves
+// the labeled store to disk, reloads it, and compares cold-start paths —
+// re-labeling from trees vs. loading the prebuilt snapshot.
+//
+//	go run ./examples/persistence
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lpath"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "lpath-persistence")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	snapshot := filepath.Join(dir, "wsj.idx")
+
+	// Build a corpus and its index, and snapshot it.
+	c, err := lpath.GenerateCorpus("wsj", 0.02, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	if err := c.Build(); err != nil {
+		log.Fatal(err)
+	}
+	buildTime := time.Since(start)
+
+	f, err := os.Create(snapshot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.SaveStore(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	info, err := os.Stat(snapshot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := c.Stats()
+	fmt.Printf("corpus: %d sentences, %d nodes\n", st.Sentences, st.TreeNodes)
+	fmt.Printf("labeling + index build: %v\n", buildTime.Round(time.Millisecond))
+	fmt.Printf("snapshot size: %d bytes\n\n", info.Size())
+
+	// Cold start from the snapshot.
+	start = time.Now()
+	loaded, err := lpath.OpenStore(snapshot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loadTime := time.Since(start)
+	fmt.Printf("snapshot load (incl. tree reconstruction): %v\n\n", loadTime.Round(time.Millisecond))
+
+	// The loaded corpus answers the same queries with the same results.
+	for _, q := range []string{`//VB->NP`, `//VP{/VB-->NN}`, `//_[@lex=rapprochement]`} {
+		query := lpath.MustCompile(q)
+		a, err := c.Count(query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := loaded.Count(query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "OK"
+		if a != b {
+			status = "MISMATCH"
+		}
+		fmt.Printf("  %-28s original %6d   loaded %6d   %s\n", q, a, b, status)
+	}
+}

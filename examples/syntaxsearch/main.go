@@ -1,0 +1,74 @@
+// Syntaxsearch: large-corpus linguistic search.
+//
+// Generates a WSJ-profile corpus, runs the paper's 23 evaluation queries
+// (Figure 6(c)) through the label-based engine, cross-checks a sample of
+// them against the reference evaluator, and reports result sizes and
+// timings.
+//
+//	go run ./examples/syntaxsearch [-scale 0.02]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"lpath"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.02, "corpus scale (1.0 = paper size)")
+	flag.Parse()
+
+	start := time.Now()
+	c, err := lpath.GenerateCorpus("wsj", *scale, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := c.Stats()
+	fmt.Printf("generated WSJ-profile corpus: %d sentences, %d nodes, %d words (%v)\n",
+		st.Sentences, st.TreeNodes, st.Words, time.Since(start).Round(time.Millisecond))
+
+	start = time.Now()
+	if err := c.Build(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built interval-label store and indexes (%v)\n\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Printf("%-4s %-44s %9s %10s\n", "Q", "query", "results", "time")
+	for _, eq := range lpath.EvalQueries() {
+		q, err := lpath.Compile(eq.Text)
+		if err != nil {
+			log.Fatalf("Q%d: %v", eq.ID, err)
+		}
+		qs := time.Now()
+		n, err := c.Count(q)
+		if err != nil {
+			log.Fatalf("Q%d: %v", eq.ID, err)
+		}
+		fmt.Printf("Q%-3d %-44s %9d %10v\n", eq.ID, eq.Text, n, time.Since(qs).Round(time.Microsecond))
+	}
+
+	// Cross-check a few representative queries against the tree-walking
+	// oracle: the label-based engine must agree exactly.
+	fmt.Println("\ncross-checking engine against the reference evaluator:")
+	for _, text := range []string{
+		`//VB->NP`, `//VP{/VB-->NN}`, `//VP[{//^VB->NP->PP$}]`, `//NP[not(//JJ)]`,
+	} {
+		q := lpath.MustCompile(text)
+		fast, err := c.Select(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		slow, err := c.SelectOracle(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "OK"
+		if len(fast) != len(slow) {
+			status = fmt.Sprintf("MISMATCH (%d vs %d)", len(fast), len(slow))
+		}
+		fmt.Printf("  %-40s %s\n", text, status)
+	}
+}

@@ -1,0 +1,3 @@
+module lpath
+
+go 1.22

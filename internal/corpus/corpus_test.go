@@ -1,0 +1,246 @@
+package corpus
+
+import (
+	"testing"
+
+	"lpath/internal/engine"
+	"lpath/internal/lpath"
+	"lpath/internal/relstore"
+	"lpath/internal/tree"
+)
+
+const testScale = 0.02
+
+func genWSJ(t *testing.T) *tree.Corpus {
+	t.Helper()
+	return Generate(Config{Profile: WSJ, Scale: testScale, Seed: 7})
+}
+
+func genSWB(t *testing.T) *tree.Corpus {
+	t.Helper()
+	return Generate(Config{Profile: SWB, Scale: testScale, Seed: 7})
+}
+
+func TestParseProfile(t *testing.T) {
+	if p, err := ParseProfile("WSJ"); err != nil || p != WSJ {
+		t.Errorf("ParseProfile(WSJ) = %v, %v", p, err)
+	}
+	if p, err := ParseProfile("switchboard"); err != nil || p != SWB {
+		t.Errorf("ParseProfile(switchboard) = %v, %v", p, err)
+	}
+	if _, err := ParseProfile("brown"); err == nil {
+		t.Error("ParseProfile(brown) should fail")
+	}
+	if WSJ.String() != "wsj" || SWB.String() != "swb" {
+		t.Errorf("String() = %q, %q", WSJ.String(), SWB.String())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(Config{Profile: WSJ, Scale: 0.002, Seed: 3})
+	b := Generate(Config{Profile: WSJ, Scale: 0.002, Seed: 3})
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Trees {
+		if a.Trees[i].Root.String() != b.Trees[i].Root.String() {
+			t.Fatalf("tree %d differs", i)
+		}
+	}
+	c := Generate(Config{Profile: WSJ, Scale: 0.002, Seed: 4})
+	same := true
+	for i := range a.Trees {
+		if i < len(c.Trees) && a.Trees[i].Root.String() != c.Trees[i].Root.String() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestValidity(t *testing.T) {
+	for _, c := range []*tree.Corpus{genWSJ(t), genSWB(t)} {
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestScaleControlsSize(t *testing.T) {
+	small := Generate(Config{Profile: WSJ, Scale: 0.001, Seed: 1})
+	large := Generate(Config{Profile: WSJ, Scale: 0.004, Seed: 1})
+	if large.Len() < 3*small.Len() {
+		t.Errorf("scale not proportional: %d vs %d sentences", small.Len(), large.Len())
+	}
+	smallScale := 0.001
+	if got, want := small.Len(), int(float64(wsjFullSentences)*smallScale+0.5); got != want {
+		t.Errorf("sentence count = %d, want %d", got, want)
+	}
+}
+
+// TestWSJProfile checks the Figure 6(a)/(b)-style statistics of the WSJ
+// profile: tag ranking dominated by NP/VP/NN, function-tag diversity, deep
+// trees, ~20 words per sentence.
+func TestWSJProfile(t *testing.T) {
+	c := genWSJ(t)
+	st := Measure(c)
+	if st.Sentences == 0 || st.TreeNodes == 0 {
+		t.Fatal("empty corpus")
+	}
+	wordsPer := float64(st.Words) / float64(st.Sentences)
+	if wordsPer < 8 || wordsPer > 40 {
+		t.Errorf("words per sentence = %.1f, want newswire-like (8-40)", wordsPer)
+	}
+	nodesPer := float64(st.TreeNodes) / float64(st.Sentences)
+	if nodesPer < 20 || nodesPer > 120 {
+		t.Errorf("nodes per sentence = %.1f", nodesPer)
+	}
+	if st.MaxDepth < 12 {
+		t.Errorf("max depth = %d, want deep recursion", st.MaxDepth)
+	}
+	if st.UniqueTags < 60 {
+		t.Errorf("unique tags = %d, want a wide inventory", st.UniqueTags)
+	}
+	if st.FileSize == 0 {
+		t.Error("file size = 0")
+	}
+	freq := c.TagFrequencies()
+	// Ranking constraints from Figure 6(b).
+	if !(freq["NP"] > freq["VP"]) {
+		t.Errorf("NP (%d) should outnumber VP (%d)", freq["NP"], freq["VP"])
+	}
+	if !(freq["NN"] > freq["NNP"]) {
+		t.Errorf("NN (%d) should outnumber NNP (%d)", freq["NN"], freq["NNP"])
+	}
+	for _, tag := range []string{"NP", "VP", "NN", "IN", "NNP", "S", "DT", "NP-SBJ", "-NONE-", "JJ"} {
+		if freq[tag] == 0 {
+			t.Errorf("top-10 tag %q absent", tag)
+		}
+	}
+}
+
+// TestSWBProfile checks the Switchboard profile: -DFL- dominant,
+// punctuation and pronouns frequent, WSJ-only rarities absent.
+func TestSWBProfile(t *testing.T) {
+	c := genSWB(t)
+	freq := c.TagFrequencies()
+	for _, tag := range []string{"-DFL-", "VP", "NP-SBJ", ".", ",", "S", "NP", "PRP", "NN", "RB"} {
+		if freq[tag] == 0 {
+			t.Errorf("top-10 tag %q absent", tag)
+		}
+	}
+	if !(freq["-DFL-"] > freq["NP"]) {
+		t.Errorf("-DFL- (%d) should outnumber NP (%d)", freq["-DFL-"], freq["NP"])
+	}
+	if !(freq["PRP"] > freq["NNP"]) {
+		t.Errorf("PRP (%d) should outnumber NNP (%d)", freq["PRP"], freq["NNP"])
+	}
+	// WSJ-only phenomena must not occur (Figure 6(c) zero rows).
+	if freq["ADVP-LOC-CLR"] != 0 {
+		t.Errorf("ADVP-LOC-CLR must be absent from SWB, found %d", freq["ADVP-LOC-CLR"])
+	}
+	// RRC/UCP-PRD do occur in SWB, just rarely (Figure 6(c): 3 and 4).
+	if freq["RRC"] == 0 || freq["UCP-PRD"] == 0 {
+		t.Errorf("RRC (%d) and UCP-PRD (%d) should occur rarely in SWB", freq["RRC"], freq["UCP-PRD"])
+	}
+}
+
+// TestPlantedSelectivity verifies the planted phenomena through the actual
+// LPath engine: high-selectivity queries return scaled paper-like counts and
+// the WSJ/SWB asymmetries hold (Figure 6(c)).
+func TestPlantedSelectivity(t *testing.T) {
+	wsj := genWSJ(t)
+	swb := genSWB(t)
+	we, err := engine.New(relstore.Build(wsj, relstore.SchemeInterval))
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := engine.New(relstore.Build(swb, relstore.SchemeInterval))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(e *engine.Engine, q string) int {
+		t.Helper()
+		n, err := e.Count(lpath.MustParse(q))
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		return n
+	}
+	// Exact singletons and zeros.
+	if got := count(we, `//_[@lex=rapprochement]`); got != 1 {
+		t.Errorf("WSJ rapprochement = %d, want 1", got)
+	}
+	if got := count(se, `//_[@lex=rapprochement]`); got != 0 {
+		t.Errorf("SWB rapprochement = %d, want 0", got)
+	}
+	if got := count(se, `//_[@lex=1929]`); got != 0 {
+		t.Errorf("SWB 1929 = %d, want 0", got)
+	}
+	if got := count(se, `//ADVP-LOC-CLR`); got != 0 {
+		t.Errorf("SWB ADVP-LOC-CLR = %d, want 0", got)
+	}
+	// Scaled positives (tolerate rounding but require the right magnitude).
+	type rng struct{ lo, hi int }
+	wsjChecks := map[string]rng{
+		`//_[@lex=1929]`:     {1, 3},
+		`//ADVP-LOC-CLR`:     {1, 5},
+		`//WHPP`:             {1, 6},
+		`//RRC/PP-TMP`:       {1, 3},
+		`//UCP-PRD/ADJP-PRD`: {1, 3},
+		`//PP=>SBAR`:         {5, 40},
+		`//NP=>NP=>NP`:       {1, 3},
+		`//VP=>VP`:           {1, 4},
+	}
+	for q, r := range wsjChecks {
+		if got := count(we, q); got < r.lo || got > r.hi {
+			t.Errorf("WSJ %s = %d, want [%d, %d]", q, got, r.lo, r.hi)
+		}
+	}
+	// Common constructions occur in volume (low-selectivity queries).
+	if got := count(we, `//VB->NP`); got < 50 {
+		t.Errorf("WSJ //VB->NP = %d, want plenty", got)
+	}
+	if got := count(we, `//VP/VP/VP`); got < 10 {
+		t.Errorf("WSJ //VP/VP/VP = %d, want plenty", got)
+	}
+	if got := count(we, `//NP[not(//JJ)]`); got < 100 {
+		t.Errorf("WSJ //NP[not(//JJ)] = %d, want plenty", got)
+	}
+	if got := count(we, `//S[//_[@lex=saw]]`); got < 2 {
+		t.Errorf("WSJ saw sentences = %d", got)
+	}
+	if got := count(we, `//S[//NP/ADJP]`); got < 10 {
+		t.Errorf("WSJ //S[//NP/ADJP] = %d", got)
+	}
+	if got := count(we, `//NP/NP/NP/NP/NP`); got < 1 {
+		t.Errorf("WSJ //NP/NP/NP/NP/NP = %d", got)
+	}
+	if got := count(we, `//NP[->PP[//IN[@lex=of]]=>VP]`); got < 2 {
+		t.Errorf("WSJ Q10 = %d", got)
+	}
+	if got := count(we, `//S[{//_[@lex=what]->_[@lex=building]}]`); got < 1 {
+		t.Errorf("WSJ what-building = %d", got)
+	}
+	// SWB has the conversational features.
+	if got := count(se, `//S[{//_[@lex=what]->_[@lex=building]}]`); got < 1 {
+		t.Errorf("SWB what-building = %d", got)
+	}
+	if got := count(se, `//VP=>VP`); got < 1 {
+		t.Errorf("SWB VP=>VP = %d", got)
+	}
+}
+
+func TestMeasureEmptyAndTiny(t *testing.T) {
+	st := Measure(tree.NewCorpus())
+	if st.Sentences != 0 || st.TreeNodes != 0 || st.FileSize != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+	// Scale <= 0 defaults to a small corpus rather than panicking.
+	c := Generate(Config{Profile: WSJ, Scale: 0, Seed: 1})
+	if c.Len() == 0 {
+		t.Error("zero-scale corpus is empty")
+	}
+}

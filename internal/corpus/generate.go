@@ -1,0 +1,389 @@
+package corpus
+
+import (
+	"math/rand"
+
+	"lpath/internal/tree"
+)
+
+// Generate produces a deterministic synthetic corpus for the configuration.
+// Scale values ≤ 0 default to 0.01 (a smoke-test corpus).
+func Generate(cfg Config) *tree.Corpus {
+	scale := cfg.Scale
+	if scale <= 0 {
+		scale = 0.01
+	}
+	full := wsjFullSentences
+	if cfg.Profile == SWB {
+		full = swbFullSentences
+	}
+	n := int(float64(full)*scale + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	g := &generator{
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		profile: cfg.Profile,
+	}
+	c := tree.NewCorpus()
+	for i := 0; i < n; i++ {
+		c.Add(tree.NewTree(g.sentence()))
+	}
+	plantAll(c, cfg.Profile, scale, rand.New(rand.NewSource(cfg.Seed+1)))
+	return c
+}
+
+type generator struct {
+	rng     *rand.Rand
+	profile Profile
+}
+
+func (g *generator) pick(words []string) string {
+	// Zipf-flavored pick: favor the head of the list so core words
+	// dominate tokens while filler forms stretch the vocabulary.
+	n := len(words)
+	if n == 1 {
+		return words[0]
+	}
+	r := g.rng.Float64()
+	idx := int(r * r * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	return words[idx]
+}
+
+func (g *generator) chance(p float64) bool { return g.rng.Float64() < p }
+
+func leaf(tag, word string) *tree.Node { return &tree.Node{Tag: tag, Word: word} }
+
+func phrase(tag string, children ...*tree.Node) *tree.Node {
+	n := &tree.Node{Tag: tag}
+	for _, c := range children {
+		n.AddChild(c)
+	}
+	return n
+}
+
+// decorate optionally appends function tags to a phrasal category,
+// stretching the tag inventory like the Treebank's (Figure 6(a)).
+func (g *generator) decorate(base string) string {
+	if !g.chance(0.06) {
+		return base
+	}
+	tag := base + "-" + functionTags[g.rng.Intn(len(functionTags))]
+	if g.chance(0.15) {
+		tag += "-" + functionTags[g.rng.Intn(len(functionTags))]
+	}
+	if g.chance(0.12) {
+		tag += "-" + string(rune('1'+g.rng.Intn(4)))
+	}
+	return tag
+}
+
+// sentence generates one tree according to the profile.
+func (g *generator) sentence() *tree.Node {
+	if g.profile == SWB {
+		return g.swbUtterance()
+	}
+	return g.wsjSentence(0)
+}
+
+// --- WSJ grammar ---------------------------------------------------------
+
+func (g *generator) wsjSentence(depth int) *tree.Node {
+	// Top-level coordination lengthens sentences toward the newswire
+	// average (~20 words) and deepens the trees.
+	if depth == 0 && g.chance(0.22) {
+		s := &tree.Node{Tag: "S"}
+		s.AddChild(g.wsjClause(depth + 1))
+		s.AddChild(leaf(",", ","))
+		s.AddChild(leaf("CC", g.pick(conjunctions)))
+		s.AddChild(g.wsjClause(depth + 1))
+		s.AddChild(leaf(".", "."))
+		return s
+	}
+	s := g.wsjClause(depth)
+	if depth == 0 {
+		s.AddChild(leaf(".", "."))
+	}
+	return s
+}
+
+func (g *generator) wsjClause(depth int) *tree.Node {
+	s := &tree.Node{Tag: "S"}
+	if g.chance(0.08) {
+		s.AddChild(g.advp(depth + 1))
+		if g.chance(0.5) {
+			s.AddChild(leaf(",", ","))
+		}
+	}
+	s.AddChild(g.np(depth+1, "NP-SBJ"))
+	s.AddChild(g.vp(depth + 1))
+	if g.chance(0.12) {
+		s.AddChild(g.np(depth+1, "NP-TMP"))
+	}
+	return s
+}
+
+// np generates a noun phrase; tag overrides the category label ("" = plain,
+// possibly decorated, NP).
+func (g *generator) np(depth int, tag string) *tree.Node {
+	if tag == "" {
+		tag = g.decorate("NP")
+	}
+	n := &tree.Node{Tag: tag}
+	if depth > 14 {
+		n.AddChild(leaf("NN", g.pick(commonNouns)))
+		return n
+	}
+	switch r := g.rng.Float64(); {
+	case r < 0.32: // DT JJ* NN+
+		n.AddChild(leaf("DT", g.pick(determiners)))
+		if g.chance(0.35) {
+			n.AddChild(leaf("JJ", g.pick(adjectives)))
+		}
+		if g.chance(0.07) {
+			n.AddChild(g.adjp(depth + 1))
+		}
+		n.AddChild(leaf("NN", g.pick(commonNouns)))
+		if g.chance(0.12) {
+			n.AddChild(leaf("NN", g.pick(commonNouns)))
+		}
+	case r < 0.50: // NNP+
+		n.AddChild(leaf("NNP", g.pick(properNouns)))
+		if g.chance(0.3) {
+			n.AddChild(leaf("NNP", g.pick(properNouns)))
+		}
+	case r < 0.60: // PRP
+		n.AddChild(leaf("PRP", g.pick(pronouns)))
+	case r < 0.68: // CD NN(S)
+		n.AddChild(leaf("CD", g.pick(numbers)))
+		n.AddChild(leaf("NNS", g.pick(commonNouns)+"s"))
+	case r < 0.86: // NP PP recursion
+		n.AddChild(g.np(depth+1, ""))
+		n.AddChild(g.pp(depth + 1))
+	case r < 0.93: // NP SBAR (relative clause with trace)
+		n.AddChild(g.np(depth+1, ""))
+		n.AddChild(g.sbarRel(depth + 1))
+	default: // bare noun(s)
+		if g.chance(0.3) {
+			n.AddChild(leaf("JJ", g.pick(adjectives)))
+		}
+		n.AddChild(leaf("NN", g.pick(commonNouns)))
+	}
+	return n
+}
+
+// finiteVerb picks a finite verb preterminal, spreading tokens over the
+// Treebank verb tags so no single verb tag crowds the top-10 ranking.
+func (g *generator) finiteVerb() *tree.Node {
+	switch g.rng.Intn(4) {
+	case 0:
+		return leaf("VBZ", g.pick(baseVerbs)+"s")
+	case 1:
+		return leaf("VBP", g.pick(baseVerbs))
+	default:
+		return leaf("VBD", g.pick(verbs))
+	}
+}
+
+func (g *generator) vp(depth int) *tree.Node {
+	vtag := g.decorate("VP")
+	n := &tree.Node{Tag: vtag}
+	if depth > 14 {
+		n.AddChild(g.finiteVerb())
+		return n
+	}
+	switch r := g.rng.Float64(); {
+	case r < 0.17: // modal + VP chain
+		n.AddChild(leaf("MD", g.pick(modals)))
+		n.AddChild(g.vpBase(depth + 1))
+	case r < 0.31: // auxiliary chain
+		n.AddChild(leaf("VBZ", "has"))
+		n.AddChild(g.vpBase(depth + 1))
+	case r < 0.55: // V NP
+		n.AddChild(g.finiteVerb())
+		n.AddChild(g.np(depth+1, ""))
+	case r < 0.72: // V NP PP
+		n.AddChild(g.finiteVerb())
+		n.AddChild(g.np(depth+1, ""))
+		n.AddChild(g.pp(depth + 1))
+	case r < 0.81: // V SBAR
+		n.AddChild(g.finiteVerb())
+		n.AddChild(g.sbar(depth + 1))
+	case r < 0.88: // copula + predicate
+		n.AddChild(leaf("VBD", "was"))
+		n.AddChild(g.adjpPrd(depth + 1))
+	case r < 0.94: // V ADVP
+		n.AddChild(g.finiteVerb())
+		n.AddChild(g.advp(depth + 1))
+	default: // intransitive with trailing PP
+		n.AddChild(g.finiteVerb())
+		n.AddChild(g.pp(depth + 1))
+	}
+	return n
+}
+
+// vpBase generates the non-finite VP under a modal/auxiliary: the source of
+// vertical VP/VP chains (Q19).
+func (g *generator) vpBase(depth int) *tree.Node {
+	n := &tree.Node{Tag: "VP"}
+	if depth > 14 {
+		n.AddChild(leaf("VB", g.pick(baseVerbs)))
+		return n
+	}
+	switch r := g.rng.Float64(); {
+	case r < 0.30: // another auxiliary level
+		n.AddChild(leaf("VB", "have"))
+		n.AddChild(g.vpBase(depth + 1))
+	case r < 0.75: // VB NP (the Q2 pattern: VB immediately followed by NP)
+		n.AddChild(leaf("VB", g.pick(baseVerbs)))
+		n.AddChild(g.np(depth+1, ""))
+	case r < 0.90:
+		n.AddChild(leaf("VB", g.pick(baseVerbs)))
+		n.AddChild(g.np(depth+1, ""))
+		n.AddChild(g.pp(depth + 1))
+	default:
+		n.AddChild(leaf("VB", g.pick(baseVerbs)))
+	}
+	return n
+}
+
+func (g *generator) pp(depth int) *tree.Node {
+	n := &tree.Node{Tag: g.decorate("PP")}
+	n.AddChild(leaf("IN", g.pick(prepositions)))
+	n.AddChild(g.np(depth+1, ""))
+	return n
+}
+
+func (g *generator) sbar(depth int) *tree.Node {
+	n := &tree.Node{Tag: "SBAR"}
+	n.AddChild(leaf("IN", "that"))
+	n.AddChild(g.wsjSentence(depth + 1))
+	return n
+}
+
+// sbarRel generates a relative clause whose subject is a trace, the source
+// of -NONE- nodes.
+func (g *generator) sbarRel(depth int) *tree.Node {
+	n := &tree.Node{Tag: "SBAR"}
+	whnp := phrase("WHNP-1", leaf("WDT", "which"))
+	s := &tree.Node{Tag: "S"}
+	s.AddChild(phrase("NP-SBJ", leaf("-NONE-", "*T*-1")))
+	s.AddChild(g.vp(depth + 1))
+	n.AddChild(whnp)
+	n.AddChild(s)
+	return n
+}
+
+func (g *generator) adjp(depth int) *tree.Node {
+	n := &tree.Node{Tag: "ADJP"}
+	if g.chance(0.4) {
+		n.AddChild(leaf("RB", g.pick(adverbs)))
+	}
+	n.AddChild(leaf("JJ", g.pick(adjectives)))
+	return n
+}
+
+func (g *generator) adjpPrd(depth int) *tree.Node {
+	n := g.adjp(depth)
+	n.Tag = "ADJP-PRD"
+	return n
+}
+
+func (g *generator) advp(depth int) *tree.Node {
+	n := &tree.Node{Tag: g.decorate("ADVP")}
+	n.AddChild(leaf("RB", g.pick(adverbs)))
+	return n
+}
+
+// --- Switchboard grammar ---------------------------------------------------
+
+func (g *generator) swbUtterance() *tree.Node {
+	s := &tree.Node{Tag: "S"}
+	// Disfluency markers dominate the SWB tag distribution.
+	for g.chance(0.62) {
+		s.AddChild(leaf("-DFL-", g.pick([]string{"E_S", "N_S", "\\[", "\\]", "\\+"})))
+	}
+	if g.chance(0.35) {
+		s.AddChild(phrase("INTJ", leaf("UH", g.pick(interjections))))
+		if g.chance(0.6) {
+			s.AddChild(leaf(",", ","))
+		}
+	}
+	// Conversational restarts: an EDITED constituent the speaker abandons.
+	if g.chance(0.22) {
+		edited := &tree.Node{Tag: "EDITED"}
+		edited.AddChild(leaf("-DFL-", "\\["))
+		edited.AddChild(g.swbNP("NP-SBJ"))
+		if g.chance(0.5) {
+			edited.AddChild(g.swbVP(2))
+		}
+		edited.AddChild(leaf("-DFL-", "\\+"))
+		s.AddChild(edited)
+	}
+	s.AddChild(g.swbNP("NP-SBJ"))
+	s.AddChild(g.swbVP(1))
+	if g.chance(0.45) {
+		s.AddChild(leaf(",", ","))
+		for g.chance(0.4) {
+			s.AddChild(leaf("-DFL-", "E_S"))
+		}
+	}
+	s.AddChild(leaf(".", "."))
+	return s
+}
+
+func (g *generator) swbNP(tag string) *tree.Node {
+	if tag == "" {
+		tag = g.decorate("NP")
+	}
+	n := &tree.Node{Tag: tag}
+	switch r := g.rng.Float64(); {
+	case r < 0.55: // pronouns dominate conversation
+		n.AddChild(leaf("PRP", g.pick(pronouns)))
+	case r < 0.75:
+		n.AddChild(leaf("DT", g.pick(determiners)))
+		n.AddChild(leaf("NN", g.pick(commonNouns)))
+	case r < 0.85:
+		inner := &tree.Node{Tag: "NP"}
+		inner.AddChild(leaf("NN", g.pick(commonNouns)))
+		n.AddChild(inner)
+		pp := &tree.Node{Tag: "PP"}
+		pp.AddChild(leaf("IN", g.pick(prepositions)))
+		pp.AddChild(g.swbNP(""))
+		n.AddChild(pp)
+	default:
+		n.AddChild(leaf("NN", g.pick(commonNouns)))
+	}
+	return n
+}
+
+func (g *generator) swbVP(depth int) *tree.Node {
+	n := &tree.Node{Tag: "VP"}
+	if g.chance(0.04) {
+		n.Tag = g.decorate("VP")
+	}
+	if depth > 6 {
+		n.AddChild(g.finiteVerb())
+		return n
+	}
+	switch r := g.rng.Float64(); {
+	case r < 0.25: // VP chains are common ("you know, I was going to go")
+		n.AddChild(leaf("VBD", "was"))
+		n.AddChild(g.swbVP(depth + 1))
+	case r < 0.60:
+		n.AddChild(g.finiteVerb())
+		n.AddChild(g.swbNP(""))
+	case r < 0.75:
+		n.AddChild(leaf("VB", g.pick(baseVerbs)))
+		n.AddChild(g.swbNP(""))
+	case r < 0.87:
+		n.AddChild(g.finiteVerb())
+		n.AddChild(leaf("RB", g.pick(adverbs)))
+	default:
+		n.AddChild(g.finiteVerb())
+	}
+	return n
+}

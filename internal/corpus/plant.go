@@ -1,0 +1,150 @@
+package corpus
+
+import (
+	"math/rand"
+
+	"lpath/internal/tree"
+)
+
+// plantAll injects the rare phenomena of the plants table into the corpus,
+// spreading each feature's occurrences deterministically across sentences so
+// the Figure 6(c) high-selectivity queries have paper-like result profiles
+// at every scale.
+func plantAll(c *tree.Corpus, profile Profile, scale float64, rng *rand.Rand) {
+	n := c.Len()
+	if n == 0 {
+		return
+	}
+	for fi, p := range plants {
+		base := p.base(profile)
+		if base == 0 {
+			continue
+		}
+		count := int(float64(base)*scale + 0.5)
+		if count < 1 {
+			count = 1
+		}
+		if count > n {
+			count = n
+		}
+		// Spread occurrences with a Weyl sequence offset per feature so
+		// features land in different sentences.
+		stride := float64(n) * 0.6180339887
+		offset := float64(fi) * stride / float64(len(plants))
+		for k := 0; k < count; k++ {
+			idx := (int(offset+float64(k)*stride) + k) % n
+			plantFeature(p.name, c.Trees[idx].Root, rng)
+		}
+	}
+}
+
+// insertBefore inserts children into parent just before its final
+// punctuation child (or at the end when there is none).
+func insertBefore(parent *tree.Node, nodes ...*tree.Node) {
+	pos := len(parent.Children)
+	if pos > 0 && parent.Children[pos-1].Tag == "." {
+		pos--
+	}
+	for _, n := range nodes {
+		n.Parent = parent
+	}
+	rest := append([]*tree.Node{}, parent.Children[pos:]...)
+	parent.Children = append(parent.Children[:pos], nodes...)
+	parent.Children = append(parent.Children, rest...)
+}
+
+func plantFeature(name string, root *tree.Node, rng *rand.Rand) {
+	switch name {
+	case "saw":
+		// Rewrite the first finite verb of the sentence to "saw".
+		done := false
+		root.Walk(func(n *tree.Node) bool {
+			if done {
+				return false
+			}
+			if len(n.Tag) >= 2 && n.Tag[:2] == "VB" && n.Word != "" {
+				n.Tag = "VBD"
+				n.Word = "saw"
+				done = true
+			}
+			return !done
+		})
+		if !done {
+			insertBefore(root, phrase("VP", leaf("VBD", "saw")))
+		}
+	case "rapprochement":
+		insertBefore(root, phrase("NP",
+			leaf("DT", "the"), leaf("NN", "rapprochement")))
+	case "year1929":
+		insertBefore(root, phrase("PP-TMP",
+			leaf("IN", "in"),
+			phrase("NP", leaf("CD", "1929"))))
+	case "advp-loc-clr":
+		insertBefore(root, phrase("ADVP-LOC-CLR", leaf("RB", "there")))
+	case "whpp":
+		insertBefore(root, phrase("WHPP",
+			leaf("IN", "about"),
+			phrase("WHNP", leaf("WDT", "which"))))
+	case "rrc-pp-tmp":
+		insertBefore(root, phrase("RRC",
+			phrase("PP-TMP",
+				leaf("IN", "during"),
+				phrase("NP", leaf("DT", "the"), leaf("NN", "year")))))
+	case "ucp-prd":
+		insertBefore(root, phrase("UCP-PRD",
+			phrase("ADJP-PRD", leaf("JJ", "nice")),
+			leaf("CC", "and"),
+			phrase("NP", leaf("NN", "thing"))))
+	case "np5chain":
+		insertBefore(root,
+			phrase("NP", phrase("NP", phrase("NP", phrase("NP",
+				phrase("NP", leaf("NN", "thing")))))))
+	case "what-building":
+		insertBefore(root, phrase("NP",
+			leaf("WP", "what"), leaf("NN", "building")))
+	case "pp-sbar":
+		insertBefore(root,
+			phrase("PP",
+				leaf("IN", "in"),
+				phrase("NP", leaf("NN", "fact"))),
+			phrase("SBAR",
+				leaf("IN", "because"),
+				phrase("S",
+					phrase("NP-SBJ", leaf("PRP", "it")),
+					phrase("VP", leaf("VBD", "happened")))))
+	case "advp-adjp":
+		insertBefore(root,
+			phrase("ADVP", leaf("RB", "very")),
+			phrase("ADJP", leaf("JJ", "nice")))
+	case "np3sisters":
+		insertBefore(root, phrase("NP",
+			phrase("NP", leaf("NN", "owner")),
+			phrase("NP", leaf("NN", "operator")),
+			phrase("NP", leaf("NN", "builder"))))
+	case "vp-vp-sisters":
+		insertBefore(root, phrase("VP",
+			phrase("VP", leaf("VB", "come")),
+			phrase("VP", leaf("VB", "go"))))
+	case "of-np-pp-vp":
+		insertBefore(root,
+			phrase("NP", leaf("NN", "deal")),
+			phrase("PP",
+				leaf("IN", "of"),
+				phrase("NP", leaf("NN", "note"))),
+			phrase("VP", leaf("VB", "stand")))
+	case "deep-nesting":
+		// A chain of clausal complements ("it said that it said that ...")
+		// reaching the Treebank's observed maximum depths.
+		levels := 7 + rng.Intn(2)
+		inner := phrase("VP", leaf("VBD", "happened"))
+		node := phrase("S", phrase("NP-SBJ", leaf("PRP", "it")), inner)
+		for i := 0; i < levels; i++ {
+			node = phrase("S",
+				phrase("NP-SBJ", leaf("PRP", "it")),
+				phrase("VP",
+					leaf("VBD", "said"),
+					phrase("SBAR", leaf("IN", "that"), node)))
+		}
+		insertBefore(root, node)
+	}
+}

@@ -1,0 +1,104 @@
+// Package corpus generates synthetic treebank corpora calibrated to the two
+// datasets of the paper's evaluation (Figure 6(a)/(b)): the Wall Street
+// Journal corpus and the Switchboard corpus of Treebank-3.
+//
+// Treebank-3 is proprietary LDC data, so this package is the substitution
+// documented in DESIGN.md: a seeded, scalable generator whose output
+// reproduces the statistics the experiments depend on — the tag-frequency
+// ranking (NP > VP > NN > IN > ... for WSJ; -DFL- dominant for SWB), tree
+// shapes with unary chains and deep recursion, a long Zipf tail of
+// function-tag variants, and planted rare phenomena so each of the 23
+// evaluation queries has a WSJ/SWB selectivity profile like the paper's
+// (e.g. "rapprochement" occurs once in WSJ and never in SWB).
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Profile selects which dataset to imitate.
+type Profile int
+
+const (
+	// WSJ imitates the Wall Street Journal corpus: ~49,200 newswire
+	// sentences at scale 1.0, NP/VP/NN-dominated tag distribution, traces
+	// (-NONE-) and a wide function-tag inventory.
+	WSJ Profile = iota
+	// SWB imitates the Switchboard corpus: conversational utterances
+	// dominated by disfluencies (-DFL-), punctuation and pronouns.
+	SWB
+)
+
+func (p Profile) String() string {
+	switch p {
+	case WSJ:
+		return "wsj"
+	case SWB:
+		return "swb"
+	default:
+		return fmt.Sprintf("profile(%d)", int(p))
+	}
+}
+
+// ParseProfile parses "wsj" or "swb" (case-insensitive).
+func ParseProfile(s string) (Profile, error) {
+	switch strings.ToLower(s) {
+	case "wsj":
+		return WSJ, nil
+	case "swb", "switchboard":
+		return SWB, nil
+	}
+	return 0, fmt.Errorf("corpus: unknown profile %q (want wsj or swb)", s)
+}
+
+// Config configures generation.
+type Config struct {
+	Profile Profile
+	// Scale is the fraction of the paper's corpus size; 1.0 generates a
+	// full-size corpus (~49k sentences / ~3.5M nodes for WSJ).
+	Scale float64
+	// Seed makes generation deterministic; the same (Profile, Scale, Seed)
+	// always produces the identical corpus.
+	Seed int64
+}
+
+// sentence counts at scale 1.0, chosen so node totals approximate Figure
+// 6(a).
+const (
+	wsjFullSentences = 49208
+	swbFullSentences = 101000
+)
+
+// plant describes a rare phenomenon injected deterministically, with target
+// occurrence counts at scale 1.0 per profile (0 = never occurs), mirroring
+// the Figure 6(c) result sizes for the high-selectivity queries.
+type plant struct {
+	name     string
+	wsj, swb int
+}
+
+var plants = []plant{
+	{"saw", 153, 339},         // sentences containing the word "saw" (Q1)
+	{"rapprochement", 1, 0},   // Q12
+	{"year1929", 14, 0},       // Q13
+	{"advp-loc-clr", 60, 0},   // Q14
+	{"whpp", 87, 20},          // Q15
+	{"rrc-pp-tmp", 8, 3},      // Q16
+	{"ucp-prd", 17, 4},        // Q17
+	{"np5chain", 254, 12},     // Q18
+	{"what-building", 2, 5},   // Q11
+	{"pp-sbar", 640, 651},     // Q20
+	{"advp-adjp", 15, 37},     // Q21
+	{"np3sisters", 7, 7},      // Q22
+	{"vp-vp-sisters", 20, 72}, // Q23
+	{"of-np-pp-vp", 192, 31},  // Q10
+	{"deep-nesting", 30, 20},  // drives maximum depth toward Fig. 6(a)'s 36
+}
+
+func (p plant) base(profile Profile) int {
+	if profile == WSJ {
+		return p.wsj
+	}
+	return p.swb
+}

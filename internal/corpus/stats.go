@@ -1,0 +1,41 @@
+package corpus
+
+import (
+	"io"
+
+	"lpath/internal/tree"
+)
+
+// Stats summarizes a corpus with the measurements of Figure 6(a).
+type Stats struct {
+	Sentences  int
+	Words      int
+	TreeNodes  int // element nodes, the paper's "Tree Nodes"
+	UniqueTags int
+	MaxDepth   int
+	FileSize   int64 // bytes of the bracketed ASCII representation
+}
+
+// Measure computes corpus statistics.
+func Measure(c *tree.Corpus) Stats {
+	st := Stats{
+		Sentences: c.Len(),
+		Words:     c.WordCount(),
+		TreeNodes: c.NodeCount(),
+		MaxDepth:  c.MaxDepth(),
+	}
+	st.UniqueTags = len(c.TagFrequencies())
+	var cw countingWriter
+	_ = tree.WriteAll(&cw, c)
+	st.FileSize = cw.n
+	return st
+}
+
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+var _ io.Writer = (*countingWriter)(nil)

@@ -1,0 +1,71 @@
+package corpus
+
+import "fmt"
+
+// Vocabulary pools. Each part of speech mixes a hand-written core with
+// generated filler forms, giving realistic type/token ratios without
+// shipping any external data.
+
+func expandVocab(core []string, prefix string, n int) []string {
+	out := make([]string, 0, len(core)+n)
+	out = append(out, core...)
+	for i := 1; i <= n; i++ {
+		out = append(out, fmt.Sprintf("%s%d", prefix, i))
+	}
+	return out
+}
+
+var (
+	commonNouns = expandVocab([]string{
+		"man", "dog", "company", "market", "stock", "price", "share",
+		"year", "time", "way", "trade", "group", "plan", "sale", "rate",
+		"building", "report", "bank", "unit", "business",
+	}, "noun", 600)
+
+	properNouns = expandVocab([]string{
+		"Smith", "Johnson", "Washington", "York", "Tokyo", "London",
+		"Congress", "Ford", "Exxon", "Boeing",
+	}, "Name", 400)
+
+	verbs = expandVocab([]string{
+		"said", "made", "bought", "sold", "offered", "reported", "rose",
+		"fell", "agreed", "announced", "expected", "took",
+	}, "verbed", 200)
+
+	baseVerbs = expandVocab([]string{
+		"buy", "sell", "make", "offer", "take", "keep", "raise", "pay",
+	}, "verb", 100)
+
+	adjectives = expandVocab([]string{
+		"old", "new", "big", "last", "major", "strong", "federal",
+		"financial", "corporate", "foreign",
+	}, "adj", 150)
+
+	adverbs = expandVocab([]string{
+		"today", "still", "sharply", "recently", "only", "early",
+	}, "adv", 60)
+
+	prepositions = []string{
+		"of", "in", "for", "on", "with", "at", "by", "from", "about",
+		"after", "under", "over",
+	}
+
+	determiners = []string{"the", "a", "an", "this", "that", "some", "any", "each"}
+
+	pronouns = []string{"it", "he", "she", "they", "we", "you", "I"}
+
+	modals = []string{"will", "would", "could", "may", "might", "should", "can"}
+
+	conjunctions = []string{"and", "or", "but"}
+
+	numbers = expandVocab([]string{"10", "25", "1988", "100", "3.5"}, "", 0)
+
+	interjections = []string{"uh", "um", "well", "yeah", "right", "okay", "huh"}
+
+	// functionTags decorate phrasal categories to approximate the
+	// Treebank's wide tag inventory (Figure 6(a): 1,274 unique WSJ tags).
+	functionTags = []string{
+		"SBJ", "PRD", "TMP", "LOC", "CLR", "MNR", "DIR", "ADV", "TTL",
+		"NOM", "LGS", "EXT", "PRP", "DTV", "HLN",
+	}
+)

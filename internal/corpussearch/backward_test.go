@@ -1,0 +1,115 @@
+package corpussearch
+
+import (
+	"testing"
+
+	"lpath/internal/tree"
+)
+
+// TestBackwardGeneration exercises queries whose later variables are
+// related as the A-side of a call to an already-bound B — the
+// backwardNodes candidate generator.
+func TestBackwardGeneration(t *testing.T) {
+	c := figureCorpus()
+	cases := []struct {
+		src  string
+		want int
+	}{
+		// V bound first, then X generated backwards from each function.
+		{`node: $ROOT; query: (V Exists) and (VP iDoms V) and (S iDoms VP); print: S`, 1},
+		{`node: $ROOT; query: (N Exists) and (NP Doms N); print: NP`, 3},
+		{`node: $ROOT; query: (N Exists) and (Det iPrecedes N); print: Det`, 1},
+		{`node: $ROOT; query: (N Exists) and (Det Precedes N); print: Det`, 2},
+		{`node: $ROOT; query: (N Exists) and (NP iDomsFirst N); print: NP`, 0},
+		{`node: $ROOT; query: (N Exists) and (NP iDomsLast N); print: NP`, 2},
+		{`node: $ROOT; query: (N Exists) and (NP DomsLeftmost N); print: NP`, 0},
+		{`node: $ROOT; query: (dog Exists) and (NP DomsRightmost dog); print: NP`, 2},
+		{`node: $ROOT; query: (NP Exists) and (V SisterPrecedes NP); print: V`, 1},
+		{`node: $ROOT; query: (NP Exists) and (V iSisterPrecedes NP); print: V`, 1},
+		{`node: $ROOT; query: (PP Exists) and (NP HasSister PP); print: NP`, 1},
+	}
+	for _, tc := range cases {
+		if got := count(t, c, tc.src); got != tc.want {
+			t.Errorf("%s: count = %d, want %d", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestHoldsAllFunctions(t *testing.T) {
+	c := figureCorpus()
+	// Force holds() checks (no generator applies: both vars bound via
+	// Exists-like full scans, relation only verified at eval).
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{`node: $ROOT; query: (Det iPrecedes Adj) or (Det iPrecedes N); print: Det`, 2},
+		{`node: $ROOT; query: (NP iDoms Det) or (NP iDoms PP); print: NP`, 3},
+		{`node: $ROOT; query: (V HasSister NP) and (V iSisterPrecedes NP); print: NP`, 1},
+	}
+	for _, tc := range cases {
+		if got := count(t, c, tc.src); got != tc.want {
+			t.Errorf("%s: count = %d, want %d", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestNestedNegation(t *testing.T) {
+	c := figureCorpus()
+	// Negation containing a negation: NPs where it is NOT the case that
+	// (there is a Det below with no following Adj below the NP).
+	got := count(t, c, `node: NP; query: not ((NP Doms Det) and not (Det Precedes Adj)); print: NP`)
+	// NP[I]: no Det → inner false → not → match.
+	// NP[the old man]: Det(the) precedes Adj(old): inner (Doms && not true)=false → match.
+	// NP[the old man with a dog]: Dets: the precedes old ✓ → for the inner
+	// conjunction to hold we need a Det with NO following Adj: Det(a) has
+	// none → inner true → no match.
+	// NP[a dog]: Det(a), no Adj → inner true → no match.
+	if got != 2 {
+		t.Errorf("nested negation count = %d, want 2", got)
+	}
+}
+
+func TestQueryStrings(t *testing.T) {
+	if (Term{Pattern: "NP", Index: 2}).String() != "NP[2]" {
+		t.Error("Term.String with index")
+	}
+	if (Term{Pattern: "NP"}).String() != "NP" {
+		t.Error("Term.String without index")
+	}
+	for fn, want := range map[Fn]string{
+		FnIDoms: "iDoms", FnDomsRightmost: "DomsRightmost", FnExists: "Exists",
+	} {
+		if fn.String() != want {
+			t.Errorf("Fn(%d).String() = %q, want %q", fn, fn.String(), want)
+		}
+	}
+}
+
+func TestBoundaryWordMatch(t *testing.T) {
+	// A word can be the boundary pattern itself.
+	c := BuildCorpus(func() *tree.Corpus {
+		tc := tree.NewCorpus()
+		tc.Add(tree.Figure1())
+		return tc
+	}())
+	if got := count(t, c, `node: saw; query: (saw Exists)`); got != 1 {
+		t.Errorf("word boundary = %d", got)
+	}
+}
+
+func TestParseGroupedExpression(t *testing.T) {
+	q := MustParse(`node: S; query: ((S Doms saw) or (S Doms ran)) and (S iDoms VP)`)
+	and, ok := q.Expr.(*AndE)
+	if !ok {
+		t.Fatalf("expr = %#v", q.Expr)
+	}
+	if _, ok := and.L.(*OrE); !ok {
+		t.Fatalf("left = %#v", and.L)
+	}
+	c := figureCorpus()
+	n, err := c.Count(q)
+	if err != nil || n != 1 {
+		t.Errorf("count = %d, %v", n, err)
+	}
+}

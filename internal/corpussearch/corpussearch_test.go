@@ -1,0 +1,217 @@
+package corpussearch
+
+import (
+	"strings"
+	"testing"
+
+	"lpath/internal/tree"
+)
+
+func figureCorpus() *Corpus {
+	c := tree.NewCorpus()
+	c.Add(tree.Figure1())
+	return BuildCorpus(c)
+}
+
+func count(t *testing.T, c *Corpus, src string) int {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	n, err := c.Count(q)
+	if err != nil {
+		t.Fatalf("Count(%q): %v", src, err)
+	}
+	return n
+}
+
+func TestParseDirectives(t *testing.T) {
+	q := MustParse("node: VP\nquery: (VP iDoms VB)\nprint: VB")
+	if q.Boundary.Pattern != "VP" || q.Print.Pattern != "VB" {
+		t.Errorf("q = %+v", q)
+	}
+	call, ok := q.Expr.(*Call)
+	if !ok || call.Fn != FnIDoms {
+		t.Errorf("expr = %#v", q.Expr)
+	}
+	// Semicolon separators and default print.
+	q = MustParse(`node: S; query: (S Doms saw)`)
+	if q.Print != q.Boundary {
+		t.Errorf("default print = %v", q.Print)
+	}
+}
+
+func TestParseIndexesAndBooleans(t *testing.T) {
+	q := MustParse(`node: $ROOT; query: (NP[1] iDoms NP[2]) and not (NP[2] iDoms JJ) or (NP[1] Exists); print: NP[2]`)
+	or, ok := q.Expr.(*OrE)
+	if !ok {
+		t.Fatalf("expr = %#v", q.Expr)
+	}
+	and, ok := or.L.(*AndE)
+	if !ok {
+		t.Fatalf("left = %#v", or.L)
+	}
+	if _, ok := and.R.(*NotE); !ok {
+		t.Fatalf("right of and = %#v", and.R)
+	}
+	call := and.L.(*Call)
+	if call.A != (Term{"NP", 1}) || call.B != (Term{"NP", 2}) {
+		t.Errorf("call = %+v", call)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		``,
+		`query: (A iDoms B)`,                      // missing node
+		`node: S`,                                 // missing query
+		`node: S; query: (A frobs B)`,             // unknown function
+		`node: S; query: A iDoms B`,               // missing parens
+		`node: S; query: (A iDoms )`,              // missing term
+		`node: S; query: (A iDoms B`,              // unterminated
+		`node: S; query: (A iDoms B); print: C[`,  // bad index
+		`node: S; quux: x; query: (A Exists)`,     // unknown directive
+		`node: S; query: (A iDoms B); print: ZZZ`, // print not in query (checked at search)
+	} {
+		q, err := Parse(src)
+		if err != nil {
+			continue
+		}
+		// The last case parses but must fail at search time.
+		if _, serr := figureCorpus().Search(q); serr == nil {
+			t.Errorf("Parse/Search(%q): expected error", src)
+		}
+	}
+}
+
+func TestGlobMatching(t *testing.T) {
+	cases := []struct {
+		pat, label string
+		want       bool
+	}{
+		{"NP", "NP", true},
+		{"NP", "NP-SBJ", false},
+		{"NP*", "NP-SBJ", true},
+		{"NP*", "N", false},
+		{"*SBJ", "NP-SBJ", true},
+		{"NP*SBJ*", "NP-SBJ-1", true},
+		{"NP|VP", "VP", true},
+		{"NP|VP", "PP", false},
+		{"*", "anything", true},
+	}
+	for _, tc := range cases {
+		if got := (Term{Pattern: tc.pat}).MatchesLabel(tc.label); got != tc.want {
+			t.Errorf("match(%q, %q) = %v, want %v", tc.pat, tc.label, got, tc.want)
+		}
+	}
+}
+
+func TestSearchFigure1(t *testing.T) {
+	c := figureCorpus()
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{`node: S; query: (S Doms saw)`, 1},
+		{`node: S; query: (S Doms missing)`, 0},
+		{`node: $ROOT; query: (V iPrecedes NP); print: NP`, 2},
+		{`node: $ROOT; query: (VP iDoms V) and (V Precedes N); print: N`, 3},
+		{`node: VP; query: (VP iDoms V) and (V Precedes N); print: N`, 2},
+		{`node: VP; query: (VP iDomsLast NP); print: NP`, 1},
+		{`node: VP; query: (VP DomsRightmost NP); print: NP`, 2},
+		{`node: VP; query: (VP DomsLeftmost V) and (V iPrecedes NP) and (NP iPrecedes PP) and (VP DomsRightmost PP); print: VP`, 1},
+		{`node: S; query: (S Doms NP) and (NP iDoms Adj); print: S`, 1},
+		{`node: NP; query: not (NP Doms Adj); print: NP`, 2},
+		{`node: NP; query: (NP Doms Adj); print: NP`, 2},
+		{`node: $ROOT; query: (NP[1] iDoms NP[2]); print: NP[2]`, 1},
+		{`node: $ROOT; query: (NP[1] iDoms NP[2]) and (NP[2] iDoms NP[3]); print: NP[3]`, 0},
+		{`node: $ROOT; query: (V iSisterPrecedes NP); print: NP`, 1},
+		{`node: $ROOT; query: (NP iSisterPrecedes PP); print: PP`, 1},
+		{`node: $ROOT; query: (NP HasSister VP); print: NP`, 1},
+		{`node: $ROOT; query: (Det iDoms the); print: Det`, 1},
+		{`node: $ROOT; query: (Prep iPrecedes Det); print: Det`, 1},
+		{`node: $ROOT; query: (N* Exists); print: N*`, 7}, // 4 NP + 3 N
+		{`node: $ROOT; query: (NP iDoms Det|Adj); print: NP`, 2},
+		{`node: S; query: (the iPrecedes old)`, 1},
+		{`node: $ROOT; query: (VP iDomsFirst V); print: V`, 1},
+	}
+	for _, tc := range cases {
+		if got := count(t, c, tc.src); got != tc.want {
+			q := MustParse(tc.src)
+			ms, _ := c.Search(q)
+			var sigs []string
+			for _, m := range ms {
+				if m.Node != nil {
+					sigs = append(sigs, m.Node.Tag+"["+strings.Join(m.Node.Words(), " ")+"]")
+				} else {
+					sigs = append(sigs, "w:"+m.Word)
+				}
+			}
+			t.Errorf("%s: count = %d, want %d (matches %v)", tc.src, got, tc.want, sigs)
+		}
+	}
+}
+
+func TestBoundaryScoping(t *testing.T) {
+	c := figureCorpus()
+	// Within NP boundaries, Det precedes N twice (the..man, a..dog); the
+	// today-N is never inside an NP with a Det.
+	if got := count(t, c, `node: NP; query: (Det Precedes N); print: N`); got != 2 {
+		t.Errorf("scoped count = %d, want 2", got)
+	}
+	// Unscoped, Det(the) also precedes dog and today.
+	if got := count(t, c, `node: $ROOT; query: (Det Precedes N); print: N`); got != 3 {
+		t.Errorf("unscoped count = %d, want 3", got)
+	}
+}
+
+func TestMultipleTrees(t *testing.T) {
+	tc := tree.NewCorpus()
+	tc.Add(tree.Figure1())
+	tc.Add(tree.MustParseTree(`(S (NP you) (VP (V saw) (NP (Det a) (N cat))))`))
+	c := BuildCorpus(tc)
+	q := MustParse(`node: S; query: (S Doms saw)`)
+	ms, err := c.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[0].TreeID != 1 || ms[1].TreeID != 2 {
+		t.Errorf("matches = %+v", ms)
+	}
+}
+
+func TestPrintWordVariable(t *testing.T) {
+	c := figureCorpus()
+	q := MustParse(`node: $ROOT; query: (saw Exists); print: saw`)
+	ms, err := c.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].Word != "saw" {
+		t.Errorf("matches = %+v", ms)
+	}
+}
+
+func TestEvalQueriesParse(t *testing.T) {
+	if len(EvalQueries) != 23 {
+		t.Fatalf("EvalQueries has %d entries", len(EvalQueries))
+	}
+	for id, src := range EvalQueries {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Q%d: %v", id, err)
+		}
+	}
+}
+
+func TestDistinctPrintBindings(t *testing.T) {
+	c := figureCorpus()
+	// Multiple assignments can share a print binding; results must be
+	// distinct nodes. Det(the) and Det(a) both precede N(dog)? No — but
+	// each Det precedes at least one N, and N(dog) follows both Dets:
+	// print N must dedup.
+	got := count(t, c, `node: $ROOT; query: (Det Precedes N); print: N`)
+	if got != 3 { // man, dog, today (each follows some Det)
+		t.Errorf("distinct print bindings = %d, want 3", got)
+	}
+}

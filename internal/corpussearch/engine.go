@@ -1,0 +1,593 @@
+package corpussearch
+
+import (
+	"fmt"
+	"sort"
+
+	"lpath/internal/tree"
+)
+
+// cnode is the engine's view of a node; words are leaf nodes labeled by the
+// word, as in CorpusSearch's view of Penn Treebank files.
+type cnode struct {
+	label    string
+	parent   *cnode
+	children []*cnode
+	first    int32 // leftmost covered terminal (1-based)
+	last     int32 // rightmost covered terminal
+	order    int32
+	elem     *tree.Node
+}
+
+type ctree struct {
+	id    int
+	root  *cnode
+	nodes []*cnode
+}
+
+// Corpus holds the searchable trees. There is deliberately no index: every
+// search is a full corpus scan.
+type Corpus struct {
+	trees []*ctree
+}
+
+// BuildCorpus converts a tree corpus.
+func BuildCorpus(c *tree.Corpus) *Corpus {
+	cc := &Corpus{}
+	for _, t := range c.Trees {
+		ct := &ctree{id: t.ID}
+		var leaf int32
+		var rec func(n *tree.Node, parent *cnode) *cnode
+		rec = func(n *tree.Node, parent *cnode) *cnode {
+			cn := &cnode{label: n.Tag, parent: parent, order: int32(len(ct.nodes)), elem: n}
+			ct.nodes = append(ct.nodes, cn)
+			if len(n.Children) == 0 {
+				leaf++
+				cn.first, cn.last = leaf, leaf
+				if n.Word != "" {
+					w := &cnode{label: n.Word, parent: cn, order: int32(len(ct.nodes)), first: leaf, last: leaf}
+					ct.nodes = append(ct.nodes, w)
+					cn.children = []*cnode{w}
+				}
+				return cn
+			}
+			for _, ch := range n.Children {
+				cn.children = append(cn.children, rec(ch, cn))
+			}
+			cn.first = cn.children[0].first
+			cn.last = cn.children[len(cn.children)-1].last
+			return cn
+		}
+		if t.Root != nil {
+			ct.root = rec(t.Root, nil)
+		}
+		cc.trees = append(cc.trees, ct)
+	}
+	return cc
+}
+
+// Match is one reported binding of the print variable.
+type Match struct {
+	TreeID int
+	Node   *tree.Node
+	Word   string // set when the print variable bound a word node
+}
+
+// Search evaluates the query over the corpus and returns the distinct
+// bindings of the print variable, in corpus order.
+func (c *Corpus) Search(q *Query) ([]Match, error) {
+	vars := positiveVars(q)
+	printIdx := -1
+	for i, v := range vars {
+		if v == q.Print {
+			printIdx = i
+		}
+	}
+	boundaryIsPrint := q.Print == q.Boundary
+	if printIdx < 0 && !boundaryIsPrint {
+		return nil, fmt.Errorf("corpussearch: print variable %s does not occur in the query", q.Print)
+	}
+	var out []Match
+	for _, ct := range c.trees {
+		seen := map[*cnode]bool{}
+		for _, boundary := range c.boundaries(ct, q.Boundary) {
+			env := map[Term]*cnode{q.Boundary: boundary}
+			printed := func(n *cnode) {
+				if !seen[n] {
+					seen[n] = true
+					m := Match{TreeID: ct.id}
+					if n.elem != nil {
+						m.Node = n.elem
+					} else {
+						m.Word = n.label
+					}
+					out = append(out, m)
+				}
+			}
+			if boundaryIsPrint {
+				if c.satisfiable(ct, boundary, q, vars, 0, env) {
+					printed(boundary)
+				}
+				continue
+			}
+			// Enumerate assignments, collecting print bindings.
+			c.enumerate(ct, boundary, q, vars, 0, env, func(e map[Term]*cnode) {
+				printed(e[q.Print])
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TreeID < out[j].TreeID })
+	return out, nil
+}
+
+// Count returns the number of distinct print-variable bindings.
+func (c *Corpus) Count(q *Query) (int, error) {
+	ms, err := c.Search(q)
+	return len(ms), err
+}
+
+// boundaries returns the boundary nodes of a tree: the root for $ROOT, else
+// every node matching the pattern.
+func (c *Corpus) boundaries(ct *ctree, b Term) []*cnode {
+	if b.Pattern == RootBoundary {
+		if ct.root == nil {
+			return nil
+		}
+		return []*cnode{ct.root}
+	}
+	var out []*cnode
+	for _, n := range ct.nodes {
+		if b.MatchesLabel(n.label) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// positiveVars returns the distinct variables occurring outside any
+// negation, in first-appearance order, excluding the boundary variable.
+func positiveVars(q *Query) []Term {
+	var out []Term
+	seen := map[Term]bool{q.Boundary: true}
+	var rec func(e Expr, neg bool)
+	add := func(t Term) {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	rec = func(e Expr, neg bool) {
+		switch x := e.(type) {
+		case *AndE:
+			rec(x.L, neg)
+			rec(x.R, neg)
+		case *OrE:
+			rec(x.L, neg)
+			rec(x.R, neg)
+		case *NotE:
+			rec(x.X, true)
+		case *Call:
+			if !neg {
+				add(x.A)
+				add(x.B)
+			}
+		case *ExistsE:
+			if !neg {
+				add(x.A)
+			}
+		}
+	}
+	rec(q.Expr, false)
+	return out
+}
+
+// satisfiable backtracks over variable assignments until one satisfies the
+// query.
+func (c *Corpus) satisfiable(ct *ctree, boundary *cnode, q *Query, vars []Term, i int, env map[Term]*cnode) bool {
+	found := false
+	c.enumerateStop(ct, boundary, q, vars, i, env, func(map[Term]*cnode) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// enumerate visits every satisfying assignment.
+func (c *Corpus) enumerate(ct *ctree, boundary *cnode, q *Query, vars []Term, i int, env map[Term]*cnode, visit func(map[Term]*cnode)) {
+	c.enumerateStop(ct, boundary, q, vars, i, env, func(e map[Term]*cnode) bool {
+		visit(e)
+		return true
+	})
+}
+
+// enumerateStop backtracks over assignments of vars[i:]; visit returns false
+// to stop the search.
+func (c *Corpus) enumerateStop(ct *ctree, boundary *cnode, q *Query, vars []Term, i int, env map[Term]*cnode, visit func(map[Term]*cnode) bool) bool {
+	if i == len(vars) {
+		if evalExpr(ct, boundary, q.Expr, env) {
+			return visit(env)
+		}
+		return true
+	}
+	v := vars[i]
+	cands, constrained := candidates(ct, boundary, q.Expr, v, env)
+	if len(cands) == 0 {
+		if constrained {
+			// A mandatory conjunct relates v to a bound node and nothing
+			// satisfies it: no assignment can succeed — prune.
+			return true
+		}
+		// An unconstrained variable with no matching node (e.g. one that
+		// occurs only in an unsatisfied or-branch) binds to nothing; calls
+		// involving it evaluate false rather than aborting the search.
+		env[v] = nil
+		ok := c.enumerateStop(ct, boundary, q, vars, i+1, env, visit)
+		delete(env, v)
+		return ok
+	}
+	for _, cand := range cands {
+		env[v] = cand
+		if !c.enumerateStop(ct, boundary, q, vars, i+1, env, visit) {
+			delete(env, v)
+			return false
+		}
+		delete(env, v)
+	}
+	return true
+}
+
+// candidates returns possible bindings for v. If some mandatory (top-level
+// conjunct) call relates v to an already-bound variable, only the
+// structurally related nodes are enumerated (forward checking) and
+// constrained is true — an empty result then proves unsatisfiability.
+// Otherwise every matching node within the boundary subtree is returned.
+func candidates(ct *ctree, boundary *cnode, e Expr, v Term, env map[Term]*cnode) (nodes []*cnode, constrained bool) {
+	if related, ok := relatedCandidates(e, v, env); ok {
+		out := related[:0:0]
+		for _, n := range related {
+			if v.MatchesLabel(n.label) && within(n, boundary) {
+				out = append(out, n)
+			}
+		}
+		return out, true
+	}
+	var out []*cnode
+	var rec func(n *cnode)
+	rec = func(n *cnode) {
+		if v.MatchesLabel(n.label) {
+			out = append(out, n)
+		}
+		for _, ch := range n.children {
+			rec(ch)
+		}
+	}
+	rec(boundary)
+	return out, false
+}
+
+// relatedCandidates finds a mandatory call connecting v to a bound,
+// non-nil variable and enumerates the related nodes; ok is false when no
+// such call exists.
+func relatedCandidates(e Expr, v Term, env map[Term]*cnode) ([]*cnode, bool) {
+	switch x := e.(type) {
+	case *AndE:
+		if n, ok := relatedCandidates(x.L, v, env); ok {
+			return n, true
+		}
+		return relatedCandidates(x.R, v, env)
+	case *Call:
+		if x.B == v {
+			if a, ok := env[x.A]; ok && a != nil {
+				return forwardNodes(x.Fn, a), true
+			}
+		}
+		if x.A == v {
+			if b, ok := env[x.B]; ok && b != nil {
+				return backwardNodes(x.Fn, b), true
+			}
+		}
+	}
+	return nil, false
+}
+
+// forwardNodes enumerates the nodes y with fn(a, y).
+func forwardNodes(fn Fn, a *cnode) []*cnode {
+	switch fn {
+	case FnIDoms:
+		return a.children
+	case FnIDomsFirst:
+		if len(a.children) > 0 {
+			return a.children[:1]
+		}
+		return []*cnode{}
+	case FnIDomsLast:
+		if len(a.children) > 0 {
+			return a.children[len(a.children)-1:]
+		}
+		return []*cnode{}
+	case FnDoms, FnDomsLeftmost, FnDomsRightmost:
+		var out []*cnode
+		var rec func(n *cnode)
+		rec = func(n *cnode) {
+			for _, ch := range n.children {
+				switch fn {
+				case FnDoms:
+					out = append(out, ch)
+				case FnDomsLeftmost:
+					if ch.first == a.first {
+						out = append(out, ch)
+					}
+				case FnDomsRightmost:
+					if ch.last == a.last {
+						out = append(out, ch)
+					}
+				}
+				rec(ch)
+			}
+		}
+		rec(a)
+		return out
+	case FnIPrecedes, FnPrecedes:
+		var out []*cnode
+		root := a
+		for root.parent != nil {
+			root = root.parent
+		}
+		var rec func(n *cnode)
+		rec = func(n *cnode) {
+			if fn == FnIPrecedes && n.first == a.last+1 {
+				out = append(out, n)
+			}
+			if fn == FnPrecedes && n.first > a.last {
+				out = append(out, n)
+			}
+			for _, ch := range n.children {
+				rec(ch)
+			}
+		}
+		rec(root)
+		return out
+	case FnSisterPrecedes, FnISisterPrecedes, FnHasSister:
+		if a.parent == nil {
+			return []*cnode{}
+		}
+		var out []*cnode
+		for _, s := range a.parent.children {
+			if s == a {
+				continue
+			}
+			switch fn {
+			case FnSisterPrecedes:
+				if s.first > a.last {
+					out = append(out, s)
+				}
+			case FnISisterPrecedes:
+				if s.first == a.last+1 {
+					out = append(out, s)
+				}
+			case FnHasSister:
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	return []*cnode{}
+}
+
+// backwardNodes enumerates the nodes x with fn(x, b).
+func backwardNodes(fn Fn, b *cnode) []*cnode {
+	switch fn {
+	case FnIDoms:
+		if b.parent != nil {
+			return []*cnode{b.parent}
+		}
+	case FnIDomsFirst:
+		if b.parent != nil && b.parent.children[0] == b {
+			return []*cnode{b.parent}
+		}
+	case FnIDomsLast:
+		if b.parent != nil && b.parent.children[len(b.parent.children)-1] == b {
+			return []*cnode{b.parent}
+		}
+	case FnDoms:
+		var out []*cnode
+		for p := b.parent; p != nil; p = p.parent {
+			out = append(out, p)
+		}
+		return out
+	case FnDomsLeftmost:
+		var out []*cnode
+		for p := b.parent; p != nil; p = p.parent {
+			if p.first == b.first {
+				out = append(out, p)
+			}
+		}
+		return out
+	case FnDomsRightmost:
+		var out []*cnode
+		for p := b.parent; p != nil; p = p.parent {
+			if p.last == b.last {
+				out = append(out, p)
+			}
+		}
+		return out
+	case FnIPrecedes, FnPrecedes:
+		var out []*cnode
+		root := b
+		for root.parent != nil {
+			root = root.parent
+		}
+		var rec func(n *cnode)
+		rec = func(n *cnode) {
+			if fn == FnIPrecedes && n.last+1 == b.first {
+				out = append(out, n)
+			}
+			if fn == FnPrecedes && n.last < b.first {
+				out = append(out, n)
+			}
+			for _, ch := range n.children {
+				rec(ch)
+			}
+		}
+		rec(root)
+		return out
+	case FnSisterPrecedes, FnISisterPrecedes, FnHasSister:
+		if b.parent == nil {
+			return []*cnode{}
+		}
+		var out []*cnode
+		for _, s := range b.parent.children {
+			if s == b {
+				continue
+			}
+			switch fn {
+			case FnSisterPrecedes:
+				if s.last < b.first {
+					out = append(out, s)
+				}
+			case FnISisterPrecedes:
+				if s.last+1 == b.first {
+					out = append(out, s)
+				}
+			case FnHasSister:
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	return []*cnode{}
+}
+
+func within(n, boundary *cnode) bool {
+	for m := n; m != nil; m = m.parent {
+		if m == boundary {
+			return true
+		}
+	}
+	return false
+}
+
+// evalExpr evaluates the query expression under a complete assignment of the
+// positive variables. Variables local to negations are existentially
+// quantified inside the negation.
+func evalExpr(ct *ctree, boundary *cnode, e Expr, env map[Term]*cnode) bool {
+	switch x := e.(type) {
+	case *AndE:
+		return evalExpr(ct, boundary, x.L, env) && evalExpr(ct, boundary, x.R, env)
+	case *OrE:
+		return evalExpr(ct, boundary, x.L, env) || evalExpr(ct, boundary, x.R, env)
+	case *NotE:
+		return !existsInner(ct, boundary, x.X, env)
+	case *Call:
+		a, aok := env[x.A]
+		b, bok := env[x.B]
+		if !aok || !bok || a == nil || b == nil {
+			return false
+		}
+		return holds(x.Fn, a, b)
+	case *ExistsE:
+		n, ok := env[x.A]
+		return ok && n != nil
+	}
+	return false
+}
+
+// existsInner evaluates an expression under a negation: unbound variables
+// are existentially quantified over the boundary subtree.
+func existsInner(ct *ctree, boundary *cnode, e Expr, env map[Term]*cnode) bool {
+	var free []Term
+	seen := map[Term]bool{}
+	var collect func(e Expr)
+	collect = func(e Expr) {
+		switch x := e.(type) {
+		case *AndE:
+			collect(x.L)
+			collect(x.R)
+		case *OrE:
+			collect(x.L)
+			collect(x.R)
+		case *NotE:
+			// Variables under a deeper negation are quantified when that
+			// negation is evaluated, not here.
+		case *Call:
+			for _, t := range []Term{x.A, x.B} {
+				if _, bound := env[t]; !bound && !seen[t] {
+					seen[t] = true
+					free = append(free, t)
+				}
+			}
+		case *ExistsE:
+			if _, bound := env[x.A]; !bound && !seen[x.A] {
+				seen[x.A] = true
+				free = append(free, x.A)
+			}
+		}
+	}
+	collect(e)
+	var try func(i int) bool
+	try = func(i int) bool {
+		if i == len(free) {
+			return evalExprInner(ct, boundary, e, env)
+		}
+		cands, constrained := candidates(ct, boundary, e, free[i], env)
+		if len(cands) == 0 {
+			if constrained {
+				return false
+			}
+			env[free[i]] = nil
+			ok := try(i + 1)
+			delete(env, free[i])
+			return ok
+		}
+		for _, cand := range cands {
+			env[free[i]] = cand
+			if try(i + 1) {
+				delete(env, free[i])
+				return true
+			}
+			delete(env, free[i])
+		}
+		return false
+	}
+	return try(0)
+}
+
+// evalExprInner is evalExpr but treats ExistsE over a bound variable as
+// true (used inside negations where the variable was just quantified).
+func evalExprInner(ct *ctree, boundary *cnode, e Expr, env map[Term]*cnode) bool {
+	return evalExpr(ct, boundary, e, env)
+}
+
+// holds checks a binary search function between two bound nodes.
+func holds(fn Fn, a, b *cnode) bool {
+	switch fn {
+	case FnIDoms:
+		return b.parent == a
+	case FnDoms:
+		for p := b.parent; p != nil; p = p.parent {
+			if p == a {
+				return true
+			}
+		}
+		return false
+	case FnIPrecedes:
+		return b.first == a.last+1
+	case FnPrecedes:
+		return b.first > a.last
+	case FnIDomsFirst:
+		return b.parent == a && a.children[0] == b
+	case FnIDomsLast:
+		return b.parent == a && a.children[len(a.children)-1] == b
+	case FnDomsLeftmost:
+		return holds(FnDoms, a, b) && a.first == b.first
+	case FnDomsRightmost:
+		return holds(FnDoms, a, b) && a.last == b.last
+	case FnSisterPrecedes:
+		return a.parent != nil && a.parent == b.parent && a != b && b.first > a.last
+	case FnISisterPrecedes:
+		return a.parent != nil && a.parent == b.parent && a != b && b.first == a.last+1
+	case FnHasSister:
+		return a.parent != nil && a.parent == b.parent && a != b
+	}
+	return false
+}

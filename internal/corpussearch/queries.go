@@ -1,0 +1,32 @@
+package corpussearch
+
+// EvalQueries maps the 23 evaluation queries of Figure 6(c) (by Q-number) to
+// nearest-equivalent CorpusSearch queries used in the Figures 7–9
+// comparison. Subtree-scoped LPath queries translate naturally to boundary
+// (node:) restrictions; edge alignment uses the DomsLeftmost/DomsRightmost
+// dialect extensions.
+var EvalQueries = map[int]string{
+	1:  `node: S; query: (S Doms saw); print: S`,
+	2:  `node: $ROOT; query: (VB iPrecedes NP); print: NP`,
+	3:  `node: $ROOT; query: (VP iDoms VB) and (VB Precedes NN); print: NN`,
+	4:  `node: VP; query: (VP iDoms VB) and (VB Precedes NN); print: NN`,
+	5:  `node: VP; query: (VP iDomsLast NP); print: NP`,
+	6:  `node: VP; query: (VP DomsRightmost NP); print: NP`,
+	7:  `node: VP; query: (VP DomsLeftmost VB) and (VB iPrecedes NP) and (NP iPrecedes PP) and (VP DomsRightmost PP); print: VP`,
+	8:  `node: S; query: (S Doms NP) and (NP iDoms ADJP); print: S`,
+	9:  `node: NP; query: not (NP Doms JJ); print: NP`,
+	10: `node: $ROOT; query: (NP iPrecedes PP) and (PP Doms IN) and (IN iDoms of) and (PP iSisterPrecedes VP); print: NP`,
+	11: `node: S; query: (what iPrecedes building); print: S`,
+	12: `node: $ROOT; query: (rapprochement Exists); print: rapprochement`,
+	13: `node: $ROOT; query: (1929 Exists); print: 1929`,
+	14: `node: $ROOT; query: (ADVP-LOC-CLR Exists); print: ADVP-LOC-CLR`,
+	15: `node: $ROOT; query: (WHPP Exists); print: WHPP`,
+	16: `node: $ROOT; query: (RRC iDoms PP-TMP); print: PP-TMP`,
+	17: `node: $ROOT; query: (UCP-PRD iDoms ADJP-PRD); print: ADJP-PRD`,
+	18: `node: $ROOT; query: (NP[1] iDoms NP[2]) and (NP[2] iDoms NP[3]) and (NP[3] iDoms NP[4]) and (NP[4] iDoms NP[5]); print: NP[5]`,
+	19: `node: $ROOT; query: (VP[1] iDoms VP[2]) and (VP[2] iDoms VP[3]); print: VP[3]`,
+	20: `node: $ROOT; query: (PP iSisterPrecedes SBAR); print: SBAR`,
+	21: `node: $ROOT; query: (ADVP iSisterPrecedes ADJP); print: ADJP`,
+	22: `node: $ROOT; query: (NP[1] iSisterPrecedes NP[2]) and (NP[2] iSisterPrecedes NP[3]); print: NP[3]`,
+	23: `node: $ROOT; query: (VP[1] iSisterPrecedes VP[2]); print: VP[2]`,
+}

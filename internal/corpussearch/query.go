@@ -1,0 +1,408 @@
+// Package corpussearch implements a CorpusSearch-dialect query engine, the
+// second baseline system of the paper's evaluation (Section 5.1.1, [24]).
+//
+// A query names a boundary node and a boolean combination of search-function
+// calls evaluated within the boundary's subtree:
+//
+//	node: VP
+//	query: (VP iDoms VB) and (VB Precedes NN)
+//	print: NN
+//
+// As in CorpusSearch, the same label text denotes the same node everywhere
+// in the query; distinct instances of one label are written with an index
+// (NP[1], NP[2]). Patterns support '*' globs and '|' alternation; words are
+// leaf nodes (so "(IN iDoms of)" tests the word under an IN tag); the
+// special boundary $ROOT searches whole trees. The print: directive selects
+// which variable's bindings are reported (default: the boundary).
+//
+// The engine deliberately has no corpus-level index: every query scans every
+// tree and runs a backtracking search inside each boundary — the algorithmic
+// profile the paper measures for CorpusSearch.
+package corpussearch
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Term is a node variable: a label pattern plus an instance index
+// (NP[2] → Pattern "NP", Index 2; plain NP → Index 0).
+type Term struct {
+	Pattern string
+	Index   int
+}
+
+// String renders the term.
+func (t Term) String() string {
+	if t.Index == 0 {
+		return t.Pattern
+	}
+	return fmt.Sprintf("%s[%d]", t.Pattern, t.Index)
+}
+
+// MatchesLabel reports whether the term's pattern matches a node label.
+// Patterns are '|'-alternations of glob atoms where '*' matches any run.
+func (t Term) MatchesLabel(label string) bool {
+	for _, alt := range strings.Split(t.Pattern, "|") {
+		if globMatch(alt, label) {
+			return true
+		}
+	}
+	return false
+}
+
+func globMatch(pat, s string) bool {
+	// Simple glob: split on '*', require ordered substring matches with
+	// anchored first/last pieces.
+	parts := strings.Split(pat, "*")
+	if len(parts) == 1 {
+		return pat == s
+	}
+	if !strings.HasPrefix(s, parts[0]) {
+		return false
+	}
+	s = s[len(parts[0]):]
+	for i := 1; i < len(parts)-1; i++ {
+		idx := strings.Index(s, parts[i])
+		if idx < 0 {
+			return false
+		}
+		s = s[idx+len(parts[i]):]
+	}
+	return strings.HasSuffix(s, parts[len(parts)-1])
+}
+
+// Fn enumerates the search functions.
+type Fn int
+
+const (
+	FnIDoms Fn = iota // A immediately dominates B
+	FnDoms            // A dominates B
+	FnIPrecedes
+	FnPrecedes
+	FnIDomsFirst    // B is A's first child
+	FnIDomsLast     // B is A's last child
+	FnDomsLeftmost  // B is a left-edge-aligned descendant of A (dialect extension)
+	FnDomsRightmost // B is a right-edge-aligned descendant of A (dialect extension)
+	FnSisterPrecedes
+	FnISisterPrecedes
+	FnHasSister
+	FnExists // unary
+)
+
+var fnNames = map[string]Fn{
+	"idoms": FnIDoms, "doms": FnDoms,
+	"iprecedes": FnIPrecedes, "precedes": FnPrecedes,
+	"idomsfirst": FnIDomsFirst, "idomslast": FnIDomsLast,
+	"domsleftmost": FnDomsLeftmost, "domsrightmost": FnDomsRightmost,
+	"sisterprecedes": FnSisterPrecedes, "isisterprecedes": FnISisterPrecedes,
+	"hassister": FnHasSister, "exists": FnExists,
+}
+
+var fnStrings = map[Fn]string{
+	FnIDoms: "iDoms", FnDoms: "Doms", FnIPrecedes: "iPrecedes", FnPrecedes: "Precedes",
+	FnIDomsFirst: "iDomsFirst", FnIDomsLast: "iDomsLast",
+	FnDomsLeftmost: "DomsLeftmost", FnDomsRightmost: "DomsRightmost",
+	FnSisterPrecedes: "SisterPrecedes", FnISisterPrecedes: "iSisterPrecedes",
+	FnHasSister: "HasSister", FnExists: "Exists",
+}
+
+func (f Fn) String() string { return fnStrings[f] }
+
+// Expr is a boolean query expression.
+type Expr interface{ exprNode() }
+
+// AndE is conjunction; OrE disjunction; NotE negation; Call a binary search
+// function; ExistsE the unary existence test.
+type (
+	AndE struct{ L, R Expr }
+	OrE  struct{ L, R Expr }
+	NotE struct{ X Expr }
+	Call struct {
+		A, B Term
+		Fn   Fn
+	}
+	ExistsE struct{ A Term }
+)
+
+func (*AndE) exprNode()    {}
+func (*OrE) exprNode()     {}
+func (*NotE) exprNode()    {}
+func (*Call) exprNode()    {}
+func (*ExistsE) exprNode() {}
+
+// Query is a parsed CorpusSearch query.
+type Query struct {
+	Boundary Term // $ROOT or a label pattern
+	Print    Term // variable to report; default: the boundary
+	Expr     Expr
+}
+
+// RootBoundary is the node: pattern selecting whole trees.
+const RootBoundary = "$ROOT"
+
+// Parse parses a query consisting of "node:", "query:" and optional
+// "print:" directives separated by newlines or semicolons.
+func Parse(src string) (*Query, error) {
+	q := &Query{}
+	sawNode, sawQuery := false, false
+	for _, line := range splitDirectives(src) {
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("corpussearch: missing ':' in directive %q", line)
+		}
+		key := strings.ToLower(strings.TrimSpace(line[:colon]))
+		val := strings.TrimSpace(line[colon+1:])
+		switch key {
+		case "node":
+			t, rest, err := parseTerm(val)
+			if err != nil || strings.TrimSpace(rest) != "" {
+				return nil, fmt.Errorf("corpussearch: bad node directive %q", val)
+			}
+			q.Boundary = t
+			sawNode = true
+		case "print":
+			t, rest, err := parseTerm(val)
+			if err != nil || strings.TrimSpace(rest) != "" {
+				return nil, fmt.Errorf("corpussearch: bad print directive %q", val)
+			}
+			q.Print = t
+		case "query":
+			p := &qparser{src: val}
+			e, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			p.ws()
+			if p.pos < len(p.src) {
+				return nil, p.errf("trailing input")
+			}
+			q.Expr = e
+			sawQuery = true
+		default:
+			return nil, fmt.Errorf("corpussearch: unknown directive %q", key)
+		}
+	}
+	if !sawNode {
+		return nil, fmt.Errorf("corpussearch: missing node: directive")
+	}
+	if !sawQuery {
+		return nil, fmt.Errorf("corpussearch: missing query: directive")
+	}
+	if q.Print.Pattern == "" {
+		q.Print = q.Boundary
+	}
+	return q, nil
+}
+
+// MustParse is Parse panicking on error.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func splitDirectives(src string) []string {
+	var out []string
+	for _, chunk := range strings.FieldsFunc(src, func(r rune) bool { return r == '\n' || r == ';' }) {
+		if s := strings.TrimSpace(chunk); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+type qparser struct {
+	src string
+	pos int
+}
+
+func (p *qparser) errf(format string, args ...any) error {
+	return fmt.Errorf("corpussearch: %s at offset %d in %q", fmt.Sprintf(format, args...), p.pos, p.src)
+}
+
+func (p *qparser) ws() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\r' {
+			p.pos++
+			continue
+		}
+		return
+	}
+}
+
+func (p *qparser) keyword(kw string) bool {
+	p.ws()
+	if len(p.src)-p.pos < len(kw) {
+		return false
+	}
+	if !strings.EqualFold(p.src[p.pos:p.pos+len(kw)], kw) {
+		return false
+	}
+	rest := p.src[p.pos+len(kw):]
+	if rest != "" {
+		r, _ := utf8.DecodeRuneInString(rest)
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			return false
+		}
+	}
+	p.pos += len(kw)
+	return true
+}
+
+func (p *qparser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &OrE{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *qparser) parseAnd() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("and") {
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &AndE{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *qparser) parseUnary() (Expr, error) {
+	p.ws()
+	if p.keyword("not") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NotE{X: inner}, nil
+	}
+	if p.pos < len(p.src) && p.src[p.pos] == '!' {
+		p.pos++
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NotE{X: inner}, nil
+	}
+	if p.pos >= len(p.src) || p.src[p.pos] != '(' {
+		return nil, p.errf("expected '('")
+	}
+	p.pos++
+	// Either a grouped expression or a function call; distinguish by
+	// attempting a call first.
+	save := p.pos
+	if call, err := p.parseCall(); err == nil {
+		return call, nil
+	}
+	p.pos = save
+	inner, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+		return nil, p.errf("expected ')'")
+	}
+	p.pos++
+	return inner, nil
+}
+
+// parseCall parses "A fn B)" or "A Exists)" with the opening paren already
+// consumed.
+func (p *qparser) parseCall() (Expr, error) {
+	p.ws()
+	a, rest, err := parseTerm(p.src[p.pos:])
+	if err != nil {
+		return nil, p.errf("expected term")
+	}
+	p.pos = len(p.src) - len(rest)
+	p.ws()
+	start := p.pos
+	for p.pos < len(p.src) {
+		r, sz := utf8.DecodeRuneInString(p.src[p.pos:])
+		if !unicode.IsLetter(r) {
+			break
+		}
+		p.pos += sz
+	}
+	fnName := strings.ToLower(p.src[start:p.pos])
+	fn, ok := fnNames[fnName]
+	if !ok {
+		return nil, p.errf("unknown search function %q", p.src[start:p.pos])
+	}
+	if fn == FnExists {
+		p.ws()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, p.errf("expected ')'")
+		}
+		p.pos++
+		return &ExistsE{A: a}, nil
+	}
+	p.ws()
+	b, rest, err := parseTerm(p.src[p.pos:])
+	if err != nil {
+		return nil, p.errf("expected second term")
+	}
+	p.pos = len(p.src) - len(rest)
+	p.ws()
+	if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+		return nil, p.errf("expected ')'")
+	}
+	p.pos++
+	return &Call{A: a, B: b, Fn: fn}, nil
+}
+
+// parseTerm parses a label pattern with optional [index] suffix from the
+// front of s, returning the remainder.
+func parseTerm(s string) (Term, string, error) {
+	i := 0
+	for i < len(s) {
+		r, sz := utf8.DecodeRuneInString(s[i:])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) ||
+			r == '-' || r == '_' || r == '*' || r == '|' || r == '$' ||
+			r == '.' || r == '\'' || r == '+' {
+			i += sz
+			continue
+		}
+		break
+	}
+	if i == 0 {
+		return Term{}, s, fmt.Errorf("empty term")
+	}
+	t := Term{Pattern: s[:i]}
+	s = s[i:]
+	if strings.HasPrefix(s, "[") {
+		end := strings.IndexByte(s, ']')
+		if end < 0 {
+			return Term{}, s, fmt.Errorf("unterminated index")
+		}
+		n := 0
+		for _, c := range s[1:end] {
+			if c < '0' || c > '9' {
+				return Term{}, s, fmt.Errorf("bad index")
+			}
+			n = n*10 + int(c-'0')
+		}
+		t.Index = n
+		s = s[end+1:]
+	}
+	return t, s, nil
+}

@@ -1,0 +1,485 @@
+// Package engine is the LPath query engine of Section 4 of the paper: it
+// evaluates LPath queries over the interval-labeled relational store by
+// translating each location step into an index-assisted join against the
+// node relation.
+//
+// Every axis becomes a sargable range over a clustered name scan (Table 2):
+// descendant probes left ∈ [c.left, c.right), immediate-following probes
+// left = c.right, the sibling axes probe the {tid, pid} index, and the
+// vertical reverse axes walk the pid chain. Value predicates ([@lex=w]) can
+// drive a step from the {value, tid, id} secondary index instead of the name
+// scan, which is what makes high-selectivity word lookups fast (Section 5.2).
+//
+// The engine must agree exactly with the reference tree-walking evaluator
+// (package treeval); the cross-validation tests enforce this.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"lpath/internal/label"
+	"lpath/internal/lpath"
+	"lpath/internal/relstore"
+	"lpath/internal/tree"
+)
+
+// Engine evaluates LPath queries against an interval-labeled store.
+type Engine struct {
+	s *relstore.Store
+	// disableValueIndex turns off the value-index access path; used by the
+	// ablation benchmarks.
+	disableValueIndex bool
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithoutValueIndex disables the {value, tid, id} access path so every step
+// is driven by name scans; used to measure the value index's contribution.
+func WithoutValueIndex() Option {
+	return func(e *Engine) { e.disableValueIndex = true }
+}
+
+// New creates an engine over the store, which must use the interval scheme.
+func New(s *relstore.Store, opts ...Option) (*Engine, error) {
+	if s.Scheme() != relstore.SchemeInterval {
+		return nil, fmt.Errorf("engine: store uses %v labels; the LPath engine requires the interval scheme", s.Scheme())
+	}
+	e := &Engine{s: s}
+	for _, o := range opts {
+		o(e)
+	}
+	return e, nil
+}
+
+// Match is one query result: a node within a tree.
+type Match struct {
+	TreeID int
+	Node   *tree.Node
+}
+
+const noRow = int32(-1)
+
+// bind is one tuple of the running join: the current context row and the
+// innermost subtree-scope row (noRow = the virtual super-root / no scope).
+type bind struct {
+	row   int32
+	scope int32
+}
+
+// Eval evaluates the query over the whole corpus and returns the distinct
+// matches of the final step in (tree, document) order.
+func (e *Engine) Eval(p *lpath.Path) ([]Match, error) {
+	if err := lpath.Validate(p); err != nil {
+		return nil, err
+	}
+	binds, err := e.evalPath(p, []bind{{row: noRow, scope: noRow}})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]int32, 0, len(binds))
+	seen := make(map[int32]bool, len(binds))
+	for _, b := range binds {
+		if b.row != noRow && !seen[b.row] {
+			seen[b.row] = true
+			rows = append(rows, b.row)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := e.s.Row(rows[i]), e.s.Row(rows[j])
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		return a.ID < b.ID // ids are preorder: document order
+	})
+	out := make([]Match, 0, len(rows))
+	for _, ri := range rows {
+		r := e.s.Row(ri)
+		out = append(out, Match{TreeID: int(r.TID), Node: e.s.NodeFor(r)})
+	}
+	return out, nil
+}
+
+// Count returns the number of distinct matches.
+func (e *Engine) Count(p *lpath.Path) (int, error) {
+	ms, err := e.Eval(p)
+	return len(ms), err
+}
+
+// evalPath runs the join pipeline for one relative path.
+func (e *Engine) evalPath(p *lpath.Path, binds []bind) ([]bind, error) {
+	var err error
+	for i := range p.Steps {
+		binds, err = e.evalStep(&p.Steps[i], binds)
+		if err != nil {
+			return nil, err
+		}
+		if len(binds) == 0 {
+			return nil, nil
+		}
+	}
+	if p.Scoped != nil {
+		// Open a subtree scope at each current node and evaluate the tail.
+		scoped := make([]bind, 0, len(binds))
+		for _, b := range binds {
+			row := b.row
+			if row == noRow {
+				// Scope on the virtual root: evaluate per tree root.
+				for _, ri := range e.s.Roots() {
+					scoped = append(scoped, bind{row: ri, scope: ri})
+				}
+				continue
+			}
+			scoped = append(scoped, bind{row: row, scope: row})
+		}
+		return e.evalPath(p.Scoped, dedup(scoped))
+	}
+	return binds, nil
+}
+
+// evalStep performs one join step: for every context binding, probe the
+// store for candidate rows on the axis, then filter by scope, alignment and
+// predicates.
+func (e *Engine) evalStep(step *lpath.Step, binds []bind) ([]bind, error) {
+	if step.Axis == lpath.AxisAttribute {
+		return nil, lpath.ErrAttrInMainPath
+	}
+	positional := step.HasPositional()
+	var vd *valueDriver
+	if positional {
+		// The value-index shortcut would reorder the predicate pipeline
+		// and corrupt position(); fall back to axis probes.
+		vd = &valueDriver{}
+	} else {
+		vd = e.valueDriver(step)
+	}
+	var out []bind
+	// A single binding's probe already yields distinct rows, so the
+	// cross-binding dedup map is only needed for fan-in — predicates
+	// evaluate paths from one binding at a time and skip it entirely.
+	var seen map[bind]bool
+	if len(binds) > 1 {
+		seen = make(map[bind]bool)
+	}
+	for _, b := range binds {
+		var cands []int32
+		useValue := vd.ok && e.valueWorthwhile(step, b, vd.postings)
+		if useValue {
+			cands = e.filterByAxis(vd.candidates(e), step, b)
+		} else {
+			cands = e.axisCandidates(step, b)
+		}
+		skip := ""
+		if useValue {
+			skip = vd.value
+		}
+		// Static filters: subtree scope and edge alignment.
+		filtered := cands[:0:0]
+		for _, ci := range cands {
+			ok := e.staticAccept(step, b, ci)
+			if ok {
+				filtered = append(filtered, ci)
+			}
+		}
+		// Positional ordering: document order (preorder ids), reversed for
+		// the reverse axes.
+		if positional {
+			sort.Slice(filtered, func(i, j int) bool {
+				return e.s.Row(filtered[i]).ID < e.s.Row(filtered[j]).ID
+			})
+			if lpath.ReverseAxis(step.Axis) {
+				for i, j := 0, len(filtered)-1; i < j; i, j = i+1, j-1 {
+					filtered[i], filtered[j] = filtered[j], filtered[i]
+				}
+			}
+		}
+		// Predicate pipeline with positional context.
+		for _, pred := range step.Preds {
+			if skip != "" {
+				if cmp, ok := pred.(*lpath.CmpExpr); ok && isDirectEq(cmp) && cmp.Value == skip {
+					continue // already satisfied by the value-index probe
+				}
+			}
+			var err error
+			filtered, err = e.filterPred(pred, b.scope, filtered)
+			if err != nil {
+				return nil, err
+			}
+			if len(filtered) == 0 {
+				break
+			}
+		}
+		for _, ci := range filtered {
+			nb := bind{row: ci, scope: b.scope}
+			if seen != nil {
+				if seen[nb] {
+					continue
+				}
+				seen[nb] = true
+			}
+			out = append(out, nb)
+		}
+	}
+	return out, nil
+}
+
+// filterPred keeps the candidates satisfying one predicate, supplying the
+// positional context.
+func (e *Engine) filterPred(pred lpath.Expr, scope int32, cands []int32) ([]int32, error) {
+	out := cands[:0:0]
+	size := len(cands)
+	for i, ci := range cands {
+		ok, err := e.evalExpr(pred, bind{row: ci, scope: scope}, i+1, size)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, ci)
+		}
+	}
+	return out, nil
+}
+
+// valueWorthwhile decides, per binding, whether driving the step from the
+// value index beats an axis probe: always from the virtual root (the probe
+// would scan the whole name range), and otherwise only when the posting
+// list is smaller than the context's subtree — the cost trade-off the
+// paper's optimizer resolves with relational statistics.
+func (e *Engine) valueWorthwhile(step *lpath.Step, b bind, postings int) bool {
+	if b.row == noRow {
+		return true
+	}
+	switch step.Axis {
+	case lpath.AxisDescendant, lpath.AxisDescendantOrSelf:
+		ctx := e.s.Row(b.row)
+		// A subtree over k terminals has at most ~2k nodes of interest.
+		return postings < 2*int(ctx.Right-ctx.Left)
+	default:
+		// Other axes have cheap dedicated probes.
+		return false
+	}
+}
+
+// staticAccept applies the scope constraint and edge alignment to a
+// candidate row; predicates run afterwards in the positional pipeline.
+func (e *Engine) staticAccept(step *lpath.Step, b bind, ci int32) bool {
+	cand := e.s.Row(ci)
+	cl := rowLabel(cand)
+	if b.scope != noRow {
+		sc := e.s.Row(b.scope)
+		if sc.TID != cand.TID || !label.InScope(cl, rowLabel(sc)) {
+			return false
+		}
+	}
+	if step.LeftAlign || step.RightAlign {
+		ref := e.alignRef(b, cand.TID)
+		if ref == noRow {
+			return false
+		}
+		rl := rowLabel(e.s.Row(ref))
+		if step.LeftAlign && !label.IsLeftAligned(cl, rl) {
+			return false
+		}
+		if step.RightAlign && !label.IsRightAligned(cl, rl) {
+			return false
+		}
+	}
+	return true
+}
+
+// alignRef resolves the node that ^/$ compare against: the innermost scope,
+// else the context node, else (from the virtual root) the candidate's tree
+// root.
+func (e *Engine) alignRef(b bind, candTID int32) int32 {
+	if b.scope != noRow {
+		return b.scope
+	}
+	if b.row != noRow {
+		return b.row
+	}
+	return e.rootOf(candTID)
+}
+
+func (e *Engine) rootOf(tid int32) int32 {
+	roots := e.s.Roots()
+	i := sort.Search(len(roots), func(i int) bool { return e.s.Row(roots[i]).TID >= tid })
+	if i < len(roots) && e.s.Row(roots[i]).TID == tid {
+		return roots[i]
+	}
+	return noRow
+}
+
+func rowLabel(r *relstore.Row) label.Label {
+	return label.Label{Left: r.Left, Right: r.Right, Depth: r.Depth, ID: r.ID, PID: r.PID}
+}
+
+// isDirectEq reports whether the expression is a direct equality comparison
+// on an attribute of the context node, e.g. @lex=saw.
+func isDirectEq(c *lpath.CmpExpr) bool {
+	if c.Op != "=" || c.Path.Scoped != nil || len(c.Path.Steps) != 1 {
+		return false
+	}
+	return c.Path.Steps[0].Axis == lpath.AxisAttribute
+}
+
+// valueDriver describes the value-index access path for a step: whether a
+// direct @attr=value predicate makes it available, the posting-list size
+// (for the cost decision), and a memoized candidate materialization so the
+// posting→element mapping is computed at most once per step evaluation.
+type valueDriver struct {
+	ok       bool
+	value    string
+	attrName string
+	postings int
+	step     *lpath.Step
+	rows     []int32
+	rowsSet  bool
+}
+
+// valueDriver inspects the step's predicates for a usable value-index
+// access path.
+func (e *Engine) valueDriver(step *lpath.Step) *valueDriver {
+	vd := &valueDriver{step: step}
+	if e.disableValueIndex {
+		return vd
+	}
+	for _, pred := range step.Preds {
+		cmp, ok := pred.(*lpath.CmpExpr)
+		if !ok || !isDirectEq(cmp) {
+			continue
+		}
+		postings := e.s.ByValue(cmp.Value)
+		nameCost := e.s.NameCount(step.Test)
+		if step.Wildcard() {
+			nameCost = e.s.ElementCount()
+		}
+		if len(postings) >= nameCost {
+			continue
+		}
+		vd.ok = true
+		vd.value = cmp.Value
+		vd.attrName = "@" + cmp.Path.Steps[0].Test
+		vd.postings = len(postings)
+		return vd
+	}
+	return vd
+}
+
+// candidates materializes (once) the element rows carrying the driving
+// attribute value and satisfying the node test.
+func (vd *valueDriver) candidates(e *Engine) []int32 {
+	if vd.rowsSet {
+		return vd.rows
+	}
+	vd.rowsSet = true
+	postings := e.s.ByValue(vd.value)
+	cands := make([]int32, 0, len(postings))
+	for _, pi := range postings {
+		ar := e.s.Row(pi)
+		if ar.Name != vd.attrName {
+			continue
+		}
+		ei, ok := e.s.ElementByID(ar.TID, ar.ID)
+		if !ok {
+			continue
+		}
+		if !vd.step.Wildcard() && e.s.Row(ei).Name != vd.step.Test {
+			continue
+		}
+		cands = append(cands, ei)
+	}
+	vd.rows = cands
+	return cands
+}
+
+// filterByAxis filters a precomputed candidate list by the axis relation to
+// the context binding.
+func (e *Engine) filterByAxis(cands []int32, step *lpath.Step, b bind) []int32 {
+	if b.row == noRow {
+		switch step.Axis {
+		case lpath.AxisDescendant, lpath.AxisDescendantOrSelf:
+			return cands
+		case lpath.AxisChild:
+			out := cands[:0:0]
+			for _, ci := range cands {
+				if e.s.Row(ci).PID == 0 {
+					out = append(out, ci)
+				}
+			}
+			return out
+		default:
+			return nil
+		}
+	}
+	ctx := e.s.Row(b.row)
+	cl := rowLabel(ctx)
+	out := cands[:0:0]
+	for _, ci := range cands {
+		r := e.s.Row(ci)
+		if r.TID != ctx.TID {
+			continue
+		}
+		if axisHolds(step.Axis, rowLabel(r), cl) {
+			out = append(out, ci)
+		}
+	}
+	return out
+}
+
+// axisHolds evaluates the Table 2 label predicate for the axis.
+func axisHolds(axis lpath.Axis, x, c label.Label) bool {
+	switch axis {
+	case lpath.AxisSelf:
+		return label.IsSelf(x, c)
+	case lpath.AxisChild:
+		return label.IsChild(x, c)
+	case lpath.AxisParent:
+		return label.IsParent(x, c)
+	case lpath.AxisDescendant:
+		return label.IsDescendant(x, c)
+	case lpath.AxisDescendantOrSelf:
+		return label.IsDescendantOrSelf(x, c)
+	case lpath.AxisAncestor:
+		return label.IsAncestor(x, c)
+	case lpath.AxisAncestorOrSelf:
+		return label.IsAncestorOrSelf(x, c)
+	case lpath.AxisFollowing:
+		return label.IsFollowing(x, c)
+	case lpath.AxisFollowingOrSelf:
+		return label.IsSelf(x, c) || label.IsFollowing(x, c)
+	case lpath.AxisImmediateFollowing:
+		return label.IsImmediateFollowing(x, c)
+	case lpath.AxisPreceding:
+		return label.IsPreceding(x, c)
+	case lpath.AxisPrecedingOrSelf:
+		return label.IsSelf(x, c) || label.IsPreceding(x, c)
+	case lpath.AxisImmediatePreceding:
+		return label.IsImmediatePreceding(x, c)
+	case lpath.AxisFollowingSibling:
+		return label.IsFollowingSibling(x, c)
+	case lpath.AxisFollowingSiblingOrSelf:
+		return label.IsSelf(x, c) || label.IsFollowingSibling(x, c)
+	case lpath.AxisImmediateFollowingSibling:
+		return label.IsImmediateFollowingSibling(x, c)
+	case lpath.AxisPrecedingSibling:
+		return label.IsPrecedingSibling(x, c)
+	case lpath.AxisPrecedingSiblingOrSelf:
+		return label.IsSelf(x, c) || label.IsPrecedingSibling(x, c)
+	case lpath.AxisImmediatePrecedingSibling:
+		return label.IsImmediatePrecedingSibling(x, c)
+	}
+	return false
+}
+
+func dedup(binds []bind) []bind {
+	seen := make(map[bind]bool, len(binds))
+	out := binds[:0:0]
+	for _, b := range binds {
+		if !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,427 @@
+package engine
+
+import (
+	"sort"
+
+	"lpath/internal/lpath"
+	"lpath/internal/relstore"
+)
+
+// This file implements the index probes: for each axis, how candidate rows
+// are retrieved from the clustered relation using sargable ranges, per the
+// Table 2 label comparisons.
+
+// axisCandidates returns the rows reachable from the binding's context along
+// the step's axis that satisfy the node test. Scope, alignment and
+// predicates are applied later.
+func (e *Engine) axisCandidates(step *lpath.Step, b bind) []int32 {
+	if b.row == noRow {
+		return e.virtualRootCandidates(step)
+	}
+	ctx := e.s.Row(b.row)
+	// Subtree scoping is a sargable conjunct (Section 2.2.2): clamp the
+	// horizontal range probes to the scope's span instead of filtering
+	// afterwards.
+	clampL, clampR := int32(0), maxInt32
+	if b.scope != noRow {
+		sc := e.s.Row(b.scope)
+		clampL, clampR = sc.Left, sc.Right
+	}
+	maxLeft := clampR - 1 // a scoped node's left is at most scope.right-1
+	switch step.Axis {
+	case lpath.AxisSelf:
+		if step.Wildcard() || ctx.Name == step.Test {
+			return []int32{b.row}
+		}
+		return nil
+
+	case lpath.AxisChild:
+		return e.filterName(e.s.Children(ctx.TID, ctx.ID), step)
+
+	case lpath.AxisParent:
+		if ctx.PID == 0 {
+			return nil
+		}
+		pi, ok := e.s.ElementByID(ctx.TID, ctx.PID)
+		if !ok {
+			return nil
+		}
+		return e.filterName([]int32{pi}, step)
+
+	case lpath.AxisAncestor, lpath.AxisAncestorOrSelf:
+		// Walk the pid chain; depth is bounded by the tree height.
+		var out []int32
+		cur := b.row
+		if step.Axis == lpath.AxisAncestor {
+			r := e.s.Row(cur)
+			if r.PID == 0 {
+				return nil
+			}
+			next, ok := e.s.ElementByID(r.TID, r.PID)
+			if !ok {
+				return nil
+			}
+			cur = next
+		}
+		for {
+			r := e.s.Row(cur)
+			if step.Wildcard() || r.Name == step.Test {
+				out = append(out, cur)
+			}
+			if r.PID == 0 {
+				break
+			}
+			next, ok := e.s.ElementByID(r.TID, r.PID)
+			if !ok {
+				break
+			}
+			cur = next
+		}
+		return out
+
+	case lpath.AxisDescendant, lpath.AxisDescendantOrSelf:
+		// left ∈ [c.left, c.right) over the (tid, left)-ordered scan,
+		// filtered by right ≤ c.right and the depth comparison.
+		orSelf := step.Axis == lpath.AxisDescendantOrSelf
+		return e.scanLeftRange(step, ctx.TID, ctx.Left, ctx.Right-1, func(r *relstore.Row) bool {
+			if r.Right > ctx.Right {
+				return false
+			}
+			if orSelf {
+				return r.Depth >= ctx.Depth
+			}
+			return r.Depth > ctx.Depth
+		})
+
+	case lpath.AxisImmediateFollowing:
+		// left = c.right.
+		return e.scanLeftRange(step, ctx.TID, ctx.Right, minInt32Of(ctx.Right, maxLeft), nil)
+
+	case lpath.AxisFollowing:
+		// left ≥ c.right (clamped to the scope's span).
+		return e.scanLeftRange(step, ctx.TID, ctx.Right, maxLeft, nil)
+
+	case lpath.AxisFollowingOrSelf:
+		out := e.scanLeftRange(step, ctx.TID, ctx.Right, maxLeft, nil)
+		if step.Wildcard() || ctx.Name == step.Test {
+			out = append(out, b.row)
+		}
+		return out
+
+	case lpath.AxisImmediatePreceding:
+		// right = c.left.
+		return e.scanRightRange(step, ctx.TID, ctx.Left, ctx.Left, nil)
+
+	case lpath.AxisPreceding:
+		// right ≤ c.left; a scoped node's right is at least scope.left+1.
+		return e.scanRightRange(step, ctx.TID, clampL+1, ctx.Left, nil)
+
+	case lpath.AxisPrecedingOrSelf:
+		out := e.scanRightRange(step, ctx.TID, clampL+1, ctx.Left, nil)
+		if step.Wildcard() || ctx.Name == step.Test {
+			out = append(out, b.row)
+		}
+		return out
+
+	case lpath.AxisImmediateFollowingSibling:
+		return e.siblingCandidates(step, ctx, func(r *relstore.Row) bool { return r.Left == ctx.Right })
+
+	case lpath.AxisFollowingSibling:
+		return e.siblingCandidates(step, ctx, func(r *relstore.Row) bool { return r.Left >= ctx.Right })
+
+	case lpath.AxisFollowingSiblingOrSelf:
+		out := e.siblingCandidates(step, ctx, func(r *relstore.Row) bool { return r.Left >= ctx.Right })
+		if step.Wildcard() || ctx.Name == step.Test {
+			out = append(out, b.row)
+		}
+		return out
+
+	case lpath.AxisImmediatePrecedingSibling:
+		return e.siblingCandidates(step, ctx, func(r *relstore.Row) bool { return r.Right == ctx.Left })
+
+	case lpath.AxisPrecedingSibling:
+		return e.siblingCandidates(step, ctx, func(r *relstore.Row) bool { return r.Right <= ctx.Left })
+
+	case lpath.AxisPrecedingSiblingOrSelf:
+		out := e.siblingCandidates(step, ctx, func(r *relstore.Row) bool { return r.Right <= ctx.Left })
+		if step.Wildcard() || ctx.Name == step.Test {
+			out = append(out, b.row)
+		}
+		return out
+	}
+	return nil
+}
+
+const maxInt32 = int32(1<<31 - 1)
+
+func minInt32Of(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// virtualRootCandidates handles the first step of a query, whose context is
+// the virtual super-root above every tree root.
+func (e *Engine) virtualRootCandidates(step *lpath.Step) []int32 {
+	switch step.Axis {
+	case lpath.AxisChild:
+		return e.filterName(e.s.Roots(), step)
+	case lpath.AxisDescendant, lpath.AxisDescendantOrSelf:
+		if step.Wildcard() {
+			return e.s.ElementsByLeft()
+		}
+		lo, hi, ok := e.s.NameRange(step.Test)
+		if !ok {
+			return nil
+		}
+		out := make([]int32, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			out = append(out, i)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// filterName filters a row-index list by the step's node test.
+func (e *Engine) filterName(rows []int32, step *lpath.Step) []int32 {
+	if step.Wildcard() {
+		return rows
+	}
+	out := rows[:0:0]
+	for _, ri := range rows {
+		if e.s.Row(ri).Name == step.Test {
+			out = append(out, ri)
+		}
+	}
+	return out
+}
+
+// scanLeftRange returns rows with the step's name whose left ∈ [lo, hi]
+// within tid, additionally filtered by keep (may be nil). It binary-searches
+// the clustered name range (or the whole-relation document order for
+// wildcards), so the probe costs O(log n + results).
+func (e *Engine) scanLeftRange(step *lpath.Step, tid, lo, hi int32, keep func(*relstore.Row) bool) []int32 {
+	if hi < lo {
+		return nil
+	}
+	if step.Wildcard() {
+		idxs := e.s.ElementsByLeft()
+		start := sort.Search(len(idxs), func(i int) bool {
+			r := e.s.Row(idxs[i])
+			return r.TID > tid || (r.TID == tid && r.Left >= lo)
+		})
+		var out []int32
+		for i := start; i < len(idxs); i++ {
+			r := e.s.Row(idxs[i])
+			if r.TID != tid || r.Left > hi {
+				break
+			}
+			if keep == nil || keep(r) {
+				out = append(out, idxs[i])
+			}
+		}
+		return out
+	}
+	rlo, rhi, ok := e.s.NameRange(step.Test)
+	if !ok {
+		return nil
+	}
+	n := int(rhi - rlo)
+	start := sort.Search(n, func(i int) bool {
+		r := e.s.Row(rlo + int32(i))
+		return r.TID > tid || (r.TID == tid && r.Left >= lo)
+	})
+	var out []int32
+	for i := start; i < n; i++ {
+		ri := rlo + int32(i)
+		r := e.s.Row(ri)
+		if r.TID != tid || r.Left > hi {
+			break
+		}
+		if keep == nil || keep(r) {
+			out = append(out, ri)
+		}
+	}
+	return out
+}
+
+// scanRightRange returns rows with the step's name whose right ∈ [lo, hi]
+// within tid, using the (tid, right)-ordered secondary ordering.
+func (e *Engine) scanRightRange(step *lpath.Step, tid, lo, hi int32, keep func(*relstore.Row) bool) []int32 {
+	if hi < lo {
+		return nil
+	}
+	var idxs []int32
+	if step.Wildcard() {
+		idxs = e.s.ElementsByRight()
+	} else {
+		idxs = e.s.NameByRight(step.Test)
+	}
+	start := sort.Search(len(idxs), func(i int) bool {
+		r := e.s.Row(idxs[i])
+		return r.TID > tid || (r.TID == tid && r.Right >= lo)
+	})
+	var out []int32
+	for i := start; i < len(idxs); i++ {
+		r := e.s.Row(idxs[i])
+		if r.TID != tid || r.Right > hi {
+			break
+		}
+		if keep == nil || keep(r) {
+			out = append(out, idxs[i])
+		}
+	}
+	return out
+}
+
+// siblingCandidates probes the {tid, pid} index and filters by the given
+// span relation and the node test.
+func (e *Engine) siblingCandidates(step *lpath.Step, ctx *relstore.Row, rel func(*relstore.Row) bool) []int32 {
+	sibs := e.s.Children(ctx.TID, ctx.PID)
+	var out []int32
+	for _, si := range sibs {
+		if si == noRow {
+			continue
+		}
+		r := e.s.Row(si)
+		if r.ID == ctx.ID {
+			continue
+		}
+		if !rel(r) {
+			continue
+		}
+		if !step.Wildcard() && r.Name != step.Test {
+			continue
+		}
+		out = append(out, si)
+	}
+	return out
+}
+
+// --- predicate evaluation ------------------------------------------------
+
+func (e *Engine) evalExpr(x lpath.Expr, b bind, pos, size int) (bool, error) {
+	switch ex := x.(type) {
+	case *lpath.AndExpr:
+		ok, err := e.evalExpr(ex.L, b, pos, size)
+		if err != nil || !ok {
+			return false, err
+		}
+		return e.evalExpr(ex.R, b, pos, size)
+	case *lpath.OrExpr:
+		ok, err := e.evalExpr(ex.L, b, pos, size)
+		if err != nil || ok {
+			return ok, err
+		}
+		return e.evalExpr(ex.R, b, pos, size)
+	case *lpath.NotExpr:
+		ok, err := e.evalExpr(ex.X, b, pos, size)
+		return !ok, err
+	case *lpath.PathExpr:
+		return e.evalExistential(ex.Path, b, "", "")
+	case *lpath.CmpExpr:
+		return e.evalExistential(ex.Path, b, ex.Op, ex.Value)
+	case *lpath.PositionExpr:
+		rhs := ex.Value
+		if ex.Last {
+			rhs = size
+		}
+		return lpath.CompareInts(pos, ex.Op, rhs), nil
+	case *lpath.LastExpr:
+		return pos == size, nil
+	case *lpath.CountExpr:
+		matches, err := e.evalPath(ex.Path, []bind{b})
+		if err != nil {
+			return false, err
+		}
+		return lpath.CompareInts(len(matches), ex.Op, ex.Value), nil
+	case *lpath.StrFnExpr:
+		return e.evalStrFn(ex, b)
+	}
+	return false, nil
+}
+
+// evalStrFn evaluates contains/starts-with/ends-with over the attribute
+// values reached by the path.
+func (e *Engine) evalStrFn(x *lpath.StrFnExpr, b bind) (bool, error) {
+	head, attr, err := lpath.SplitAttr(x.Path)
+	if err != nil {
+		return false, err
+	}
+	if attr == "" {
+		return false, lpath.ErrCmpNeedsAttr
+	}
+	var elems []bind
+	if head == nil {
+		elems = []bind{b}
+	} else {
+		elems, err = e.evalPath(head, []bind{b})
+		if err != nil {
+			return false, err
+		}
+	}
+	attrName := "@" + attr
+	for _, eb := range elems {
+		if eb.row == noRow {
+			continue
+		}
+		r := e.s.Row(eb.row)
+		if v, ok := e.s.AttrValue(r.TID, r.ID, attrName); ok && lpath.StrFn(x.Fn, v, x.Arg) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// evalExistential implements existence predicates and attribute
+// comparisons: it evaluates the path from the binding and checks whether any
+// reached element (and, for comparisons, its attribute value) satisfies the
+// test.
+func (e *Engine) evalExistential(p *lpath.Path, b bind, op, value string) (bool, error) {
+	head, attr, err := lpath.SplitAttr(p)
+	if err != nil {
+		return false, err
+	}
+	if op != "" && attr == "" {
+		return false, lpath.ErrCmpNeedsAttr
+	}
+	var elems []bind
+	if head == nil {
+		elems = []bind{b}
+	} else {
+		elems, err = e.evalPath(head, []bind{b})
+		if err != nil {
+			return false, err
+		}
+	}
+	if attr == "" {
+		return len(elems) > 0, nil
+	}
+	attrName := "@" + attr
+	for _, eb := range elems {
+		if eb.row == noRow {
+			continue
+		}
+		r := e.s.Row(eb.row)
+		v, ok := e.s.AttrValue(r.TID, r.ID, attrName)
+		if !ok {
+			continue
+		}
+		switch op {
+		case "":
+			return true, nil
+		case "=":
+			if v == value {
+				return true, nil
+			}
+		case "!=":
+			if v != value {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,248 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lpath/internal/lpath"
+	"lpath/internal/relstore"
+	"lpath/internal/tree"
+)
+
+// Query-level semantic properties, checked on random corpora: laws the
+// language definition implies, independent of any particular evaluation
+// strategy.
+
+func buildEngine(t *testing.T, c *tree.Corpus) *Engine {
+	t.Helper()
+	e, err := New(relstore.Build(c, relstore.SchemeInterval))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func matchSet(t *testing.T, e *Engine, q string) map[Match]bool {
+	t.Helper()
+	ms, err := e.Eval(lpath.MustParse(q))
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	set := make(map[Match]bool, len(ms))
+	for _, m := range ms {
+		set[m] = true
+	}
+	return set
+}
+
+func subset(a, b map[Match]bool) bool {
+	for m := range a {
+		if !b[m] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalSet(a, b map[Match]bool) bool {
+	return len(a) == len(b) && subset(a, b)
+}
+
+// TestPropertyClosureLaws checks that each closure axis equals the union of
+// iterated primitive steps, up to the corpus diameter.
+func TestPropertyClosureLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		e := buildEngine(t, randomCorpus(seed, 3))
+		// following == immediate-following iterated: //X-->_ equals the
+		// union of //X(->_)^k for k = 1..diameter. Verify both directions
+		// via subset checks with a generous k.
+		closure := matchSet(t, e, `//NP-->_`)
+		iterated := map[Match]bool{}
+		q := `//NP`
+		for k := 0; k < 14; k++ {
+			q += `->_`
+			for m := range matchSet(t, e, q) {
+				iterated[m] = true
+			}
+		}
+		if !equalSet(closure, iterated) {
+			t.Logf("seed %d: following ≠ ∪ immediate-following^k (%d vs %d)",
+				seed, len(closure), len(iterated))
+			return false
+		}
+		// descendant == child iterated.
+		closure = matchSet(t, e, `//S//_`)
+		iterated = map[Match]bool{}
+		q = `//S`
+		for k := 0; k < 10; k++ {
+			q += `/_`
+			for m := range matchSet(t, e, q) {
+				iterated[m] = true
+			}
+		}
+		if !equalSet(closure, iterated) {
+			t.Logf("seed %d: descendant ≠ ∪ child^k", seed)
+			return false
+		}
+		// following-sibling == immediate-following-sibling iterated.
+		closure = matchSet(t, e, `//V==>_`)
+		iterated = map[Match]bool{}
+		q = `//V`
+		for k := 0; k < 8; k++ {
+			q += `=>_`
+			for m := range matchSet(t, e, q) {
+				iterated[m] = true
+			}
+		}
+		if !equalSet(closure, iterated) {
+			t.Logf("seed %d: following-sibling ≠ ∪ immediate^k", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyInverseAxes checks that reverse axes are the inverses of the
+// forward ones: x ∈ //A->B  iff some b matched with a as its <- partner.
+func TestPropertyInverseAxes(t *testing.T) {
+	f := func(seed int64) bool {
+		e := buildEngine(t, randomCorpus(seed, 3))
+		pairs := []struct{ fwd, rev string }{
+			{`//V->NP`, `//NP[<-V]`},
+			{`//V-->NP`, `//NP[<--V]`},
+			{`//V=>NP`, `//NP[<=V]`},
+			{`//V==>NP`, `//NP[<==V]`},
+			{`//V/NP`, `//NP[\V]`},
+			{`//V//NP`, `//NP[\\V]`},
+		}
+		for _, p := range pairs {
+			if !equalSet(matchSet(t, e, p.fwd), matchSet(t, e, p.rev)) {
+				t.Logf("seed %d: %s ≠ %s", seed, p.fwd, p.rev)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyScopeMonotone checks that scoping and alignment only shrink
+// result sets, and that scoped results are exactly the unscoped ones within
+// the scope subtree.
+func TestPropertyScopeMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		e := buildEngine(t, randomCorpus(seed, 3))
+		pairs := []struct{ narrow, wide string }{
+			{`//VP{/V-->N}`, `//VP/V-->N`},
+			{`//VP{//NP}`, `//VP//NP`},
+			{`//VP{//NP$}`, `//VP{//NP}`},
+			{`//VP{//^NP}`, `//VP{//NP}`},
+			{`//S{//V->_}`, `//S//V->_`},
+		}
+		for _, p := range pairs {
+			if !subset(matchSet(t, e, p.narrow), matchSet(t, e, p.wide)) {
+				t.Logf("seed %d: %s ⊄ %s", seed, p.narrow, p.wide)
+				return false
+			}
+		}
+		// Scoping a vertical-only navigation is a no-op: descendants are
+		// always inside the subtree.
+		if !equalSet(matchSet(t, e, `//VP{//NP}`), matchSet(t, e, `//VP//NP`)) {
+			t.Logf("seed %d: vertical scope not a no-op", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPredicateLaws checks boolean-algebra laws of predicates.
+func TestPropertyPredicateLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		e := buildEngine(t, randomCorpus(seed, 3))
+		// Excluded middle: [p] ∪ [not(p)] = everything; intersection empty.
+		withP := matchSet(t, e, `//NP[//Det]`)
+		withoutP := matchSet(t, e, `//NP[not(//Det)]`)
+		all := matchSet(t, e, `//NP`)
+		if len(withP)+len(withoutP) != len(all) {
+			t.Logf("seed %d: excluded middle violated", seed)
+			return false
+		}
+		for m := range withP {
+			if withoutP[m] || !all[m] {
+				return false
+			}
+		}
+		// De Morgan: not(a or b) == not(a) and not(b).
+		lhs := matchSet(t, e, `//NP[not(//Det or //V)]`)
+		rhs := matchSet(t, e, `//NP[not(//Det) and not(//V)]`)
+		if !equalSet(lhs, rhs) {
+			t.Logf("seed %d: De Morgan violated", seed)
+			return false
+		}
+		// count ≥ 1 is existence.
+		if !equalSet(matchSet(t, e, `//NP[count(//V)>=1]`), matchSet(t, e, `//NP[//V]`)) {
+			t.Logf("seed %d: count>=1 ≠ existence", seed)
+			return false
+		}
+		// position()=1 on child equals first-position shorthand.
+		if !equalSet(matchSet(t, e, `//VP/_[position()=1]`), matchSet(t, e, `//VP/_[1]`)) {
+			return false
+		}
+		// [last()] equals [position()=last()].
+		if !equalSet(matchSet(t, e, `//VP/_[last()]`), matchSet(t, e, `//VP/_[position()=last()]`)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAdjacencyDefinitionSingleV checks Definition 3.1 at the query level
+// on the Figure 1 tree, where the verb is unique so the "no intervening z"
+// condition can be written without node variables:
+// //V->_  ==  //V-->_[not(<--_[<--V])].
+//
+// On corpora with several V nodes the rewrite is NOT equivalent — LPath has
+// no variable binding, which is part of why immediate-following must be a
+// primitive (Lemma 3.1); TestLemma31Inexpressibility demonstrates that.
+func TestAdjacencyDefinitionSingleV(t *testing.T) {
+	c := tree.NewCorpus()
+	c.Add(tree.Figure1())
+	e := buildEngine(t, c)
+	imm := matchSet(t, e, `//V->_`)
+	viaDef := matchSet(t, e, `//V-->_[not(<--_[<--V])]`)
+	if !equalSet(imm, viaDef) {
+		t.Errorf("Definition 3.1 rewrite mismatch: %d vs %d", len(imm), len(viaDef))
+	}
+	if len(imm) != 3 { // NP, NP, Det per Section 1
+		t.Errorf("//V->_ = %d matches, want 3", len(imm))
+	}
+}
+
+// TestLemma31Inexpressibility exhibits a corpus on which the variable-free
+// rewrite of immediate-following diverges from the primitive axis — the
+// concrete phenomenon behind Lemma 3.1's inexpressibility result.
+func TestLemma31Inexpressibility(t *testing.T) {
+	c := tree.NewCorpus()
+	// Two verbs: the rewrite's inner V can bind to the other verb.
+	c.Add(tree.MustParseTree(`(S (V a) (N b) (V c) (N d))`))
+	e := buildEngine(t, c)
+	imm := matchSet(t, e, `//V->N`)
+	rewrite := matchSet(t, e, `//V-->N[not(<--_[<--V])]`)
+	if equalSet(imm, rewrite) {
+		t.Error("expected the variable-free rewrite to diverge on a two-verb corpus")
+	}
+	if len(imm) != 2 { // N(b) after V(a), N(d) after V(c)
+		t.Errorf("//V->N = %d, want 2", len(imm))
+	}
+}

@@ -1,0 +1,173 @@
+// Package label implements the interval-based labeling scheme of the LPath
+// paper (Definition 4.1) and the axis predicates over labels (Table 2).
+//
+// Each node of an ordered linguistic tree receives a tuple
+//
+//	(left, right, depth, id, pid, name)
+//
+// assigned in a single depth-first traversal:
+//
+//   - the i-th leaf (1-based, left to right) has left=i, right=i+1, so the
+//     left span of a leaf immediately follows the right span of the previous
+//     leaf;
+//   - a non-terminal spans from the left of its first leaf descendant to the
+//     right of its last leaf descendant;
+//   - depth is 1 at the root and grows downward;
+//   - id is a unique nonzero identifier, pid the parent's id (0 at the root);
+//   - attributes copy their element's (left, right, depth, id, pid) and carry
+//     name "@attr".
+//
+// Two structural properties (Section 4) make the scheme work:
+//
+//	Containment: x is a descendant of y iff every leaf of x is a leaf of y —
+//	with labels, y.l ≤ x.l ∧ x.r ≤ y.r (plus depth to resolve unary chains).
+//
+//	Adjacency: x immediately follows y iff the leftmost leaf of x immediately
+//	follows the rightmost leaf of y — with labels, x.l = y.r.
+//
+// The Adjacency property is what lets the scheme answer immediate-following
+// queries, which the start/end labeling used for XPath evaluation cannot
+// express (see package xpath for that scheme).
+package label
+
+import "lpath/internal/tree"
+
+// Label is the (left, right, depth, id, pid) tuple of Definition 4.1, without
+// the name/value columns, which live in the relational row (package
+// relstore).
+type Label struct {
+	Left  int32
+	Right int32
+	Depth int32
+	ID    int32
+	PID   int32
+}
+
+// Labeled pairs a tree node with its label.
+type Labeled struct {
+	Node  *tree.Node
+	Label Label
+}
+
+// Assign labels every node of the tree in document order and returns the
+// nodes paired with their labels, in document (preorder) order. IDs are
+// assigned in preorder starting from 1; the root has PID 0.
+func Assign(t *tree.Tree) []Labeled {
+	if t == nil || t.Root == nil {
+		return nil
+	}
+	out := make([]Labeled, 0, 64)
+	nextLeaf := int32(1)
+	var nextID int32
+	var rec func(n *tree.Node, depth, pid int32) (l, r int32)
+	rec = func(n *tree.Node, depth, pid int32) (int32, int32) {
+		nextID++
+		id := nextID
+		idx := len(out)
+		out = append(out, Labeled{Node: n}) // placeholder; spans fixed below
+		var l, r int32
+		if len(n.Children) == 0 {
+			l = nextLeaf
+			r = nextLeaf + 1
+			nextLeaf++
+		} else {
+			for i, c := range n.Children {
+				cl, cr := rec(c, depth+1, id)
+				if i == 0 {
+					l = cl
+				}
+				r = cr
+			}
+		}
+		out[idx].Label = Label{Left: l, Right: r, Depth: depth, ID: id, PID: pid}
+		return l, r
+	}
+	rec(t.Root, 1, 0)
+	return out
+}
+
+// --- Table 2: axis relationships as label comparisons ------------------
+//
+// Each predicate asks: given the label c of a context node, is the node
+// labeled x reachable from c along the axis? All predicates assume the two
+// labels come from the same tree.
+
+// IsChild reports whether x is a child of c.
+func IsChild(x, c Label) bool { return x.PID == c.ID }
+
+// IsDescendant reports whether x is a proper descendant of c.
+func IsDescendant(x, c Label) bool {
+	return c.Left <= x.Left && x.Right <= c.Right && x.Depth > c.Depth
+}
+
+// IsDescendantOrSelf reports whether x is c or a descendant of c.
+func IsDescendantOrSelf(x, c Label) bool {
+	return c.Left <= x.Left && x.Right <= c.Right && x.Depth >= c.Depth
+}
+
+// IsParent reports whether x is the parent of c.
+func IsParent(x, c Label) bool { return x.ID == c.PID }
+
+// IsAncestor reports whether x is a proper ancestor of c.
+func IsAncestor(x, c Label) bool {
+	return x.Left <= c.Left && c.Right <= x.Right && x.Depth < c.Depth
+}
+
+// IsAncestorOrSelf reports whether x is c or an ancestor of c.
+func IsAncestorOrSelf(x, c Label) bool {
+	return x.Left <= c.Left && c.Right <= x.Right && x.Depth <= c.Depth
+}
+
+// IsImmediateFollowing reports whether x immediately follows c
+// (Definition 3.1): x's leftmost leaf immediately follows c's rightmost leaf.
+func IsImmediateFollowing(x, c Label) bool { return x.Left == c.Right }
+
+// IsFollowing reports whether x follows c, i.e. x appears after c in some
+// proper analysis: every leaf of x is after every leaf of c.
+func IsFollowing(x, c Label) bool { return x.Left >= c.Right }
+
+// IsImmediatePreceding reports whether x immediately precedes c.
+func IsImmediatePreceding(x, c Label) bool { return x.Right == c.Left }
+
+// IsPreceding reports whether x precedes c.
+func IsPreceding(x, c Label) bool { return x.Right <= c.Left }
+
+// IsImmediateFollowingSibling reports whether x is a sibling of c and
+// immediately follows it. Because siblings are spatially adjacent exactly
+// when they are consecutive children, x.l = c.r selects the next sibling.
+func IsImmediateFollowingSibling(x, c Label) bool {
+	return x.PID == c.PID && x.Left == c.Right
+}
+
+// IsFollowingSibling reports whether x is a sibling of c appearing after it.
+func IsFollowingSibling(x, c Label) bool {
+	return x.PID == c.PID && x.Left >= c.Right
+}
+
+// IsImmediatePrecedingSibling reports whether x is the sibling immediately
+// before c.
+func IsImmediatePrecedingSibling(x, c Label) bool {
+	return x.PID == c.PID && x.Right == c.Left
+}
+
+// IsPrecedingSibling reports whether x is a sibling of c appearing before it.
+func IsPrecedingSibling(x, c Label) bool {
+	return x.PID == c.PID && x.Right <= c.Left
+}
+
+// IsSelf reports whether x and c are the same node.
+func IsSelf(x, c Label) bool { return x.ID == c.ID }
+
+// --- Edge alignment and scoping ----------------------------------------
+
+// IsLeftAligned reports whether x starts at the left edge of scope s.
+func IsLeftAligned(x, s Label) bool { return x.Left == s.Left }
+
+// IsRightAligned reports whether x ends at the right edge of scope s.
+func IsRightAligned(x, s Label) bool { return x.Right == s.Right }
+
+// InScope reports whether x lies inside the subtree of scope s (s itself
+// included): the subtree-scoping test applied to every step between braces.
+func InScope(x, s Label) bool {
+	return s.Left <= x.Left && x.Right <= s.Right && x.Depth >= s.Depth
+}

@@ -1,0 +1,366 @@
+package label
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lpath/internal/tree"
+)
+
+// findLabeled returns the labeled entry for the first node matching tag and
+// (optionally) word.
+func findLabeled(t *testing.T, ls []Labeled, tag, word string) Labeled {
+	t.Helper()
+	for _, l := range ls {
+		if l.Node.Tag == tag && (word == "" || l.Node.Word == word) {
+			return l
+		}
+	}
+	t.Fatalf("no node %s %q", tag, word)
+	return Labeled{}
+}
+
+// TestFigure5Rows checks the labels of the running example against the
+// relational representation shown in Figure 5 of the paper.
+func TestFigure5Rows(t *testing.T) {
+	ls := Assign(tree.Figure1())
+	cases := []struct {
+		tag, word string
+		l, r, d   int32
+	}{
+		{"S", "", 1, 10, 1},
+		{"NP", "I", 1, 2, 2},
+		{"VP", "", 2, 9, 2},
+		{"V", "saw", 2, 3, 3},
+		{"Det", "the", 3, 4, 5},
+		{"Adj", "old", 4, 5, 5},
+		{"N", "man", 5, 6, 5},
+		{"Prep", "with", 6, 7, 5},
+		{"Det", "a", 7, 8, 6},
+		{"N", "dog", 8, 9, 6},
+		{"N", "today", 9, 10, 2},
+	}
+	for _, tc := range cases {
+		got := findLabeled(t, ls, tc.tag, tc.word).Label
+		if got.Left != tc.l || got.Right != tc.r || got.Depth != tc.d {
+			t.Errorf("(%s %s): got (l=%d r=%d d=%d), want (l=%d r=%d d=%d)",
+				tc.tag, tc.word, got.Left, got.Right, got.Depth, tc.l, tc.r, tc.d)
+		}
+	}
+	// The two object noun phrases from Figure 5.
+	var np39, np36 bool
+	for _, l := range ls {
+		if l.Node.Tag == "NP" && l.Label.Left == 3 && l.Label.Right == 9 && l.Label.Depth == 3 {
+			np39 = true
+		}
+		if l.Node.Tag == "NP" && l.Label.Left == 3 && l.Label.Right == 6 && l.Label.Depth == 4 {
+			np36 = true
+		}
+	}
+	if !np39 || !np36 {
+		t.Errorf("object NPs missing: NP(3,9,3)=%v NP(3,6,4)=%v", np39, np36)
+	}
+}
+
+func TestAssignIDsPreorder(t *testing.T) {
+	ls := Assign(tree.Figure1())
+	for i, l := range ls {
+		if l.Label.ID != int32(i+1) {
+			t.Fatalf("node %d has id %d", i, l.Label.ID)
+		}
+	}
+	if ls[0].Label.PID != 0 {
+		t.Errorf("root pid = %d, want 0", ls[0].Label.PID)
+	}
+	// Parent pointers must agree with pid.
+	byNode := map[*tree.Node]Label{}
+	for _, l := range ls {
+		byNode[l.Node] = l.Label
+	}
+	for _, l := range ls {
+		if l.Node.Parent == nil {
+			continue
+		}
+		if got := byNode[l.Node.Parent].ID; got != l.Label.PID {
+			t.Errorf("node %s: pid %d, parent id %d", l.Node.Tag, l.Label.PID, got)
+		}
+	}
+}
+
+func TestAssignEmpty(t *testing.T) {
+	if got := Assign(nil); got != nil {
+		t.Errorf("Assign(nil) = %v", got)
+	}
+	if got := Assign(&tree.Tree{}); got != nil {
+		t.Errorf("Assign(empty) = %v", got)
+	}
+}
+
+// TestExample41 reproduces the label comparisons of Example 4.1: S is an
+// ancestor of the object NP, and V immediately precedes it.
+func TestExample41(t *testing.T) {
+	ls := Assign(tree.Figure1())
+	s := findLabeled(t, ls, "S", "").Label
+	v := findLabeled(t, ls, "V", "saw").Label
+	var np Label
+	for _, l := range ls {
+		if l.Node.Tag == "NP" && l.Label.Left == 3 && l.Label.Right == 9 {
+			np = l.Label
+		}
+	}
+	if !IsAncestor(s, np) {
+		t.Error("S should be an ancestor of NP(3,9)")
+	}
+	if !IsImmediatePreceding(v, np) {
+		t.Error("V should immediately precede NP(3,9)")
+	}
+	if !IsImmediateFollowing(np, v) {
+		t.Error("NP(3,9) should immediately follow V")
+	}
+}
+
+// TestImmediateFollowingSection1 reproduces the Section 1 example: the
+// constituents that immediately follow the verb are NP(3,9), NP(3,6) and
+// Det(the) — the three nodes whose left span equals V's right span.
+func TestImmediateFollowingSection1(t *testing.T) {
+	ls := Assign(tree.Figure1())
+	v := findLabeled(t, ls, "V", "saw").Label
+	var got []string
+	for _, l := range ls {
+		if IsImmediateFollowing(l.Label, v) {
+			got = append(got, l.Node.Tag)
+		}
+	}
+	want := map[string]bool{"NP": true, "Det": true}
+	if len(got) != 3 {
+		t.Fatalf("immediate-following(V) = %v, want 3 nodes", got)
+	}
+	for _, tag := range got {
+		if !want[tag] {
+			t.Errorf("unexpected immediate-following tag %q", tag)
+		}
+	}
+}
+
+// labeledTree builds a random tree and returns nodes with labels plus an
+// index from node to label.
+func labeledTree(seed int64) ([]Labeled, map[*tree.Node]Label) {
+	rng := rand.New(rand.NewSource(seed))
+	tags := []string{"S", "NP", "VP", "PP", "N", "V"}
+	var build func(depth int) *tree.Node
+	build = func(depth int) *tree.Node {
+		n := &tree.Node{Tag: tags[rng.Intn(len(tags))]}
+		if depth >= 7 || rng.Intn(3) == 0 {
+			n.Word = "w"
+			return n
+		}
+		// Allow unary branching (rng.Intn(3) may be 1) on purpose: the
+		// labeling must distinguish unary chains via depth.
+		kids := 1 + rng.Intn(3)
+		for i := 0; i < kids; i++ {
+			n.AddChild(build(depth + 1))
+		}
+		return n
+	}
+	t := tree.NewTree(build(1))
+	ls := Assign(t)
+	idx := make(map[*tree.Node]Label, len(ls))
+	for _, l := range ls {
+		idx[l.Node] = l.Label
+	}
+	return ls, idx
+}
+
+// slow tree-walking definitions of the axes, used as the specification.
+func slowFollows(x, y *tree.Node, idx map[*tree.Node]Label) bool {
+	// x follows y iff x's leftmost leaf comes strictly after y's rightmost
+	// leaf in the terminal order. Leaf order equals label order of leaves.
+	return idx[x.LeftmostLeaf()].Left >= idx[y.RightmostLeaf()].Right
+}
+
+func slowImmediatelyFollows(x, y *tree.Node, idx map[*tree.Node]Label) bool {
+	if !slowFollows(x, y, idx) {
+		return false
+	}
+	// Definition 3.1: no z with x follows z and z follows y.
+	root := x.Root()
+	found := false
+	root.Walk(func(z *tree.Node) bool {
+		if z != x && z != y && slowFollows(x, z, idx) && slowFollows(z, y, idx) {
+			found = true
+		}
+		return !found
+	})
+	return !found
+}
+
+// TestTable2LabelPredicates verifies, on random trees with unary branching,
+// that every Table 2 label comparison agrees with the structural definition
+// of its axis.
+func TestTable2LabelPredicates(t *testing.T) {
+	f := func(seed int64) bool {
+		ls, idx := labeledTree(seed)
+		for _, a := range ls {
+			for _, b := range ls {
+				x, c := a.Label, b.Label
+				xn, cn := a.Node, b.Node
+				if IsChild(x, c) != (xn.Parent == cn) {
+					t.Logf("seed %d: child mismatch", seed)
+					return false
+				}
+				if IsParent(x, c) != (cn.Parent == xn) {
+					return false
+				}
+				if IsDescendant(x, c) != cn.IsAncestorOf(xn) {
+					t.Logf("seed %d: descendant mismatch %v %v", seed, x, c)
+					return false
+				}
+				if IsAncestor(x, c) != xn.IsAncestorOf(cn) {
+					return false
+				}
+				if IsDescendantOrSelf(x, c) != (xn == cn || cn.IsAncestorOf(xn)) {
+					return false
+				}
+				if IsAncestorOrSelf(x, c) != (xn == cn || xn.IsAncestorOf(cn)) {
+					return false
+				}
+				if IsFollowing(x, c) != slowFollows(xn, cn, idx) {
+					t.Logf("seed %d: following mismatch", seed)
+					return false
+				}
+				if IsPreceding(x, c) != slowFollows(cn, xn, idx) {
+					return false
+				}
+				if IsImmediateFollowing(x, c) != slowImmediatelyFollows(xn, cn, idx) {
+					t.Logf("seed %d: immediate-following mismatch x=%v c=%v", seed, x, c)
+					return false
+				}
+				if IsImmediatePreceding(x, c) != slowImmediatelyFollows(cn, xn, idx) {
+					return false
+				}
+				sib := xn.Parent != nil && xn.Parent == cn.Parent
+				if IsFollowingSibling(x, c) != (sib && slowFollows(xn, cn, idx)) {
+					return false
+				}
+				if IsPrecedingSibling(x, c) != (sib && slowFollows(cn, xn, idx)) {
+					return false
+				}
+				if IsImmediateFollowingSibling(x, c) != (cn.NextSibling() == xn) {
+					t.Logf("seed %d: immediate-following-sibling mismatch", seed)
+					return false
+				}
+				if IsImmediatePrecedingSibling(x, c) != (cn.PrevSibling() == xn) {
+					return false
+				}
+				if IsSelf(x, c) != (xn == cn) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClosureProperties checks the Table 1 closure relationships: following
+// is the transitive closure of immediate-following, and likewise for the
+// sibling axes.
+func TestClosureProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		ls, _ := labeledTree(seed)
+		// reachable[i][j]: j reachable from i via immediate-following edges.
+		n := len(ls)
+		if n > 40 {
+			ls = ls[:40]
+			n = 40
+		}
+		reach := make([][]bool, n)
+		for i := range reach {
+			reach[i] = make([]bool, n)
+			for j := range reach[i] {
+				reach[i][j] = IsImmediateFollowing(ls[j].Label, ls[i].Label)
+			}
+		}
+		// Warshall.
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				if reach[i][k] {
+					for j := 0; j < n; j++ {
+						if reach[k][j] {
+							reach[i][j] = true
+						}
+					}
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if reach[i][j] != IsFollowing(ls[j].Label, ls[i].Label) {
+					t.Logf("seed %d: closure mismatch i=%d j=%d", seed, i, j)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignmentAndScope(t *testing.T) {
+	ls := Assign(tree.Figure1())
+	var vp, np39, np36, npDog, det Label
+	for _, l := range ls {
+		switch {
+		case l.Node.Tag == "VP":
+			vp = l.Label
+		case l.Node.Tag == "NP" && l.Label.Left == 3 && l.Label.Right == 9:
+			np39 = l.Label
+		case l.Node.Tag == "NP" && l.Label.Left == 3 && l.Label.Right == 6:
+			np36 = l.Label
+		case l.Node.Tag == "NP" && l.Label.Left == 7:
+			npDog = l.Label
+		case l.Node.Word == "the":
+			det = l.Label
+		}
+	}
+	// Query Q6-style right alignment: NP(3,9) and NP(7,9) end at VP's right
+	// edge; NP(3,6) does not.
+	if !IsRightAligned(np39, vp) || !IsRightAligned(npDog, vp) {
+		t.Error("NP(3,9) and NP(7,9) must be right-aligned with VP")
+	}
+	if IsRightAligned(np36, vp) {
+		t.Error("NP(3,6) must not be right-aligned with VP")
+	}
+	if IsLeftAligned(np39, vp) {
+		t.Error("NP(3,9) must not be left-aligned with VP")
+	}
+	// Scope: everything inside VP's subtree is in scope, the N(today) node
+	// is not.
+	if !InScope(det, vp) || !InScope(np39, vp) || !InScope(vp, vp) {
+		t.Error("VP subtree members must be in scope")
+	}
+	var today Label
+	for _, l := range ls {
+		if l.Node.Word == "today" {
+			today = l.Label
+		}
+	}
+	if InScope(today, vp) {
+		t.Error("N(today) is outside VP's subtree")
+	}
+	// Unary-chain case: a parent with identical span must NOT be in the
+	// scope of its child.
+	chain := Assign(tree.MustParseTree("(NP (NP (N dog)))"))
+	outer, inner := chain[0].Label, chain[1].Label
+	if InScope(outer, inner) {
+		t.Error("unary parent must be outside the child's scope")
+	}
+	if !InScope(inner, outer) {
+		t.Error("unary child must be inside the parent's scope")
+	}
+}

@@ -1,0 +1,295 @@
+// Package lpath implements the LPath query language of Bird et al. (ICDE
+// 2006): an XPath 1.0 dialect extended with horizontal navigation primitives
+// (immediate-following and friends), subtree scoping with braces, and edge
+// alignment markers.
+//
+// The package provides the abstract syntax (this file), a lexer and a
+// recursive-descent parser (lexer.go, parser.go), and a pretty-printer that
+// round-trips the surface syntax (print.go). Evaluation lives elsewhere:
+// package treeval walks trees directly, and package engine compiles paths to
+// join plans over the interval labeling.
+package lpath
+
+// Axis enumerates the LPath navigation axes (Table 1 of the paper), the
+// or-self closures, and the self/attribute axes.
+type Axis int
+
+const (
+	AxisChild Axis = iota
+	AxisDescendant
+	AxisDescendantOrSelf
+	AxisParent
+	AxisAncestor
+	AxisAncestorOrSelf
+	AxisImmediateFollowing
+	AxisFollowing
+	AxisFollowingOrSelf
+	AxisImmediatePreceding
+	AxisPreceding
+	AxisPrecedingOrSelf
+	AxisImmediateFollowingSibling
+	AxisFollowingSibling
+	AxisFollowingSiblingOrSelf
+	AxisImmediatePrecedingSibling
+	AxisPrecedingSibling
+	AxisPrecedingSiblingOrSelf
+	AxisSelf
+	AxisAttribute
+)
+
+var axisNames = map[Axis]string{
+	AxisChild:                     "child",
+	AxisDescendant:                "descendant",
+	AxisDescendantOrSelf:          "descendant-or-self",
+	AxisParent:                    "parent",
+	AxisAncestor:                  "ancestor",
+	AxisAncestorOrSelf:            "ancestor-or-self",
+	AxisImmediateFollowing:        "immediate-following",
+	AxisFollowing:                 "following",
+	AxisFollowingOrSelf:           "following-or-self",
+	AxisImmediatePreceding:        "immediate-preceding",
+	AxisPreceding:                 "preceding",
+	AxisPrecedingOrSelf:           "preceding-or-self",
+	AxisImmediateFollowingSibling: "immediate-following-sibling",
+	AxisFollowingSibling:          "following-sibling",
+	AxisFollowingSiblingOrSelf:    "following-sibling-or-self",
+	AxisImmediatePrecedingSibling: "immediate-preceding-sibling",
+	AxisPrecedingSibling:          "preceding-sibling",
+	AxisPrecedingSiblingOrSelf:    "preceding-sibling-or-self",
+	AxisSelf:                      "self",
+	AxisAttribute:                 "attribute",
+}
+
+// String returns the long axis name, e.g. "immediate-following".
+func (a Axis) String() string {
+	if s, ok := axisNames[a]; ok {
+		return s
+	}
+	return "unknown-axis"
+}
+
+// axisByName maps long axis names (as used with the :: syntax) to axes.
+var axisByName = func() map[string]Axis {
+	m := make(map[string]Axis, len(axisNames))
+	for a, n := range axisNames {
+		m[n] = a
+	}
+	return m
+}()
+
+// Abbrev returns the surface abbreviation of the axis per Table 1, or ""
+// when the axis has only the long form.
+func (a Axis) Abbrev() string {
+	switch a {
+	case AxisChild:
+		return "/"
+	case AxisDescendant:
+		return "//"
+	case AxisParent:
+		return "\\"
+	case AxisAncestor:
+		return "\\\\"
+	case AxisImmediateFollowing:
+		return "->"
+	case AxisFollowing:
+		return "-->"
+	case AxisImmediatePreceding:
+		return "<-"
+	case AxisPreceding:
+		return "<--"
+	case AxisImmediateFollowingSibling:
+		return "=>"
+	case AxisFollowingSibling:
+		return "==>"
+	case AxisImmediatePrecedingSibling:
+		return "<="
+	case AxisPrecedingSibling:
+		return "<=="
+	case AxisSelf:
+		return "."
+	case AxisAttribute:
+		return "@"
+	default:
+		return ""
+	}
+}
+
+// IsHorizontal reports whether the axis navigates the sequential (left to
+// right) organization of the tree, including the sibling axes.
+func (a Axis) IsHorizontal() bool {
+	switch a {
+	case AxisImmediateFollowing, AxisFollowing, AxisFollowingOrSelf,
+		AxisImmediatePreceding, AxisPreceding, AxisPrecedingOrSelf,
+		AxisImmediateFollowingSibling, AxisFollowingSibling, AxisFollowingSiblingOrSelf,
+		AxisImmediatePrecedingSibling, AxisPrecedingSibling, AxisPrecedingSiblingOrSelf:
+		return true
+	}
+	return false
+}
+
+// IsVertical reports whether the axis navigates the hierarchical organization.
+func (a Axis) IsVertical() bool {
+	switch a {
+	case AxisChild, AxisDescendant, AxisDescendantOrSelf,
+		AxisParent, AxisAncestor, AxisAncestorOrSelf:
+		return true
+	}
+	return false
+}
+
+// Primitive returns, for a closure axis, the primitive axis it is the
+// transitive closure of, and true; otherwise it returns a, false. This makes
+// the Table 1 primitive/closure pairing explicit.
+func (a Axis) Primitive() (Axis, bool) {
+	switch a {
+	case AxisDescendant:
+		return AxisChild, true
+	case AxisAncestor:
+		return AxisParent, true
+	case AxisFollowing:
+		return AxisImmediateFollowing, true
+	case AxisPreceding:
+		return AxisImmediatePreceding, true
+	case AxisFollowingSibling:
+		return AxisImmediateFollowingSibling, true
+	case AxisPrecedingSibling:
+		return AxisImmediatePrecedingSibling, true
+	}
+	return a, false
+}
+
+// CoreXPath reports whether the axis exists in Core XPath (Table 1's last
+// column); the immediate-* axes and the or-self horizontal closures do not.
+func (a Axis) CoreXPath() bool {
+	switch a {
+	case AxisChild, AxisDescendant, AxisDescendantOrSelf,
+		AxisParent, AxisAncestor, AxisAncestorOrSelf,
+		AxisFollowing, AxisPreceding,
+		AxisFollowingSibling, AxisPrecedingSibling,
+		AxisSelf, AxisAttribute:
+		return true
+	}
+	return false
+}
+
+// Step is one location step: an axis, a node test, optional edge-alignment
+// markers, and a predicate list.
+type Step struct {
+	Axis Axis
+	// Test is the node test: a tag name, or "_" for the wildcard that
+	// matches any tag (the paper uses _ as wildcard, reserving * for
+	// closures). For the attribute axis, Test is the attribute name
+	// without the leading '@'.
+	Test string
+	// LeftAlign is the ^ marker: the node must start at the left edge of
+	// the innermost scope (or of the step's context when no scope is open).
+	LeftAlign bool
+	// RightAlign is the $ marker, the right-edge counterpart.
+	RightAlign bool
+	// Preds are the step's predicates, implicitly conjoined.
+	Preds []Expr
+}
+
+// Wildcard reports whether the node test matches any tag.
+func (s *Step) Wildcard() bool { return s.Test == "_" }
+
+// Path is a relative location path: a head sequence of steps, optionally
+// followed by a braced, subtree-scoped tail per the grammar
+// RLP ::= HP | HP '{' RLP '}'.
+type Path struct {
+	Steps []Step
+	// Scoped, when non-nil, is the braced tail. It is evaluated with the
+	// subtree scope set to each node matched by the head (or to the
+	// context node when the head is empty, as in the predicate form
+	// [{...}]).
+	Scoped *Path
+}
+
+// LastStep returns the final step of the path — the one whose matches are
+// the path's result — following the scoped tail if present. It returns nil
+// for an empty path.
+func (p *Path) LastStep() *Step {
+	for p.Scoped != nil {
+		if len(p.Scoped.Steps) > 0 || p.Scoped.Scoped != nil {
+			p = p.Scoped
+			continue
+		}
+		break
+	}
+	if len(p.Steps) == 0 {
+		return nil
+	}
+	return &p.Steps[len(p.Steps)-1]
+}
+
+// Expr is a predicate expression: a boolean combination of existential path
+// tests and attribute comparisons.
+type Expr interface {
+	exprNode()
+}
+
+// AndExpr is the conjunction of two predicate expressions.
+type AndExpr struct{ L, R Expr }
+
+// OrExpr is the disjunction of two predicate expressions.
+type OrExpr struct{ L, R Expr }
+
+// NotExpr is the negation not(X).
+type NotExpr struct{ X Expr }
+
+// PathExpr is an existential path test: it holds iff the relative path has
+// at least one match from the context node.
+type PathExpr struct{ Path *Path }
+
+// CmpExpr compares the string value reached by a relative path (typically a
+// single attribute step such as @lex) against a literal. Op is "=" or "!=".
+// It holds iff some match of the path has a value satisfying the comparison.
+type CmpExpr struct {
+	Path  *Path
+	Op    string
+	Value string
+}
+
+// PositionExpr is the function-library predicate position() Op N or
+// position() Op last(). The position of a node is its 1-based rank within
+// the step's candidate list — document order for forward axes, reverse
+// document order for reverse axes — after the node test, scoping and
+// alignment have been applied; each predicate filters the list before the
+// next predicate's positions are computed, as in XPath.
+type PositionExpr struct {
+	Op    string // = != < <= > >=
+	Value int    // ignored when Last
+	Last  bool   // compare against last() instead of Value
+}
+
+// LastExpr is the bare [last()] predicate, equivalent to
+// [position() = last()].
+type LastExpr struct{}
+
+// CountExpr compares the number of matches of a relative path against a
+// constant: count(path) Op N.
+type CountExpr struct {
+	Path  *Path
+	Op    string
+	Value int
+}
+
+// StrFnExpr is a string-function predicate over an attribute path:
+// contains(path, 'arg'), starts-with(path, 'arg') or ends-with(path, 'arg').
+// It holds iff some match of the path has an attribute value satisfying the
+// function.
+type StrFnExpr struct {
+	Fn   string // "contains", "starts-with", "ends-with"
+	Path *Path
+	Arg  string
+}
+
+func (*AndExpr) exprNode()      {}
+func (*OrExpr) exprNode()       {}
+func (*NotExpr) exprNode()      {}
+func (*PathExpr) exprNode()     {}
+func (*CmpExpr) exprNode()      {}
+func (*PositionExpr) exprNode() {}
+func (*LastExpr) exprNode()     {}
+func (*CountExpr) exprNode()    {}
+func (*StrFnExpr) exprNode()    {}

@@ -1,0 +1,130 @@
+package lpath
+
+import "errors"
+
+// ErrAttrNotFinal is returned when an attribute step occurs anywhere but the
+// final position of a predicate path.
+var ErrAttrNotFinal = errors.New("lpath: attribute step must be the final step of a predicate path")
+
+// ErrAttrInMainPath is returned when an attribute step appears in the main
+// (result-producing) path; attributes can only be tested in predicates.
+var ErrAttrInMainPath = errors.New("lpath: attribute steps are only valid inside predicates")
+
+// ErrCmpNeedsAttr is returned when a comparison's path does not end in an
+// attribute step.
+var ErrCmpNeedsAttr = errors.New("lpath: comparison requires a path ending in an attribute step")
+
+// SplitAttr splits a predicate path into its element-navigation head and a
+// trailing attribute name (without '@'), or "" when the path does not end in
+// an attribute step. A nil head means the path consisted solely of the
+// attribute step (the attribute is read off the context node). Attribute
+// steps in any other position are an error.
+func SplitAttr(p *Path) (head *Path, attr string, err error) {
+	inner := p
+	for inner.Scoped != nil {
+		for i := range inner.Steps {
+			if inner.Steps[i].Axis == AxisAttribute {
+				return nil, "", ErrAttrNotFinal
+			}
+		}
+		inner = inner.Scoped
+	}
+	n := len(inner.Steps)
+	for i := 0; i < n-1; i++ {
+		if inner.Steps[i].Axis == AxisAttribute {
+			return nil, "", ErrAttrNotFinal
+		}
+	}
+	if n == 0 || inner.Steps[n-1].Axis != AxisAttribute {
+		return p, "", nil
+	}
+	attr = inner.Steps[n-1].Test
+	if p == inner && n == 1 && p.Scoped == nil {
+		return nil, attr, nil
+	}
+	return trimLastStep(p), attr, nil
+}
+
+// trimLastStep returns a copy of p's spine with the final step of the
+// innermost path removed; Step values are shared with the original.
+func trimLastStep(p *Path) *Path {
+	cp := &Path{Steps: p.Steps}
+	if p.Scoped != nil {
+		cp.Scoped = trimLastStep(p.Scoped)
+		return cp
+	}
+	cp.Steps = p.Steps[:len(p.Steps)-1]
+	return cp
+}
+
+// Validate checks semantic constraints that the grammar alone does not
+// enforce: attribute steps may not appear in the main path, predicates'
+// attribute steps must be final, and comparisons must end in an attribute.
+func Validate(p *Path) error {
+	return validatePath(p, false)
+}
+
+func validatePath(p *Path, inPredicate bool) error {
+	paths := []*Path{}
+	for q := p; q != nil; q = q.Scoped {
+		paths = append(paths, q)
+	}
+	for pi, q := range paths {
+		for si := range q.Steps {
+			step := &q.Steps[si]
+			if step.Axis == AxisAttribute {
+				if !inPredicate {
+					return ErrAttrInMainPath
+				}
+				last := pi == len(paths)-1 && si == len(q.Steps)-1 && paths[len(paths)-1].Scoped == nil
+				if !last {
+					return ErrAttrNotFinal
+				}
+			}
+			for _, pred := range step.Preds {
+				if err := validateExpr(pred); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func validateExpr(e Expr) error {
+	switch x := e.(type) {
+	case *AndExpr:
+		if err := validateExpr(x.L); err != nil {
+			return err
+		}
+		return validateExpr(x.R)
+	case *OrExpr:
+		if err := validateExpr(x.L); err != nil {
+			return err
+		}
+		return validateExpr(x.R)
+	case *NotExpr:
+		return validateExpr(x.X)
+	case *PathExpr:
+		return validatePath(x.Path, true)
+	case *CmpExpr:
+		if _, attr, err := SplitAttr(x.Path); err != nil {
+			return err
+		} else if attr == "" {
+			return ErrCmpNeedsAttr
+		}
+		return validatePath(x.Path, true)
+	case *PositionExpr, *LastExpr:
+		return nil
+	case *CountExpr:
+		return validatePath(x.Path, true)
+	case *StrFnExpr:
+		if _, attr, err := SplitAttr(x.Path); err != nil {
+			return err
+		} else if attr == "" {
+			return ErrCmpNeedsAttr
+		}
+		return validatePath(x.Path, true)
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package lpath
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSplitAttr(t *testing.T) {
+	// Pure attribute step: nil head.
+	head, attr, err := SplitAttr(MustParse(`@lex`))
+	if err != nil || head != nil || attr != "lex" {
+		t.Errorf("SplitAttr(@lex) = %v, %q, %v", head, attr, err)
+	}
+	// Path ending in attribute: head without the attribute step.
+	head, attr, err = SplitAttr(MustParse(`//NP/NN@lex`))
+	if err != nil || attr != "lex" {
+		t.Fatalf("SplitAttr = %v, %q, %v", head, attr, err)
+	}
+	if len(head.Steps) != 2 || head.Steps[1].Test != "NN" {
+		t.Errorf("head = %v", head)
+	}
+	// No attribute: the path comes back whole.
+	p := MustParse(`//NP/NN`)
+	head, attr, err = SplitAttr(p)
+	if err != nil || attr != "" || head != p {
+		t.Errorf("SplitAttr(no attr) = %v, %q, %v", head, attr, err)
+	}
+	// Scoped path ending in an attribute step.
+	head, attr, err = SplitAttr(MustParse(`//VP{//NN@lex}`))
+	if err != nil || attr != "lex" {
+		t.Fatalf("scoped SplitAttr: %q, %v", attr, err)
+	}
+	if head.Scoped == nil || len(head.Scoped.Steps) != 1 {
+		t.Errorf("scoped head = %v", head)
+	}
+	// Attribute mid-path is an error.
+	if _, _, err := SplitAttr(MustParse(`@lex/NP`)); !errors.Is(err, ErrAttrNotFinal) {
+		t.Errorf("mid-path attr err = %v", err)
+	}
+	// Attribute in the head of a scoped path is an error.
+	if _, _, err := SplitAttr(MustParse(`//NP@lex{//NN}`)); !errors.Is(err, ErrAttrNotFinal) {
+		t.Errorf("scoped-head attr err = %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	valid := []string{
+		`//NP`,
+		`//NP[@lex=dog]`,
+		`//NP[@lex]`,
+		`//NP[//NN@lex=dog]`,
+		`//VP{//NP[@lex!=x]}`,
+		`//NP[not(@lex=dog) and //NN]`,
+		`//VP[{//NN@lex}]`,
+	}
+	for _, q := range valid {
+		if err := Validate(MustParse(q)); err != nil {
+			t.Errorf("Validate(%q) = %v", q, err)
+		}
+	}
+	invalid := []struct {
+		query string
+		want  error
+	}{
+		{`//NP@lex`, ErrAttrInMainPath},
+		{`//NP@lex/NN`, ErrAttrInMainPath},
+		{`//VP{//NP@lex}`, ErrAttrInMainPath},
+		{`//NP[@lex/NN]`, ErrAttrNotFinal},
+		{`//NP[@lex/NN=dog]`, ErrAttrNotFinal},
+		{`//NP[//NN=dog]`, ErrCmpNeedsAttr},
+		{`//NP[not(//NN=dog)]`, ErrCmpNeedsAttr},
+		{`//NP[//NN or //JJ=x]`, ErrCmpNeedsAttr},
+		{`//NP[//VP[@lex/NN]]`, ErrAttrNotFinal},
+	}
+	for _, tc := range invalid {
+		err := Validate(MustParse(tc.query))
+		if !errors.Is(err, tc.want) {
+			t.Errorf("Validate(%q) = %v, want %v", tc.query, err, tc.want)
+		}
+	}
+}
+
+func TestTokenKindStrings(t *testing.T) {
+	known := []tokenKind{tokEOF, tokName, tokSlashSlash, tokArrow, tokDFatArrow, tokCaret}
+	for _, k := range known {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty string", k)
+		}
+	}
+	if got := tokenKind(999).String(); got != "token(999)" {
+		t.Errorf("unknown kind String = %q", got)
+	}
+}
+
+func TestPrintQuoting(t *testing.T) {
+	// A node test needing quotes round-trips through the printer.
+	p := MustParse(`//'weird tag'`)
+	printed := p.String()
+	p2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", printed, err)
+	}
+	if p2.Steps[0].Test != "weird tag" {
+		t.Errorf("test = %q", p2.Steps[0].Test)
+	}
+	// Embedded quote.
+	p = MustParse(`//_[@lex='it''s']`)
+	if !p.Equal(MustParse(p.String())) {
+		t.Errorf("quote round trip failed: %q", p.String())
+	}
+	// A value that looks like an arrow must be quoted on output.
+	cmp := &CmpExpr{Path: &Path{Steps: []Step{{Axis: AxisAttribute, Test: "lex"}}}, Op: "=", Value: "a->b"}
+	q := &Path{Steps: []Step{{Axis: AxisDescendant, Test: "_", Preds: []Expr{cmp}}}}
+	if !q.Equal(MustParse(q.String())) {
+		t.Errorf("arrow value round trip failed: %q", q.String())
+	}
+}
+
+func TestPathEqualNegatives(t *testing.T) {
+	base := MustParse(`//NP[//JJ]`)
+	different := []string{
+		`//NP`,
+		`//VP[//JJ]`,
+		`//NP[//DT]`,
+		`//NP[not(//JJ)]`,
+		`//NP[//JJ and //DT]`,
+		`//NP[@lex=x]`,
+		`//NP{//JJ}`,
+		`/NP[//JJ]`,
+		`//^NP[//JJ]`,
+		`//NP$[//JJ]`,
+	}
+	for _, q := range different {
+		if base.Equal(MustParse(q)) {
+			t.Errorf("Equal(%q, %q) should be false", base, q)
+		}
+	}
+	if !base.Equal(MustParse(`//NP[//JJ]`)) {
+		t.Error("Equal on identical queries failed")
+	}
+	var nilPath *Path
+	if !nilPath.Equal(nil) {
+		t.Error("nil paths should be equal")
+	}
+	if nilPath.Equal(base) {
+		t.Error("nil vs non-nil should differ")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("//(")
+}

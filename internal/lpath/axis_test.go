@@ -1,0 +1,107 @@
+package lpath
+
+import "testing"
+
+// TestTable1AxisInventory checks the axis inventory of Table 1: every
+// primitive/closure pairing, the abbreviations, and the Core XPath column.
+func TestTable1AxisInventory(t *testing.T) {
+	closures := map[Axis]Axis{
+		AxisDescendant:       AxisChild,
+		AxisAncestor:         AxisParent,
+		AxisFollowing:        AxisImmediateFollowing,
+		AxisPreceding:        AxisImmediatePreceding,
+		AxisFollowingSibling: AxisImmediateFollowingSibling,
+		AxisPrecedingSibling: AxisImmediatePrecedingSibling,
+	}
+	for closure, prim := range closures {
+		got, ok := closure.Primitive()
+		if !ok || got != prim {
+			t.Errorf("%s.Primitive() = %s, %v; want %s", closure, got, ok, prim)
+		}
+	}
+	for _, prim := range []Axis{AxisChild, AxisParent, AxisImmediateFollowing,
+		AxisImmediatePreceding, AxisImmediateFollowingSibling, AxisImmediatePrecedingSibling} {
+		if _, ok := prim.Primitive(); ok {
+			t.Errorf("%s should not report a primitive", prim)
+		}
+	}
+
+	abbrevs := map[Axis]string{
+		AxisChild:                     "/",
+		AxisParent:                    `\`,
+		AxisImmediateFollowing:        "->",
+		AxisFollowing:                 "-->",
+		AxisImmediatePreceding:        "<-",
+		AxisPreceding:                 "<--",
+		AxisImmediateFollowingSibling: "=>",
+		AxisFollowingSibling:          "==>",
+		AxisImmediatePrecedingSibling: "<=",
+		AxisPrecedingSibling:          "<==",
+		AxisSelf:                      ".",
+		AxisAttribute:                 "@",
+	}
+	for a, want := range abbrevs {
+		if got := a.Abbrev(); got != want {
+			t.Errorf("%s.Abbrev() = %q, want %q", a, got, want)
+		}
+	}
+
+	// Core XPath (Table 1's final column): the immediate-* axes are the new
+	// primitives, absent from Core XPath; their closures are present.
+	notInCore := []Axis{AxisImmediateFollowing, AxisImmediatePreceding,
+		AxisImmediateFollowingSibling, AxisImmediatePrecedingSibling,
+		AxisFollowingOrSelf, AxisPrecedingOrSelf,
+		AxisFollowingSiblingOrSelf, AxisPrecedingSiblingOrSelf}
+	for _, a := range notInCore {
+		if a.CoreXPath() {
+			t.Errorf("%s must not be Core XPath", a)
+		}
+	}
+	inCore := []Axis{AxisChild, AxisDescendant, AxisParent, AxisAncestor,
+		AxisFollowing, AxisPreceding, AxisFollowingSibling, AxisPrecedingSibling,
+		AxisSelf, AxisAttribute}
+	for _, a := range inCore {
+		if !a.CoreXPath() {
+			t.Errorf("%s should be Core XPath", a)
+		}
+	}
+}
+
+func TestAxisClassification(t *testing.T) {
+	horizontals := []Axis{AxisImmediateFollowing, AxisFollowing, AxisFollowingOrSelf,
+		AxisImmediatePreceding, AxisPreceding, AxisPrecedingOrSelf,
+		AxisImmediateFollowingSibling, AxisFollowingSibling, AxisFollowingSiblingOrSelf,
+		AxisImmediatePrecedingSibling, AxisPrecedingSibling, AxisPrecedingSiblingOrSelf}
+	verticals := []Axis{AxisChild, AxisDescendant, AxisDescendantOrSelf,
+		AxisParent, AxisAncestor, AxisAncestorOrSelf}
+	for _, a := range horizontals {
+		if !a.IsHorizontal() || a.IsVertical() {
+			t.Errorf("%s misclassified", a)
+		}
+	}
+	for _, a := range verticals {
+		if !a.IsVertical() || a.IsHorizontal() {
+			t.Errorf("%s misclassified", a)
+		}
+	}
+	for _, a := range []Axis{AxisSelf, AxisAttribute} {
+		if a.IsVertical() || a.IsHorizontal() {
+			t.Errorf("%s misclassified", a)
+		}
+	}
+}
+
+func TestAxisStrings(t *testing.T) {
+	if AxisImmediateFollowing.String() != "immediate-following" {
+		t.Errorf("String = %q", AxisImmediateFollowing.String())
+	}
+	if Axis(999).String() != "unknown-axis" {
+		t.Errorf("unknown axis String = %q", Axis(999).String())
+	}
+	// Every named axis round-trips through axisByName.
+	for a, name := range axisNames {
+		if axisByName[name] != a {
+			t.Errorf("axisByName[%q] = %v, want %v", name, axisByName[name], a)
+		}
+	}
+}

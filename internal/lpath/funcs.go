@@ -1,0 +1,73 @@
+package lpath
+
+import "strings"
+
+// ReverseAxis reports whether the axis enumerates candidates in reverse
+// document order (nearest first), which is how position() counts for it.
+func ReverseAxis(a Axis) bool {
+	switch a {
+	case AxisParent, AxisAncestor, AxisAncestorOrSelf,
+		AxisPreceding, AxisPrecedingOrSelf, AxisImmediatePreceding,
+		AxisPrecedingSibling, AxisPrecedingSiblingOrSelf, AxisImmediatePrecedingSibling:
+		return true
+	}
+	return false
+}
+
+// CompareInts applies a comparison operator from the function library.
+func CompareInts(a int, op string, b int) bool {
+	switch op {
+	case "=":
+		return a == b
+	case "!=":
+		return a != b
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	}
+	return false
+}
+
+// StrFn applies a string function from the function library to a value.
+func StrFn(fn, value, arg string) bool {
+	switch fn {
+	case "contains":
+		return strings.Contains(value, arg)
+	case "starts-with":
+		return strings.HasPrefix(value, arg)
+	case "ends-with":
+		return strings.HasSuffix(value, arg)
+	}
+	return false
+}
+
+// HasPositional reports whether any predicate of the step uses position()
+// or last() at its own level (nested path predicates have their own
+// positional context and do not count).
+func (s *Step) HasPositional() bool {
+	for _, p := range s.Preds {
+		if exprPositional(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprPositional(e Expr) bool {
+	switch x := e.(type) {
+	case *AndExpr:
+		return exprPositional(x.L) || exprPositional(x.R)
+	case *OrExpr:
+		return exprPositional(x.L) || exprPositional(x.R)
+	case *NotExpr:
+		return exprPositional(x.X)
+	case *PositionExpr, *LastExpr:
+		return true
+	}
+	return false
+}

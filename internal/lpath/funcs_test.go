@@ -1,0 +1,163 @@
+package lpath
+
+import "testing"
+
+func TestParsePositional(t *testing.T) {
+	p := MustParse(`//VP/_[position()=1]`)
+	pe, ok := p.Steps[1].Preds[0].(*PositionExpr)
+	if !ok || pe.Op != "=" || pe.Value != 1 || pe.Last {
+		t.Errorf("pred = %#v", p.Steps[1].Preds[0])
+	}
+	p = MustParse(`//VP/_[position()=last()]`)
+	pe = p.Steps[1].Preds[0].(*PositionExpr)
+	if !pe.Last || pe.Op != "=" {
+		t.Errorf("pred = %#v", pe)
+	}
+	p = MustParse(`//VP/_[last()]`)
+	if _, ok := p.Steps[1].Preds[0].(*LastExpr); !ok {
+		t.Errorf("pred = %#v", p.Steps[1].Preds[0])
+	}
+	p = MustParse(`//VP/_[3]`)
+	pe = p.Steps[1].Preds[0].(*PositionExpr)
+	if pe.Op != "=" || pe.Value != 3 {
+		t.Errorf("numeric shorthand = %#v", pe)
+	}
+	for q, op := range map[string]string{
+		`//_[position()<3]`:  "<",
+		`//_[position()<=3]`: "<=",
+		`//_[position()>3]`:  ">",
+		`//_[position()>=3]`: ">=",
+		`//_[position()!=3]`: "!=",
+	} {
+		p := MustParse(q)
+		pe := p.Steps[0].Preds[0].(*PositionExpr)
+		if pe.Op != op || pe.Value != 3 {
+			t.Errorf("%s: pred = %#v", q, pe)
+		}
+	}
+}
+
+func TestParseCountAndStrFns(t *testing.T) {
+	p := MustParse(`//NP[count(//JJ)>=2]`)
+	ce, ok := p.Steps[0].Preds[0].(*CountExpr)
+	if !ok || ce.Op != ">=" || ce.Value != 2 || len(ce.Path.Steps) != 1 {
+		t.Errorf("count pred = %#v", p.Steps[0].Preds[0])
+	}
+	p = MustParse(`//_[contains(@lex,'dog')]`)
+	se, ok := p.Steps[0].Preds[0].(*StrFnExpr)
+	if !ok || se.Fn != "contains" || se.Arg != "dog" {
+		t.Errorf("strfn pred = %#v", p.Steps[0].Preds[0])
+	}
+	p = MustParse(`//_[starts-with(@lex,un)]`)
+	se = p.Steps[0].Preds[0].(*StrFnExpr)
+	if se.Fn != "starts-with" || se.Arg != "un" {
+		t.Errorf("strfn pred = %#v", se)
+	}
+	p = MustParse(`//NP[ends-with(//NN@lex,'s')]`)
+	se = p.Steps[0].Preds[0].(*StrFnExpr)
+	if se.Fn != "ends-with" || len(se.Path.Steps) != 2 {
+		t.Errorf("strfn pred = %#v", se)
+	}
+}
+
+func TestParseFunctionErrors(t *testing.T) {
+	for _, q := range []string{
+		`//_[position()]`,        // missing comparison
+		`//_[position()=]`,       // missing operand
+		`//_[position()=x]`,      // non-integer
+		`//_[position=1]`,        // missing parens
+		`//_[count()=1]`,         // empty path
+		`//_[count(//NP)=x]`,     // non-integer
+		`//_[count(//NP)]`,       // missing comparison
+		`//_[contains(@lex)]`,    // missing argument
+		`//_[contains(@lex,)]`,   // empty argument
+		`//_[contains('a',@x)]`,  // literal in path position
+		`//_[last()=2]`,          // last() takes no comparison here
+		`//_[ends-with@lex,'s']`, // missing parens
+	} {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q): expected error", q)
+		}
+	}
+	// Validation: string functions need an attribute path.
+	p := MustParse(`//_[contains(//NP,'a')]`)
+	if err := Validate(p); err == nil {
+		t.Error("contains() without attribute path should fail validation")
+	}
+}
+
+func TestFunctionRoundTrip(t *testing.T) {
+	queries := []string{
+		`//VP/_[position()=1]`,
+		`//VP/_[position()<=last()]`,
+		`//VP/_[last()]`,
+		`//NP[count(//JJ)>=2]`,
+		`//_[contains(@lex,'x')]`,
+		`//_[starts-with(@lex,'a')]`,
+		`//NP[ends-with(//NN@lex,'s') and count(/_)=2]`,
+	}
+	for _, q := range queries {
+		p1 := MustParse(q)
+		p2, err := Parse(p1.String())
+		if err != nil {
+			t.Errorf("reparse of %q → %q: %v", q, p1.String(), err)
+			continue
+		}
+		if !p1.Equal(p2) {
+			t.Errorf("round trip not equal: %q → %q", q, p1.String())
+		}
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if !ReverseAxis(AxisAncestor) || !ReverseAxis(AxisImmediatePrecedingSibling) {
+		t.Error("reverse axes misclassified")
+	}
+	if ReverseAxis(AxisChild) || ReverseAxis(AxisFollowing) || ReverseAxis(AxisSelf) {
+		t.Error("forward axes misclassified")
+	}
+	cases := []struct {
+		a    int
+		op   string
+		b    int
+		want bool
+	}{
+		{1, "=", 1, true}, {1, "!=", 1, false}, {1, "<", 2, true},
+		{2, "<=", 2, true}, {3, ">", 2, true}, {2, ">=", 3, false},
+		{1, "??", 1, false},
+	}
+	for _, tc := range cases {
+		if got := CompareInts(tc.a, tc.op, tc.b); got != tc.want {
+			t.Errorf("CompareInts(%d %s %d) = %v", tc.a, tc.op, tc.b, got)
+		}
+	}
+	if !StrFn("contains", "abc", "b") || StrFn("contains", "abc", "z") {
+		t.Error("contains wrong")
+	}
+	if !StrFn("starts-with", "abc", "ab") || StrFn("starts-with", "abc", "bc") {
+		t.Error("starts-with wrong")
+	}
+	if !StrFn("ends-with", "abc", "bc") || StrFn("ends-with", "abc", "ab") {
+		t.Error("ends-with wrong")
+	}
+	if StrFn("nope", "a", "a") {
+		t.Error("unknown fn should be false")
+	}
+	// HasPositional detection, including through boolean structure but not
+	// through nested paths.
+	if !MustParse(`//_[position()=1]`).Steps[0].HasPositional() {
+		t.Error("positional not detected")
+	}
+	if !MustParse(`//_[not(last())]`).Steps[0].HasPositional() {
+		t.Error("positional under not() not detected")
+	}
+	if !MustParse(`//_[//NP and last()]`).Steps[0].HasPositional() {
+		t.Error("positional under and not detected")
+	}
+	if MustParse(`//_[//NP[last()]]`).Steps[0].HasPositional() {
+		t.Error("nested path positional must not count")
+	}
+	if MustParse(`//_[count(//NP)=1]`).Steps[0].HasPositional() {
+		t.Error("count() is not positional")
+	}
+}

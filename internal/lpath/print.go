@@ -1,0 +1,222 @@
+package lpath
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+// String renders the path in LPath surface syntax using the Table 1
+// abbreviations. The output re-parses to an equal tree (see the round-trip
+// property test).
+func (p *Path) String() string {
+	var b strings.Builder
+	writePath(&b, p)
+	return b.String()
+}
+
+func writePath(b *strings.Builder, p *Path) {
+	for i := range p.Steps {
+		writeStep(b, &p.Steps[i])
+	}
+	if p.Scoped != nil {
+		b.WriteByte('{')
+		writePath(b, p.Scoped)
+		b.WriteByte('}')
+	}
+}
+
+func writeStep(b *strings.Builder, s *Step) {
+	if abbr := s.Axis.Abbrev(); abbr != "" {
+		b.WriteString(abbr)
+	} else {
+		// Long-form-only axes (the or-self closures).
+		b.WriteByte('/')
+		b.WriteString(s.Axis.String())
+		b.WriteString("::")
+	}
+	if s.LeftAlign {
+		b.WriteByte('^')
+	}
+	switch {
+	case s.Axis == AxisSelf && s.Test == "_":
+		// bare '.'
+	case s.Test == "_":
+		b.WriteByte('_')
+	default:
+		writeName(b, s.Test)
+	}
+	if s.RightAlign {
+		b.WriteByte('$')
+	}
+	for _, pred := range s.Preds {
+		b.WriteByte('[')
+		writeExpr(b, pred, false)
+		b.WriteByte(']')
+	}
+}
+
+// writeName writes a node test or literal, quoting it when it would not
+// re-lex as a single name token.
+func writeName(b *strings.Builder, name string) {
+	if lexesAsName(name) {
+		b.WriteString(name)
+		return
+	}
+	b.WriteByte('\'')
+	b.WriteString(strings.ReplaceAll(name, "'", "''"))
+	b.WriteByte('\'')
+}
+
+func lexesAsName(name string) bool {
+	if name == "" || name == "_" {
+		return false
+	}
+	for i, r := range name {
+		if isNameRune(r) || r == '_' {
+			continue
+		}
+		if r == '-' {
+			rest := name[i:]
+			if strings.HasPrefix(rest, "->") || strings.HasPrefix(rest, "-->") {
+				return false
+			}
+			continue
+		}
+		return false
+	}
+	r, _ := utf8.DecodeRuneInString(name)
+	return isNameStart(r) || r == '-' || r == '_'
+}
+
+func writeExpr(b *strings.Builder, e Expr, parenthesize bool) {
+	switch x := e.(type) {
+	case *OrExpr:
+		if parenthesize {
+			b.WriteByte('(')
+		}
+		writeExpr(b, x.L, needsParens(x.L, e))
+		b.WriteString(" or ")
+		writeExpr(b, x.R, needsParens(x.R, e))
+		if parenthesize {
+			b.WriteByte(')')
+		}
+	case *AndExpr:
+		if parenthesize {
+			b.WriteByte('(')
+		}
+		writeExpr(b, x.L, needsParens(x.L, e))
+		b.WriteString(" and ")
+		writeExpr(b, x.R, needsParens(x.R, e))
+		if parenthesize {
+			b.WriteByte(')')
+		}
+	case *NotExpr:
+		b.WriteString("not(")
+		writeExpr(b, x.X, false)
+		b.WriteByte(')')
+	case *PathExpr:
+		writePath(b, x.Path)
+	case *CmpExpr:
+		writePath(b, x.Path)
+		b.WriteString(x.Op)
+		writeName(b, x.Value)
+	case *PositionExpr:
+		b.WriteString("position()")
+		b.WriteString(x.Op)
+		if x.Last {
+			b.WriteString("last()")
+		} else {
+			fmt.Fprintf(b, "%d", x.Value)
+		}
+	case *LastExpr:
+		b.WriteString("last()")
+	case *CountExpr:
+		b.WriteString("count(")
+		writePath(b, x.Path)
+		b.WriteString(")")
+		b.WriteString(x.Op)
+		fmt.Fprintf(b, "%d", x.Value)
+	case *StrFnExpr:
+		b.WriteString(x.Fn)
+		b.WriteString("(")
+		writePath(b, x.Path)
+		b.WriteString(",")
+		writeName(b, x.Arg)
+		b.WriteString(")")
+	}
+}
+
+// needsParens reports whether child must be parenthesized inside parent to
+// preserve precedence (or binds looser than and).
+func needsParens(child, parent Expr) bool {
+	_, childOr := child.(*OrExpr)
+	_, parentAnd := parent.(*AndExpr)
+	return childOr && parentAnd
+}
+
+// Equal reports structural equality of two paths.
+func (p *Path) Equal(q *Path) bool {
+	if (p == nil) != (q == nil) {
+		return false
+	}
+	if p == nil {
+		return true
+	}
+	if len(p.Steps) != len(q.Steps) {
+		return false
+	}
+	for i := range p.Steps {
+		if !stepEqual(&p.Steps[i], &q.Steps[i]) {
+			return false
+		}
+	}
+	return p.Scoped.Equal(q.Scoped)
+}
+
+func stepEqual(a, b *Step) bool {
+	if a.Axis != b.Axis || a.Test != b.Test ||
+		a.LeftAlign != b.LeftAlign || a.RightAlign != b.RightAlign ||
+		len(a.Preds) != len(b.Preds) {
+		return false
+	}
+	for i := range a.Preds {
+		if !exprEqual(a.Preds[i], b.Preds[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func exprEqual(a, b Expr) bool {
+	switch x := a.(type) {
+	case *AndExpr:
+		y, ok := b.(*AndExpr)
+		return ok && exprEqual(x.L, y.L) && exprEqual(x.R, y.R)
+	case *OrExpr:
+		y, ok := b.(*OrExpr)
+		return ok && exprEqual(x.L, y.L) && exprEqual(x.R, y.R)
+	case *NotExpr:
+		y, ok := b.(*NotExpr)
+		return ok && exprEqual(x.X, y.X)
+	case *PathExpr:
+		y, ok := b.(*PathExpr)
+		return ok && x.Path.Equal(y.Path)
+	case *CmpExpr:
+		y, ok := b.(*CmpExpr)
+		return ok && x.Op == y.Op && x.Value == y.Value && x.Path.Equal(y.Path)
+	case *PositionExpr:
+		y, ok := b.(*PositionExpr)
+		return ok && *x == *y
+	case *LastExpr:
+		_, ok := b.(*LastExpr)
+		return ok
+	case *CountExpr:
+		y, ok := b.(*CountExpr)
+		return ok && x.Op == y.Op && x.Value == y.Value && x.Path.Equal(y.Path)
+	case *StrFnExpr:
+		y, ok := b.(*StrFnExpr)
+		return ok && x.Fn == y.Fn && x.Arg == y.Arg && x.Path.Equal(y.Path)
+	}
+	return false
+}

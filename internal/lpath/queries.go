@@ -1,0 +1,34 @@
+package lpath
+
+// EvalQueries is the 23-query evaluation set of Figure 6(c) in the paper.
+// Index 0 is Q1. XPathExpressible marks the 11 queries expressible in XPath
+// 1.0, the set used in the labeling-scheme comparison of Figure 10.
+var EvalQueries = []struct {
+	ID               int
+	Text             string
+	XPathExpressible bool
+}{
+	{1, `//S[//_[@lex=saw]]`, true},
+	{2, `//VB->NP`, false},
+	{3, `//VP/VB-->NN`, false},
+	{4, `//VP{/VB-->NN}`, false},
+	{5, `//VP{/NP$}`, false},
+	{6, `//VP{//NP$}`, false},
+	{7, `//VP[{//^VB->NP->PP$}]`, false},
+	{8, `//S[//NP/ADJP]`, true},
+	{9, `//NP[not(//JJ)]`, true},
+	{10, `//NP[->PP[//IN[@lex=of]]=>VP]`, false},
+	{11, `//S[{//_[@lex=what]->_[@lex=building]}]`, false},
+	{12, `//_[@lex=rapprochement]`, true},
+	{13, `//_[@lex=1929]`, true},
+	{14, `//ADVP-LOC-CLR`, true},
+	{15, `//WHPP`, true},
+	{16, `//RRC/PP-TMP`, true},
+	{17, `//UCP-PRD/ADJP-PRD`, true},
+	{18, `//NP/NP/NP/NP/NP`, true},
+	{19, `//VP/VP/VP`, true},
+	{20, `//PP=>SBAR`, false},
+	{21, `//ADVP=>ADJP`, false},
+	{22, `//NP=>NP=>NP`, false},
+	{23, `//VP=>VP`, false},
+}

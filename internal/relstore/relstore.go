@@ -1,0 +1,392 @@
+// Package relstore is the embedded relational storage engine beneath the
+// LPath query processor. It reproduces the storage organization of Section 5
+// of the paper: labeled tree nodes stored in a single relation with schema
+//
+//	{tid, left, right, depth, id, pid, name, value}
+//
+// clustered by {name, tid, left, right, depth, id, pid}, with secondary
+// indexes {value, tid, id} (attribute values), {tid, id} (node identity) and
+// a {tid, pid} index for sibling navigation. Attribute rows carry the same
+// (left, right, depth, id, pid) as their element and a name starting with
+// '@', exactly as in Figure 5.
+//
+// The store supports two labeling schemes so the Figure 10 comparison can be
+// run on identical machinery: SchemeInterval is the paper's scheme (package
+// label); SchemeStartEnd is the conventional XPath labeling of DeHaan et
+// al., where left/right are the textual positions of the start and end tags.
+package relstore
+
+import (
+	"fmt"
+	"sort"
+
+	"lpath/internal/label"
+	"lpath/internal/tree"
+)
+
+// Scheme selects how left/right are assigned.
+type Scheme int
+
+const (
+	// SchemeInterval is the paper's labeling (Definition 4.1): leaf i spans
+	// [i, i+1] and a non-terminal spans its leaf descendants.
+	SchemeInterval Scheme = iota
+	// SchemeStartEnd is the start/end-position labeling used by XPath
+	// engines [DeHaan et al., SIGMOD 2001]: left/right are preorder start
+	// and postorder end positions, so containment tests descendants but
+	// spatial adjacency is not represented.
+	SchemeStartEnd
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeInterval:
+		return "interval"
+	case SchemeStartEnd:
+		return "start-end"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Row is one tuple of the node relation.
+type Row struct {
+	TID   int32
+	Left  int32
+	Right int32
+	Depth int32
+	ID    int32
+	PID   int32
+	Name  string
+	Value string // attribute value; "" for element rows
+}
+
+// IsAttr reports whether the row is an attribute row.
+func (r *Row) IsAttr() bool { return len(r.Name) > 0 && r.Name[0] == '@' }
+
+// Key packs (tid, id) into a single map key.
+func Key(tid, id int32) int64 { return int64(tid)<<32 | int64(uint32(id)) }
+
+// Store is the node relation plus its indexes.
+type Store struct {
+	scheme Scheme
+	rows   []Row // clustered by (name, tid, left, right, depth, id)
+
+	nameIdx  map[string][2]int32 // name → [lo, hi) range in rows
+	rightIdx map[string][]int32  // name → element row indexes sorted by (tid, right)
+	valueIdx map[string][]int32  // value → attribute row indexes sorted by (tid, id)
+	idIdx    map[int64]int32     // (tid,id) → element row index
+	attrIdx  map[int64][]int32   // (tid,id) → attribute row indexes
+	childIdx map[int64][]int32   // (tid,pid) → element row indexes of children in order
+	nodeOf   map[int64]*tree.Node
+
+	treeCount int
+	rootRows  []int32 // element row index of each tree root, by tid order
+
+	elemsByLeft  []int32 // all element rows sorted by (tid, left, depth)
+	elemsByRight []int32 // all element rows sorted by (tid, right, left)
+}
+
+// Build labels every tree of the corpus under the scheme and constructs the
+// relation and all indexes.
+func Build(c *tree.Corpus, scheme Scheme) *Store {
+	s := &Store{
+		scheme:   scheme,
+		nameIdx:  make(map[string][2]int32),
+		rightIdx: make(map[string][]int32),
+		valueIdx: make(map[string][]int32),
+		idIdx:    make(map[int64]int32),
+		attrIdx:  make(map[int64][]int32),
+		childIdx: make(map[int64][]int32),
+		nodeOf:   make(map[int64]*tree.Node),
+	}
+	s.treeCount = c.Len()
+	est := c.NodeCount()
+	s.rows = make([]Row, 0, est+est/3)
+	for _, t := range c.Trees {
+		s.appendTree(t)
+	}
+	s.buildIndexes()
+	return s
+}
+
+// appendTree labels one tree and appends its element and attribute rows.
+func (s *Store) appendTree(t *tree.Tree) {
+	tid := int32(t.ID)
+	var labeled []label.Labeled
+	switch s.scheme {
+	case SchemeInterval:
+		labeled = label.Assign(t)
+	case SchemeStartEnd:
+		labeled = assignStartEnd(t)
+	}
+	for _, ln := range labeled {
+		row := Row{
+			TID: tid, Left: ln.Label.Left, Right: ln.Label.Right,
+			Depth: ln.Label.Depth, ID: ln.Label.ID, PID: ln.Label.PID,
+			Name: ln.Node.Tag,
+		}
+		s.rows = append(s.rows, row)
+		s.nodeOf[Key(tid, ln.Label.ID)] = ln.Node
+		for _, attr := range ln.Node.AttrNames() {
+			v, _ := ln.Node.Attr(attr)
+			arow := row
+			arow.Name = attr
+			arow.Value = v
+			s.rows = append(s.rows, arow)
+		}
+	}
+}
+
+// assignStartEnd labels a tree with the start/end scheme: positions are
+// assigned by a single traversal where entering and leaving a node each
+// consume one position, mimicking textual tag offsets.
+func assignStartEnd(t *tree.Tree) []label.Labeled {
+	if t == nil || t.Root == nil {
+		return nil
+	}
+	out := make([]label.Labeled, 0, 64)
+	var pos, nextID int32
+	var rec func(n *tree.Node, depth, pid int32)
+	rec = func(n *tree.Node, depth, pid int32) {
+		nextID++
+		id := nextID
+		idx := len(out)
+		out = append(out, label.Labeled{Node: n})
+		pos++
+		start := pos
+		for _, c := range n.Children {
+			rec(c, depth+1, id)
+		}
+		pos++
+		out[idx].Label = label.Label{Left: start, Right: pos, Depth: depth, ID: id, PID: pid}
+	}
+	rec(t.Root, 1, 0)
+	return out
+}
+
+func (s *Store) buildIndexes() {
+	rows := s.rows
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := &rows[i], &rows[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		if a.Left != b.Left {
+			return a.Left < b.Left
+		}
+		if a.Right != b.Right {
+			return a.Right < b.Right
+		}
+		if a.Depth != b.Depth {
+			return a.Depth < b.Depth
+		}
+		return a.ID < b.ID
+	})
+	var curName string
+	var lo int32
+	flush := func(hi int32) {
+		if curName != "" || hi > lo {
+			s.nameIdx[curName] = [2]int32{lo, hi}
+		}
+	}
+	for i := range rows {
+		r := &rows[i]
+		if i == 0 || r.Name != curName {
+			if i > 0 {
+				flush(int32(i))
+			}
+			curName = r.Name
+			lo = int32(i)
+		}
+		key := Key(r.TID, r.ID)
+		if r.IsAttr() {
+			s.valueIdx[r.Value] = append(s.valueIdx[r.Value], int32(i))
+			s.attrIdx[key] = append(s.attrIdx[key], int32(i))
+		} else {
+			s.idIdx[key] = int32(i)
+			s.childIdx[Key(r.TID, r.PID)] = append(s.childIdx[Key(r.TID, r.PID)], int32(i))
+			if r.PID == 0 {
+				s.rootRows = append(s.rootRows, int32(i))
+			}
+		}
+	}
+	if len(rows) > 0 {
+		flush(int32(len(rows)))
+	}
+	sort.Slice(s.rootRows, func(a, b int) bool {
+		return rows[s.rootRows[a]].TID < rows[s.rootRows[b]].TID
+	})
+	// Per-name (tid, right)-ordered element indexes for the reverse
+	// horizontal axes.
+	for name, rng := range s.nameIdx {
+		if name != "" && name[0] == '@' {
+			continue
+		}
+		idxs := make([]int32, 0, rng[1]-rng[0])
+		for i := rng[0]; i < rng[1]; i++ {
+			idxs = append(idxs, i)
+		}
+		sort.Slice(idxs, func(a, b int) bool {
+			ra, rb := &rows[idxs[a]], &rows[idxs[b]]
+			if ra.TID != rb.TID {
+				return ra.TID < rb.TID
+			}
+			if ra.Right != rb.Right {
+				return ra.Right < rb.Right
+			}
+			return ra.Left < rb.Left
+		})
+		s.rightIdx[name] = idxs
+	}
+	// Value and child index postings sorted for deterministic scans.
+	for v, idxs := range s.valueIdx {
+		sort.Slice(idxs, func(a, b int) bool {
+			ra, rb := &rows[idxs[a]], &rows[idxs[b]]
+			if ra.TID != rb.TID {
+				return ra.TID < rb.TID
+			}
+			return ra.ID < rb.ID
+		})
+		s.valueIdx[v] = idxs
+	}
+	for k, idxs := range s.childIdx {
+		sort.Slice(idxs, func(a, b int) bool {
+			return rows[idxs[a]].Left < rows[idxs[b]].Left ||
+				(rows[idxs[a]].Left == rows[idxs[b]].Left && rows[idxs[a]].Depth < rows[idxs[b]].Depth)
+		})
+		s.childIdx[k] = idxs
+	}
+	// Whole-relation document-order indexes for wildcard node tests.
+	s.elemsByLeft = make([]int32, 0, len(s.idIdx))
+	for i := range rows {
+		if !rows[i].IsAttr() {
+			s.elemsByLeft = append(s.elemsByLeft, int32(i))
+		}
+	}
+	s.elemsByRight = append([]int32(nil), s.elemsByLeft...)
+	sort.Slice(s.elemsByLeft, func(a, b int) bool {
+		ra, rb := &rows[s.elemsByLeft[a]], &rows[s.elemsByLeft[b]]
+		if ra.TID != rb.TID {
+			return ra.TID < rb.TID
+		}
+		if ra.Left != rb.Left {
+			return ra.Left < rb.Left
+		}
+		return ra.Depth < rb.Depth
+	})
+	sort.Slice(s.elemsByRight, func(a, b int) bool {
+		ra, rb := &rows[s.elemsByRight[a]], &rows[s.elemsByRight[b]]
+		if ra.TID != rb.TID {
+			return ra.TID < rb.TID
+		}
+		if ra.Right != rb.Right {
+			return ra.Right < rb.Right
+		}
+		return ra.Left < rb.Left
+	})
+}
+
+// ElementsByLeft returns every element row index ordered by (tid, left,
+// depth) — document order. Used for wildcard node tests.
+func (s *Store) ElementsByLeft() []int32 { return s.elemsByLeft }
+
+// ElementsByRight returns every element row index ordered by (tid, right).
+func (s *Store) ElementsByRight() []int32 { return s.elemsByRight }
+
+// Scheme returns the labeling scheme the store was built with.
+func (s *Store) Scheme() Scheme { return s.scheme }
+
+// Len returns the total number of rows (element + attribute).
+func (s *Store) Len() int { return len(s.rows) }
+
+// TreeCount returns the number of trees stored.
+func (s *Store) TreeCount() int { return s.treeCount }
+
+// Row returns the i-th row of the clustered relation.
+func (s *Store) Row(i int32) *Row { return &s.rows[i] }
+
+// Name returns the clustered range of rows with the given name (a tag, or an
+// attribute name with leading '@') as a subslice view, sorted by
+// (tid, left, right, depth, id).
+func (s *Store) Name(name string) []Row {
+	rng, ok := s.nameIdx[name]
+	if !ok {
+		return nil
+	}
+	return s.rows[rng[0]:rng[1]]
+}
+
+// NameRange returns the clustered [lo, hi) row-index range for a name.
+func (s *Store) NameRange(name string) (lo, hi int32, ok bool) {
+	rng, ok := s.nameIdx[name]
+	return rng[0], rng[1], ok
+}
+
+// Names returns every distinct element tag in the store.
+func (s *Store) Names() []string {
+	out := make([]string, 0, len(s.nameIdx))
+	for n := range s.nameIdx {
+		if len(n) > 0 && n[0] == '@' {
+			continue
+		}
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NameCount returns the number of rows clustered under the name — the
+// selectivity statistic the planner orders joins by.
+func (s *Store) NameCount(name string) int {
+	rng, ok := s.nameIdx[name]
+	if !ok {
+		return 0
+	}
+	return int(rng[1] - rng[0])
+}
+
+// ElementCount returns the total number of element rows.
+func (s *Store) ElementCount() int { return len(s.idIdx) }
+
+// NameByRight returns the element row indexes for the name ordered by
+// (tid, right); used by the preceding/immediate-preceding probes.
+func (s *Store) NameByRight(name string) []int32 { return s.rightIdx[name] }
+
+// ByValue returns the attribute row indexes whose value equals v, ordered by
+// (tid, id).
+func (s *Store) ByValue(v string) []int32 { return s.valueIdx[v] }
+
+// ElementByID returns the element row index for (tid, id).
+func (s *Store) ElementByID(tid, id int32) (int32, bool) {
+	i, ok := s.idIdx[Key(tid, id)]
+	return i, ok
+}
+
+// Attrs returns the attribute row indexes of element (tid, id).
+func (s *Store) Attrs(tid, id int32) []int32 { return s.attrIdx[Key(tid, id)] }
+
+// AttrValue returns the value of the named attribute ('@' prefix included)
+// on element (tid, id).
+func (s *Store) AttrValue(tid, id int32, name string) (string, bool) {
+	for _, i := range s.attrIdx[Key(tid, id)] {
+		if s.rows[i].Name == name {
+			return s.rows[i].Value, true
+		}
+	}
+	return "", false
+}
+
+// Children returns the element row indexes of the children of (tid, pid) in
+// left-to-right order.
+func (s *Store) Children(tid, pid int32) []int32 { return s.childIdx[Key(tid, pid)] }
+
+// Roots returns the element row indexes of the tree roots.
+func (s *Store) Roots() []int32 { return s.rootRows }
+
+// NodeFor maps a row back to its tree node (element rows and attribute rows
+// both map to the element's node).
+func (s *Store) NodeFor(r *Row) *tree.Node { return s.nodeOf[Key(r.TID, r.ID)] }

@@ -1,0 +1,280 @@
+package relstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"lpath/internal/tree"
+)
+
+// This file implements binary store snapshots: the labeled relation can be
+// written once and reloaded without re-parsing or re-labeling the corpus,
+// the workflow of the paper's engine (label the treebank, load it into the
+// database, then answer queries). A snapshot contains the full relation, so
+// loading reconstructs both the indexes and the original trees.
+//
+// Format (all integers unsigned varints unless noted):
+//
+//	magic "LPS1" (4 bytes)
+//	scheme (1 byte)
+//	tree count
+//	string table: count, then per string: length, bytes
+//	row count, then per row: tid, left, right, depth, id, pid,
+//	    name ref (1-based into the string table),
+//	    value ref (0 = no value)
+
+const snapshotMagic = "LPS1"
+
+// WriteSnapshot serializes the store.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(byte(s.scheme)); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(s.treeCount))
+
+	// Build the string table over names and values.
+	refs := make(map[string]uint64)
+	var table []string
+	intern := func(str string) uint64 {
+		if str == "" {
+			return 0
+		}
+		if ref, ok := refs[str]; ok {
+			return ref
+		}
+		table = append(table, str)
+		refs[str] = uint64(len(table))
+		return refs[str]
+	}
+	nameRefs := make([]uint64, len(s.rows))
+	valueRefs := make([]uint64, len(s.rows))
+	for i := range s.rows {
+		nameRefs[i] = intern(s.rows[i].Name)
+		valueRefs[i] = intern(s.rows[i].Value)
+	}
+	writeUvarint(bw, uint64(len(table)))
+	for _, str := range table {
+		writeUvarint(bw, uint64(len(str)))
+		if _, err := bw.WriteString(str); err != nil {
+			return err
+		}
+	}
+	writeUvarint(bw, uint64(len(s.rows)))
+	for i := range s.rows {
+		r := &s.rows[i]
+		writeUvarint(bw, uint64(r.TID))
+		writeUvarint(bw, uint64(r.Left))
+		writeUvarint(bw, uint64(r.Right))
+		writeUvarint(bw, uint64(r.Depth))
+		writeUvarint(bw, uint64(r.ID))
+		writeUvarint(bw, uint64(r.PID))
+		writeUvarint(bw, nameRefs[i])
+		writeUvarint(bw, valueRefs[i])
+	}
+	return bw.Flush()
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, _ = w.Write(buf[:n])
+}
+
+// ReadSnapshot deserializes a store, rebuilding its indexes and
+// reconstructing the corpus trees from the relation. The returned corpus
+// carries the same tree IDs as the one the snapshot was built from.
+func ReadSnapshot(r io.Reader) (*Store, *tree.Corpus, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, nil, fmt.Errorf("relstore: reading snapshot header: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, nil, fmt.Errorf("relstore: bad snapshot magic %q", magic)
+	}
+	schemeByte, err := br.ReadByte()
+	if err != nil {
+		return nil, nil, err
+	}
+	scheme := Scheme(schemeByte)
+	if scheme != SchemeInterval && scheme != SchemeStartEnd {
+		return nil, nil, fmt.Errorf("relstore: unknown scheme %d in snapshot", schemeByte)
+	}
+	treeCount, err := readUvarint(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	nStrings, err := readUvarint(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	const maxStrings = 1 << 28
+	if nStrings > maxStrings {
+		return nil, nil, fmt.Errorf("relstore: implausible string table size %d", nStrings)
+	}
+	table := make([]string, nStrings)
+	var sb strings.Builder
+	for i := range table {
+		n, err := readUvarint(br)
+		if err != nil {
+			return nil, nil, err
+		}
+		if n > 1<<20 {
+			return nil, nil, fmt.Errorf("relstore: implausible string length %d", n)
+		}
+		sb.Reset()
+		if _, err := io.CopyN(&sb, br, int64(n)); err != nil {
+			return nil, nil, err
+		}
+		table[i] = sb.String()
+	}
+	lookup := func(ref uint64) (string, error) {
+		if ref == 0 {
+			return "", nil
+		}
+		if ref > uint64(len(table)) {
+			return "", fmt.Errorf("relstore: string ref %d out of range", ref)
+		}
+		return table[ref-1], nil
+	}
+	nRows, err := readUvarint(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	if nRows > maxStrings*4 {
+		return nil, nil, fmt.Errorf("relstore: implausible row count %d", nRows)
+	}
+	s := &Store{
+		scheme:   scheme,
+		rows:     make([]Row, 0, nRows),
+		nameIdx:  make(map[string][2]int32),
+		rightIdx: make(map[string][]int32),
+		valueIdx: make(map[string][]int32),
+		idIdx:    make(map[int64]int32),
+		attrIdx:  make(map[int64][]int32),
+		childIdx: make(map[int64][]int32),
+		nodeOf:   make(map[int64]*tree.Node),
+	}
+	s.treeCount = int(treeCount)
+	for i := uint64(0); i < nRows; i++ {
+		var vals [6]uint64
+		for j := range vals {
+			v, err := readUvarint(br)
+			if err != nil {
+				return nil, nil, fmt.Errorf("relstore: truncated snapshot row %d: %w", i, err)
+			}
+			vals[j] = v
+		}
+		nameRef, err := readUvarint(br)
+		if err != nil {
+			return nil, nil, err
+		}
+		valueRef, err := readUvarint(br)
+		if err != nil {
+			return nil, nil, err
+		}
+		name, err := lookup(nameRef)
+		if err != nil {
+			return nil, nil, err
+		}
+		value, err := lookup(valueRef)
+		if err != nil {
+			return nil, nil, err
+		}
+		if name == "" {
+			return nil, nil, fmt.Errorf("relstore: row %d without name", i)
+		}
+		s.rows = append(s.rows, Row{
+			TID: int32(vals[0]), Left: int32(vals[1]), Right: int32(vals[2]),
+			Depth: int32(vals[3]), ID: int32(vals[4]), PID: int32(vals[5]),
+			Name: name, Value: value,
+		})
+	}
+	corpus, err := reconstruct(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.buildIndexes()
+	return s, corpus, nil
+}
+
+func readUvarint(br *bufio.Reader) (uint64, error) {
+	return binary.ReadUvarint(br)
+}
+
+// reconstruct rebuilds the corpus trees from the relation rows and
+// populates the store's node map.
+func reconstruct(s *Store) (*tree.Corpus, error) {
+	type elem struct {
+		row  *Row
+		node *tree.Node
+	}
+	perTree := make(map[int32][]elem)
+	var attrs []*Row
+	for i := range s.rows {
+		r := &s.rows[i]
+		if r.IsAttr() {
+			attrs = append(attrs, r)
+			continue
+		}
+		perTree[r.TID] = append(perTree[r.TID], elem{row: r, node: &tree.Node{Tag: r.Name}})
+	}
+	tids := make([]int32, 0, len(perTree))
+	for tid := range perTree {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+
+	c := tree.NewCorpus()
+	for _, tid := range tids {
+		elems := perTree[tid]
+		// Preorder ids: sorting by id recovers document order, so parents
+		// precede children and child order is left-to-right.
+		sort.Slice(elems, func(i, j int) bool { return elems[i].row.ID < elems[j].row.ID })
+		byID := make(map[int32]*tree.Node, len(elems))
+		var root *tree.Node
+		for _, el := range elems {
+			byID[el.row.ID] = el.node
+			s.nodeOf[Key(tid, el.row.ID)] = el.node
+			if el.row.PID == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("relstore: tree %d has two roots", tid)
+				}
+				root = el.node
+				continue
+			}
+			parent, ok := byID[el.row.PID]
+			if !ok {
+				return nil, fmt.Errorf("relstore: tree %d: node %d has unknown parent %d",
+					tid, el.row.ID, el.row.PID)
+			}
+			parent.AddChild(el.node)
+		}
+		if root == nil {
+			return nil, fmt.Errorf("relstore: tree %d has no root", tid)
+		}
+		t := c.Add(tree.NewTree(root))
+		if int32(t.ID) != tid {
+			// Tree ids in snapshots are dense and 1-based by construction;
+			// preserve them explicitly if a gap appears.
+			t.ID = int(tid)
+		}
+	}
+	for _, ar := range attrs {
+		n := s.nodeOf[Key(ar.TID, ar.ID)]
+		if n == nil {
+			return nil, fmt.Errorf("relstore: attribute row %s for unknown element %d/%d",
+				ar.Name, ar.TID, ar.ID)
+		}
+		n.SetAttr(ar.Name, ar.Value)
+	}
+	return c, nil
+}

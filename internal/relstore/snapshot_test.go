@@ -1,0 +1,124 @@
+package relstore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lpath/internal/tree"
+)
+
+func snapshotRoundTrip(t *testing.T, c *tree.Corpus, scheme Scheme) (*Store, *Store, *tree.Corpus) {
+	t.Helper()
+	orig := Build(c, scheme)
+	var buf bytes.Buffer
+	if err := orig.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, corpus, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return orig, loaded, corpus
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := tree.NewCorpus()
+	c.Add(tree.Figure1())
+	c.Add(tree.MustParseTree(`(S (NP-SBJ (-NONE- *T*-1)) (VP (VBD saw)))`))
+	orig, loaded, corpus := snapshotRoundTrip(t, c, SchemeInterval)
+
+	if loaded.Scheme() != orig.Scheme() {
+		t.Errorf("scheme = %v", loaded.Scheme())
+	}
+	if loaded.Len() != orig.Len() || loaded.TreeCount() != orig.TreeCount() {
+		t.Fatalf("size = %d/%d, want %d/%d",
+			loaded.Len(), loaded.TreeCount(), orig.Len(), orig.TreeCount())
+	}
+	for i := int32(0); i < int32(orig.Len()); i++ {
+		a, b := orig.Row(i), loaded.Row(i)
+		if *a != *b {
+			t.Fatalf("row %d: %+v != %+v", i, a, b)
+		}
+	}
+	// Reconstructed trees match the originals structurally.
+	if corpus.Len() != c.Len() {
+		t.Fatalf("corpus len = %d", corpus.Len())
+	}
+	for i := range c.Trees {
+		if got, want := corpus.Trees[i].Root.String(), c.Trees[i].Root.String(); got != want {
+			t.Errorf("tree %d:\n got %s\nwant %s", i+1, got, want)
+		}
+		if corpus.Trees[i].ID != c.Trees[i].ID {
+			t.Errorf("tree %d id = %d", i, corpus.Trees[i].ID)
+		}
+	}
+	if err := corpus.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Indexes were rebuilt: name scans and node mapping work.
+	if got := loaded.NameCount("NP"); got != orig.NameCount("NP") {
+		t.Errorf("NameCount(NP) = %d", got)
+	}
+	saw := loaded.ByValue("saw")
+	if len(saw) != 2 {
+		t.Fatalf("ByValue(saw) = %d", len(saw))
+	}
+	for _, ri := range saw {
+		if n := loaded.NodeFor(loaded.Row(ri)); n == nil || n.Word != "saw" {
+			t.Errorf("NodeFor = %v", n)
+		}
+	}
+}
+
+func TestSnapshotStartEndScheme(t *testing.T) {
+	c := tree.NewCorpus()
+	c.Add(tree.Figure1())
+	orig, loaded, _ := snapshotRoundTrip(t, c, SchemeStartEnd)
+	if loaded.Scheme() != SchemeStartEnd {
+		t.Errorf("scheme = %v", loaded.Scheme())
+	}
+	if loaded.Len() != orig.Len() {
+		t.Errorf("len = %d", loaded.Len())
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	_, loaded, corpus := snapshotRoundTrip(t, tree.NewCorpus(), SchemeInterval)
+	if loaded.Len() != 0 || corpus.Len() != 0 {
+		t.Errorf("empty snapshot: %d rows, %d trees", loaded.Len(), corpus.Len())
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"empty", ""},
+		{"bad magic", "XXXX"},
+		{"truncated after magic", "LPS1"},
+		{"bad scheme", "LPS1\x07"},
+		{"truncated body", "LPS1\x00\x01"},
+	}
+	for _, tc := range cases {
+		if _, _, err := ReadSnapshot(strings.NewReader(tc.data)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestSnapshotCorruptRows(t *testing.T) {
+	c := tree.NewCorpus()
+	c.Add(tree.Figure1())
+	s := Build(c, SchemeInterval)
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-rows.
+	data := buf.Bytes()
+	if _, _, err := ReadSnapshot(bytes.NewReader(data[:len(data)-5])); err == nil {
+		t.Error("truncated rows: expected error")
+	}
+}

@@ -1,0 +1,365 @@
+// Package sqlgen translates LPath queries into SQL over the node relation
+//
+//	node(tid, left, right, depth, id, pid, name, value)
+//
+// following the translation strategy sketched in Section 4 of the paper
+// (after DeHaan et al. and Li & Moon): each location step becomes a
+// self-join whose join condition is the Table 2 label comparison for the
+// step's axis; predicates become EXISTS subqueries (NOT EXISTS for not()),
+// subtree scoping adds containment conjuncts against the scope alias, and
+// edge alignment adds left/right equality conjuncts.
+//
+// The in-process engine (package engine) executes the equivalent plans
+// directly; this package exists to document the translation, to test that
+// every axis has a SQL rendering, and to let the CLI print the SQL for a
+// query the way the paper's yacc-based translator did.
+package sqlgen
+
+import (
+	"fmt"
+	"strings"
+
+	"lpath/internal/lpath"
+)
+
+// Translate renders the LPath query as a single SQL SELECT statement
+// returning the distinct (tid, id) pairs of the final step's matches.
+func Translate(p *lpath.Path) (string, error) {
+	if err := lpath.Validate(p); err != nil {
+		return "", err
+	}
+	g := &gen{}
+	last, where, err := g.path(p, "", "")
+	if err != nil {
+		return "", err
+	}
+	if last == "" {
+		return "", fmt.Errorf("sqlgen: empty query")
+	}
+	var b strings.Builder
+	b.WriteString("SELECT DISTINCT ")
+	b.WriteString(last + ".tid, " + last + ".id\n")
+	b.WriteString("FROM " + strings.Join(g.from, ", ") + "\n")
+	b.WriteString("WHERE " + strings.Join(where, "\n  AND "))
+	b.WriteString("\nORDER BY " + last + ".tid, " + last + ".id")
+	return b.String(), nil
+}
+
+type gen struct {
+	n    int
+	from []string
+}
+
+// alias allocates a fresh relation alias in the top-level FROM clause.
+func (g *gen) alias() string {
+	g.n++
+	a := fmt.Sprintf("n%d", g.n)
+	g.from = append(g.from, "node "+a)
+	return a
+}
+
+// subAlias allocates an alias for a subquery without adding it to the
+// top-level FROM.
+func (g *gen) subAlias() string {
+	g.n++
+	return fmt.Sprintf("s%d", g.n)
+}
+
+// path emits conjuncts for a relative path evaluated from ctx ("" = the
+// virtual super-root) under scope ("" = none). It returns the alias bound to
+// the final step and the accumulated conjuncts.
+func (g *gen) path(p *lpath.Path, ctx, scope string) (string, []string, error) {
+	var where []string
+	cur := ctx
+	for i := range p.Steps {
+		step := &p.Steps[i]
+		if step.Axis == lpath.AxisAttribute {
+			return "", nil, lpath.ErrAttrInMainPath
+		}
+		a := g.alias()
+		conds, err := g.stepConds(step, a, cur, scope)
+		if err != nil {
+			return "", nil, err
+		}
+		where = append(where, conds...)
+		cur = a
+	}
+	if p.Scoped != nil {
+		inner := cur
+		if inner == "" {
+			// Scope on the virtual root: each tree root.
+			inner = g.alias()
+			where = append(where, inner+".pid = 0")
+		}
+		last, conds, err := g.path(p.Scoped, inner, inner)
+		if err != nil {
+			return "", nil, err
+		}
+		where = append(where, conds...)
+		cur = last
+	}
+	return cur, where, nil
+}
+
+// stepConds emits the conjuncts for one step bound to alias a with context
+// alias ctx.
+func (g *gen) stepConds(step *lpath.Step, a, ctx, scope string) ([]string, error) {
+	var where []string
+	if !step.Wildcard() {
+		where = append(where, fmt.Sprintf("%s.name = %s", a, quote(step.Test)))
+	} else {
+		where = append(where, fmt.Sprintf("%s.name NOT LIKE '@%%'", a))
+	}
+	if ctx != "" {
+		where = append(where, fmt.Sprintf("%s.tid = %s.tid", a, ctx))
+		where = append(where, axisConds(step.Axis, a, ctx)...)
+	} else {
+		switch step.Axis {
+		case lpath.AxisDescendant, lpath.AxisDescendantOrSelf:
+			// Every node descends from the virtual root: no constraint.
+		case lpath.AxisChild:
+			where = append(where, a+".pid = 0")
+		default:
+			return nil, fmt.Errorf("sqlgen: axis %s cannot start a query", step.Axis)
+		}
+	}
+	if scope != "" {
+		where = append(where,
+			fmt.Sprintf("%s.left >= %s.left", a, scope),
+			fmt.Sprintf("%s.right <= %s.right", a, scope),
+			fmt.Sprintf("%s.depth >= %s.depth", a, scope))
+	}
+	if step.LeftAlign || step.RightAlign {
+		ref := scope
+		if ref == "" {
+			ref = ctx
+		}
+		if ref == "" {
+			return nil, fmt.Errorf("sqlgen: alignment on the first step requires a scope")
+		}
+		if step.LeftAlign {
+			where = append(where, fmt.Sprintf("%s.left = %s.left", a, ref))
+		}
+		if step.RightAlign {
+			where = append(where, fmt.Sprintf("%s.right = %s.right", a, ref))
+		}
+	}
+	for _, pred := range step.Preds {
+		c, err := g.exprCond(pred, a, scope)
+		if err != nil {
+			return nil, err
+		}
+		where = append(where, c)
+	}
+	return where, nil
+}
+
+// axisConds renders the Table 2 label comparison of the axis between alias a
+// (the candidate) and alias c (the context).
+func axisConds(axis lpath.Axis, a, c string) []string {
+	f := func(format string, args ...any) string { return fmt.Sprintf(format, args...) }
+	switch axis {
+	case lpath.AxisSelf:
+		return []string{f("%s.id = %s.id", a, c)}
+	case lpath.AxisChild:
+		return []string{f("%s.pid = %s.id", a, c)}
+	case lpath.AxisParent:
+		return []string{f("%s.id = %s.pid", a, c)}
+	case lpath.AxisDescendant:
+		return []string{f("%s.left >= %s.left", a, c), f("%s.right <= %s.right", a, c), f("%s.depth > %s.depth", a, c)}
+	case lpath.AxisDescendantOrSelf:
+		return []string{f("%s.left >= %s.left", a, c), f("%s.right <= %s.right", a, c), f("%s.depth >= %s.depth", a, c)}
+	case lpath.AxisAncestor:
+		return []string{f("%s.left <= %s.left", a, c), f("%s.right >= %s.right", a, c), f("%s.depth < %s.depth", a, c)}
+	case lpath.AxisAncestorOrSelf:
+		return []string{f("%s.left <= %s.left", a, c), f("%s.right >= %s.right", a, c), f("%s.depth <= %s.depth", a, c)}
+	case lpath.AxisImmediateFollowing:
+		return []string{f("%s.left = %s.right", a, c)}
+	case lpath.AxisFollowing:
+		return []string{f("%s.left >= %s.right", a, c)}
+	case lpath.AxisFollowingOrSelf:
+		return []string{f("(%s.left >= %s.right OR %s.id = %s.id)", a, c, a, c)}
+	case lpath.AxisImmediatePreceding:
+		return []string{f("%s.right = %s.left", a, c)}
+	case lpath.AxisPreceding:
+		return []string{f("%s.right <= %s.left", a, c)}
+	case lpath.AxisPrecedingOrSelf:
+		return []string{f("(%s.right <= %s.left OR %s.id = %s.id)", a, c, a, c)}
+	case lpath.AxisImmediateFollowingSibling:
+		return []string{f("%s.pid = %s.pid", a, c), f("%s.left = %s.right", a, c)}
+	case lpath.AxisFollowingSibling:
+		return []string{f("%s.pid = %s.pid", a, c), f("%s.left >= %s.right", a, c)}
+	case lpath.AxisFollowingSiblingOrSelf:
+		return []string{f("%s.pid = %s.pid", a, c), f("(%s.left >= %s.right OR %s.id = %s.id)", a, c, a, c)}
+	case lpath.AxisImmediatePrecedingSibling:
+		return []string{f("%s.pid = %s.pid", a, c), f("%s.right = %s.left", a, c)}
+	case lpath.AxisPrecedingSibling:
+		return []string{f("%s.pid = %s.pid", a, c), f("%s.right <= %s.left", a, c)}
+	case lpath.AxisPrecedingSiblingOrSelf:
+		return []string{f("%s.pid = %s.pid", a, c), f("(%s.right <= %s.left OR %s.id = %s.id)", a, c, a, c)}
+	}
+	return []string{"1 = 0"}
+}
+
+// exprCond renders a predicate expression as a boolean SQL condition for
+// context alias ctx.
+func (g *gen) exprCond(e lpath.Expr, ctx, scope string) (string, error) {
+	switch x := e.(type) {
+	case *lpath.AndExpr:
+		l, err := g.exprCond(x.L, ctx, scope)
+		if err != nil {
+			return "", err
+		}
+		r, err := g.exprCond(x.R, ctx, scope)
+		if err != nil {
+			return "", err
+		}
+		return "(" + l + " AND " + r + ")", nil
+	case *lpath.OrExpr:
+		l, err := g.exprCond(x.L, ctx, scope)
+		if err != nil {
+			return "", err
+		}
+		r, err := g.exprCond(x.R, ctx, scope)
+		if err != nil {
+			return "", err
+		}
+		return "(" + l + " OR " + r + ")", nil
+	case *lpath.NotExpr:
+		inner, err := g.exprCond(x.X, ctx, scope)
+		if err != nil {
+			return "", err
+		}
+		return "NOT " + inner, nil
+	case *lpath.PathExpr:
+		return g.existsCond(x.Path, ctx, scope, "", "")
+	case *lpath.CmpExpr:
+		return g.existsCond(x.Path, ctx, scope, x.Op, x.Value)
+	case *lpath.PositionExpr, *lpath.LastExpr:
+		// Positional predicates need window functions (ROW_NUMBER over the
+		// axis order); the paper's translator did not emit them either.
+		return "", fmt.Errorf("sqlgen: position()/last() have no join translation")
+	case *lpath.CountExpr:
+		return g.countCond(x, ctx, scope)
+	case *lpath.StrFnExpr:
+		return g.strFnCond(x, ctx, scope)
+	}
+	return "", fmt.Errorf("sqlgen: unknown expression %T", e)
+}
+
+// countCond renders count(path) Op N as a scalar COUNT subquery.
+func (g *gen) countCond(x *lpath.CountExpr, ctx, scope string) (string, error) {
+	sub := &gen{n: g.n}
+	last, where, err := sub.path(x.Path, ctx, scope)
+	if err != nil {
+		return "", err
+	}
+	g.n = sub.n
+	op := x.Op
+	if op == "!=" {
+		op = "<>"
+	}
+	return fmt.Sprintf("(SELECT COUNT(DISTINCT %s.id) FROM %s WHERE %s) %s %d",
+		last, strings.Join(sub.from, ", "), strings.Join(where, " AND "), op, x.Value), nil
+}
+
+// strFnCond renders the string functions as LIKE patterns over the
+// attribute value.
+func (g *gen) strFnCond(x *lpath.StrFnExpr, ctx, scope string) (string, error) {
+	head, attr, err := lpath.SplitAttr(x.Path)
+	if err != nil {
+		return "", err
+	}
+	if attr == "" {
+		return "", lpath.ErrCmpNeedsAttr
+	}
+	sub := &gen{n: g.n}
+	last := ctx
+	var where []string
+	if head != nil {
+		last, where, err = sub.path(head, ctx, scope)
+		if err != nil {
+			return "", err
+		}
+	}
+	g.n = sub.n
+	av := g.subAlias()
+	from := append(sub.from, "node "+av)
+	esc := strings.NewReplacer("%", `\%`, "_", `\_`).Replace(x.Arg)
+	var pattern string
+	switch x.Fn {
+	case "contains":
+		pattern = "%" + esc + "%"
+	case "starts-with":
+		pattern = esc + "%"
+	case "ends-with":
+		pattern = "%" + esc
+	default:
+		return "", fmt.Errorf("sqlgen: unknown string function %q", x.Fn)
+	}
+	where = append(where,
+		fmt.Sprintf("%s.tid = %s.tid", av, last),
+		fmt.Sprintf("%s.id = %s.id", av, last),
+		fmt.Sprintf("%s.name = %s", av, quote("@"+attr)),
+		fmt.Sprintf("%s.value LIKE %s", av, quote(pattern)))
+	return "EXISTS (SELECT 1 FROM " + strings.Join(from, ", ") +
+		" WHERE " + strings.Join(where, " AND ") + ")", nil
+}
+
+// existsCond renders an existential path (optionally with a trailing
+// attribute comparison) as an EXISTS subquery.
+func (g *gen) existsCond(p *lpath.Path, ctx, scope, op, value string) (string, error) {
+	head, attr, err := lpath.SplitAttr(p)
+	if err != nil {
+		return "", err
+	}
+	if op != "" && attr == "" {
+		return "", lpath.ErrCmpNeedsAttr
+	}
+	sub := &gen{n: g.n}
+	var last string
+	var where []string
+	if head == nil {
+		last = ctx
+	} else {
+		last, where, err = sub.path(head, ctx, scope)
+		if err != nil {
+			return "", err
+		}
+	}
+	g.n = sub.n
+	from := sub.from
+	if attr != "" {
+		av := g.subAlias()
+		from = append(from, "node "+av)
+		where = append(where,
+			fmt.Sprintf("%s.tid = %s.tid", av, last),
+			fmt.Sprintf("%s.id = %s.id", av, last),
+			fmt.Sprintf("%s.name = %s", av, quote("@"+attr)))
+		sqlOp := "="
+		if op == "!=" {
+			sqlOp = "<>"
+		}
+		if op != "" {
+			where = append(where, fmt.Sprintf("%s.value %s %s", av, sqlOp, quote(value)))
+		}
+	}
+	if len(from) == 0 {
+		// Pure self test (e.g. [@lex] handled above); degenerate.
+		if len(where) == 0 {
+			return "1 = 1", nil
+		}
+	}
+	var b strings.Builder
+	b.WriteString("EXISTS (SELECT 1 FROM ")
+	b.WriteString(strings.Join(from, ", "))
+	b.WriteString(" WHERE ")
+	b.WriteString(strings.Join(where, " AND "))
+	b.WriteString(")")
+	return b.String(), nil
+}
+
+// quote renders a SQL string literal.
+func quote(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}

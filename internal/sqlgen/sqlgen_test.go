@@ -1,0 +1,215 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"lpath/internal/lpath"
+)
+
+func translate(t *testing.T, q string) string {
+	t.Helper()
+	sql, err := Translate(lpath.MustParse(q))
+	if err != nil {
+		t.Fatalf("Translate(%q): %v", q, err)
+	}
+	return sql
+}
+
+func TestTranslateImmediateFollowing(t *testing.T) {
+	sql := translate(t, `//VB->NP`)
+	for _, frag := range []string{
+		"n1.name = 'VB'",
+		"n2.name = 'NP'",
+		"n2.left = n1.right", // the adjacency join of the labeling scheme
+		"n2.tid = n1.tid",
+		"SELECT DISTINCT n2.tid, n2.id",
+	} {
+		if !strings.Contains(sql, frag) {
+			t.Errorf("missing %q in:\n%s", frag, sql)
+		}
+	}
+}
+
+func TestTranslateDescendantChain(t *testing.T) {
+	sql := translate(t, `//VP/VB-->NN`)
+	for _, frag := range []string{
+		"n2.pid = n1.id",      // child
+		"n3.left >= n2.right", // following
+	} {
+		if !strings.Contains(sql, frag) {
+			t.Errorf("missing %q in:\n%s", frag, sql)
+		}
+	}
+}
+
+func TestTranslateScope(t *testing.T) {
+	sql := translate(t, `//VP{/VB-->NN}`)
+	for _, frag := range []string{
+		"n2.left >= n1.left",
+		"n2.right <= n1.right",
+		"n3.left >= n1.left",
+		"n3.right <= n1.right",
+	} {
+		if !strings.Contains(sql, frag) {
+			t.Errorf("missing scope conjunct %q in:\n%s", frag, sql)
+		}
+	}
+}
+
+func TestTranslateAlignment(t *testing.T) {
+	sql := translate(t, `//VP{//NP$}`)
+	if !strings.Contains(sql, "n2.right = n1.right") {
+		t.Errorf("missing right-alignment conjunct in:\n%s", sql)
+	}
+	sql = translate(t, `//VP[{//^VB->NP->PP$}]`)
+	if !strings.Contains(sql, ".left = n1.left") {
+		t.Errorf("missing left-alignment conjunct in:\n%s", sql)
+	}
+}
+
+func TestTranslateValuePredicate(t *testing.T) {
+	sql := translate(t, `//S[//_[@lex=saw]]`)
+	for _, frag := range []string{
+		"EXISTS (SELECT 1 FROM",
+		".name = '@lex'",
+		".value = 'saw'",
+		"NOT LIKE '@%'", // wildcard excludes attribute rows
+	} {
+		if !strings.Contains(sql, frag) {
+			t.Errorf("missing %q in:\n%s", frag, sql)
+		}
+	}
+}
+
+func TestTranslateNot(t *testing.T) {
+	sql := translate(t, `//NP[not(//JJ)]`)
+	if !strings.Contains(sql, "NOT EXISTS (SELECT 1 FROM") {
+		t.Errorf("missing NOT EXISTS in:\n%s", sql)
+	}
+}
+
+func TestTranslateBooleans(t *testing.T) {
+	sql := translate(t, `//NP[//JJ and //DT or //NN]`)
+	if !strings.Contains(sql, " AND ") || !strings.Contains(sql, " OR ") {
+		t.Errorf("missing boolean connectives in:\n%s", sql)
+	}
+	if !strings.Contains(sql, "((") {
+		t.Errorf("missing grouping parens in:\n%s", sql)
+	}
+}
+
+func TestTranslateNeq(t *testing.T) {
+	sql := translate(t, `//NN[@lex!=dog]`)
+	if !strings.Contains(sql, ".value <> 'dog'") {
+		t.Errorf("missing <> comparison in:\n%s", sql)
+	}
+}
+
+func TestTranslateQuoting(t *testing.T) {
+	sql := translate(t, `//_[@lex='don''t']`)
+	if !strings.Contains(sql, "'don''t'") {
+		t.Errorf("missing escaped literal in:\n%s", sql)
+	}
+}
+
+// TestTranslateAllEvalQueries ensures every Figure 6(c) query translates and
+// the output is superficially well-formed SQL.
+func TestTranslateAllEvalQueries(t *testing.T) {
+	for _, q := range lpath.EvalQueries {
+		sql, err := Translate(lpath.MustParse(q.Text))
+		if err != nil {
+			t.Errorf("Q%d: %v", q.ID, err)
+			continue
+		}
+		if !strings.HasPrefix(sql, "SELECT DISTINCT ") {
+			t.Errorf("Q%d: missing SELECT: %s", q.ID, sql)
+		}
+		if !strings.Contains(sql, "FROM node n1") {
+			t.Errorf("Q%d: missing FROM: %s", q.ID, sql)
+		}
+		if strings.Count(sql, "(") != strings.Count(sql, ")") {
+			t.Errorf("Q%d: unbalanced parentheses:\n%s", q.ID, sql)
+		}
+		if !strings.Contains(sql, "ORDER BY") {
+			t.Errorf("Q%d: missing ORDER BY", q.ID)
+		}
+	}
+}
+
+// TestTranslateAllAxes ensures every axis has a SQL rendering.
+func TestTranslateAllAxes(t *testing.T) {
+	queries := []string{
+		`//A/B`, `//A//B`, `//A\B`, `//A\\B`, `//A.B`,
+		`//A->B`, `//A-->B`, `//A<-B`, `//A<--B`,
+		`//A=>B`, `//A==>B`, `//A<=B`, `//A<==B`,
+		`//A/descendant-or-self::B`, `//A\ancestor-or-self::B`,
+		`//A/following-or-self::B`, `//A/preceding-or-self::B`,
+		`//A/following-sibling-or-self::B`, `//A/preceding-sibling-or-self::B`,
+	}
+	for _, q := range queries {
+		sql := translate(t, q)
+		if strings.Contains(sql, "1 = 0") {
+			t.Errorf("%s: untranslated axis:\n%s", q, sql)
+		}
+	}
+}
+
+func TestTranslateErrors(t *testing.T) {
+	for _, q := range []string{`//S@lex`, `//_[@lex/NP]`, `//_[//NP=x]`} {
+		if _, err := Translate(lpath.MustParse(q)); err == nil {
+			t.Errorf("Translate(%q): expected error", q)
+		}
+	}
+	// Axes that cannot start a query from the virtual root.
+	for _, q := range []string{`->NP`, `\NP`, `==>NP`} {
+		if _, err := Translate(lpath.MustParse(q)); err == nil {
+			t.Errorf("Translate(%q): expected error", q)
+		}
+	}
+}
+
+func TestTranslateCount(t *testing.T) {
+	sql := translate(t, `//NP[count(//JJ)>=2]`)
+	for _, frag := range []string{"SELECT COUNT(DISTINCT", ">= 2"} {
+		if !strings.Contains(sql, frag) {
+			t.Errorf("missing %q in:\n%s", frag, sql)
+		}
+	}
+	sql = translate(t, `//NP[count(//JJ)!=2]`)
+	if !strings.Contains(sql, "<> 2") {
+		t.Errorf("missing <> in:\n%s", sql)
+	}
+}
+
+func TestTranslateStringFunctions(t *testing.T) {
+	cases := map[string]string{
+		`//_[contains(@lex,'og')]`:     "LIKE '%og%'",
+		`//_[starts-with(@lex,'d')]`:   "LIKE 'd%'",
+		`//_[ends-with(@lex,'g')]`:     "LIKE '%g'",
+		`//_[contains(@lex,'100%')]`:   `LIKE '%100\%%'`,
+		`//NP[contains(//NN@lex,'s')]`: "LIKE '%s%'",
+	}
+	for q, frag := range cases {
+		sql := translate(t, q)
+		if !strings.Contains(sql, frag) {
+			t.Errorf("%s: missing %q in:\n%s", q, frag, sql)
+		}
+	}
+}
+
+func TestTranslatePositionUnsupported(t *testing.T) {
+	for _, q := range []string{`//VP/_[position()=1]`, `//VP/_[last()]`} {
+		if _, err := Translate(lpath.MustParse(q)); err == nil {
+			t.Errorf("Translate(%q): expected unsupported error", q)
+		}
+	}
+}
+
+func TestTranslateDeterministic(t *testing.T) {
+	a := translate(t, `//S[//NP/ADJP]`)
+	b := translate(t, `//S[//NP/ADJP]`)
+	if a != b {
+		t.Error("translation is not deterministic")
+	}
+}

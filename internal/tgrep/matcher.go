@@ -1,0 +1,394 @@
+package tgrep
+
+import (
+	"sort"
+
+	"lpath/internal/tree"
+)
+
+// tnode is the matcher's view of a tree node. Words appear as extra leaf
+// nodes labeled with the word itself, as in TGrep2's corpus format.
+type tnode struct {
+	label    string
+	parent   *tnode
+	children []*tnode
+	first    int32 // 1-based position of the leftmost covered terminal
+	last     int32 // position of the rightmost covered terminal
+	order    int32 // preorder index within the tree
+	elem     *tree.Node
+}
+
+type ttree struct {
+	id    int
+	root  *tnode
+	nodes []*tnode // preorder
+}
+
+// Corpus is a TGrep2-style searchable corpus: trees plus an inverted index
+// from labels (tags and words) to the trees containing them.
+type Corpus struct {
+	trees []*ttree
+	index map[string][]int32 // label → indexes into trees, ascending
+}
+
+// BuildCorpus converts a tree corpus into matcher form and builds the label
+// index.
+func BuildCorpus(c *tree.Corpus) *Corpus {
+	tc := &Corpus{index: make(map[string][]int32)}
+	for _, t := range c.Trees {
+		tt := buildTree(t)
+		treeIdx := int32(len(tc.trees))
+		tc.trees = append(tc.trees, tt)
+		seen := map[string]bool{}
+		for _, n := range tt.nodes {
+			if !seen[n.label] {
+				seen[n.label] = true
+				tc.index[n.label] = append(tc.index[n.label], treeIdx)
+			}
+		}
+	}
+	return tc
+}
+
+func buildTree(t *tree.Tree) *ttree {
+	tt := &ttree{id: t.ID}
+	var leaf int32
+	var rec func(n *tree.Node, parent *tnode) *tnode
+	rec = func(n *tree.Node, parent *tnode) *tnode {
+		tn := &tnode{label: n.Tag, parent: parent, order: int32(len(tt.nodes)), elem: n}
+		tt.nodes = append(tt.nodes, tn)
+		if len(n.Children) == 0 {
+			// The preterminal covers one terminal; the word is a child node.
+			leaf++
+			tn.first, tn.last = leaf, leaf
+			if n.Word != "" {
+				w := &tnode{label: n.Word, parent: tn, order: int32(len(tt.nodes)),
+					first: leaf, last: leaf}
+				tt.nodes = append(tt.nodes, w)
+				tn.children = []*tnode{w}
+			}
+			return tn
+		}
+		for _, c := range n.Children {
+			tn.children = append(tn.children, rec(c, tn))
+		}
+		tn.first = tn.children[0].first
+		tn.last = tn.children[len(tn.children)-1].last
+		return tn
+	}
+	if t.Root != nil {
+		tt.root = rec(t.Root, nil)
+	}
+	return tt
+}
+
+// Match is one result: the tree and the head node's underlying element (nil
+// when the head matched a word node).
+type Match struct {
+	TreeID int
+	Node   *tree.Node
+	Word   string // set when the head matched a word node
+}
+
+// Search returns the matches of the pattern: one per distinct head-node
+// binding, in corpus order.
+func (c *Corpus) Search(p *Pattern) []Match {
+	var out []Match
+	for _, ti := range c.candidateTrees(p) {
+		tt := c.trees[ti]
+		for _, n := range tt.nodes {
+			if !p.Head.Matches(n.label) {
+				continue
+			}
+			// Fresh environment per head candidate: bindings must not leak
+			// between independent matches.
+			env := map[string]*tnode{}
+			if matchRels(tt, n, p, env) {
+				m := Match{TreeID: tt.id}
+				if n.elem != nil {
+					m.Node = n.elem
+				} else {
+					m.Word = n.label
+				}
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// Count returns the number of matches.
+func (c *Corpus) Count(p *Pattern) int { return len(c.Search(p)) }
+
+// candidateTrees intersects the posting lists of the pattern's required
+// labels; with no usable literal it scans every tree.
+func (c *Corpus) candidateTrees(p *Pattern) []int32 {
+	labels := p.RequiredLabels()
+	var lists [][]int32
+	for _, l := range labels {
+		lists = append(lists, c.index[l])
+	}
+	if len(lists) == 0 {
+		all := make([]int32, len(c.trees))
+		for i := range all {
+			all[i] = int32(i)
+		}
+		return all
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	out := lists[0]
+	for _, l := range lists[1:] {
+		out = intersect(out, l)
+		if len(out) == 0 {
+			return nil
+		}
+	}
+	return out
+}
+
+func intersect(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// matchRels checks whether the head node satisfies the pattern's relation
+// chain, with backtracking over argument bindings. The head's own binding is
+// installed first.
+func matchRels(tt *ttree, head *tnode, p *Pattern, env map[string]*tnode) bool {
+	if p.Head.Bind != "" {
+		prev, had := env[p.Head.Bind]
+		env[p.Head.Bind] = head
+		ok := matchRelList(tt, head, p.Rels, env)
+		if had {
+			env[p.Head.Bind] = prev
+		} else if !ok {
+			delete(env, p.Head.Bind)
+		}
+		return ok
+	}
+	return matchRelList(tt, head, p.Rels, env)
+}
+
+func matchRelList(tt *ttree, head *tnode, rels []Rel, env map[string]*tnode) bool {
+	if len(rels) == 0 {
+		return true
+	}
+	r := rels[0]
+	if r.Negated {
+		// Negation: no argument node may satisfy the relation + pattern.
+		found := false
+		forEachRelated(tt, head, r.Op, func(b *tnode) bool {
+			if argMatches(tt, b, r.Arg, env) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return false
+		}
+		return matchRelList(tt, head, rels[1:], env)
+	}
+	ok := false
+	forEachRelated(tt, head, r.Op, func(b *tnode) bool {
+		if !argMatches(tt, b, r.Arg, env) {
+			return true
+		}
+		// Bind and recurse into the argument's own relations, then the
+		// remaining relations of the head.
+		saved, had := map[string]*tnode{}, map[string]bool{}
+		if r.Arg.Head.Bind != "" {
+			saved[r.Arg.Head.Bind], had[r.Arg.Head.Bind] = env[r.Arg.Head.Bind], envHas(env, r.Arg.Head.Bind)
+			env[r.Arg.Head.Bind] = b
+		}
+		if matchRelList(tt, b, r.Arg.Rels, env) && matchRelList(tt, head, rels[1:], env) {
+			ok = true
+			return false
+		}
+		for k, v := range saved {
+			if had[k] {
+				env[k] = v
+			} else {
+				delete(env, k)
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+func envHas(env map[string]*tnode, k string) bool {
+	_, ok := env[k]
+	return ok
+}
+
+// argMatches checks the argument's node spec (label alternation, wildcard,
+// or backref identity).
+func argMatches(tt *ttree, b *tnode, arg *Pattern, env map[string]*tnode) bool {
+	if arg.Head.Backref != "" {
+		return env[arg.Head.Backref] == b
+	}
+	_ = tt
+	return arg.Head.Matches(b.label)
+}
+
+// forEachRelated enumerates the nodes related to head by op, calling f until
+// it returns false.
+func forEachRelated(tt *ttree, a *tnode, op RelOp, f func(*tnode) bool) {
+	switch op {
+	case OpChild:
+		for _, b := range a.children {
+			if !f(b) {
+				return
+			}
+		}
+	case OpParent:
+		if a.parent != nil {
+			f(a.parent)
+		}
+	case OpDom:
+		var rec func(n *tnode) bool
+		rec = func(n *tnode) bool {
+			for _, b := range n.children {
+				if !f(b) || !rec(b) {
+					return false
+				}
+			}
+			return true
+		}
+		rec(a)
+	case OpDomBy:
+		for b := a.parent; b != nil; b = b.parent {
+			if !f(b) {
+				return
+			}
+		}
+	case OpFirstChild:
+		if len(a.children) > 0 {
+			f(a.children[0])
+		}
+	case OpLastChild:
+		if len(a.children) > 0 {
+			f(a.children[len(a.children)-1])
+		}
+	case OpIsFirstChild:
+		if a.parent != nil && a.parent.children[0] == a {
+			f(a.parent)
+		}
+	case OpIsLastChild:
+		if a.parent != nil && a.parent.children[len(a.parent.children)-1] == a {
+			f(a.parent)
+		}
+	case OpLeftmostDesc:
+		for b := firstChild(a); b != nil; b = firstChild(b) {
+			if !f(b) {
+				return
+			}
+		}
+	case OpRightmostDesc:
+		for b := lastChild(a); b != nil; b = lastChild(b) {
+			if !f(b) {
+				return
+			}
+		}
+	case OpIsLeftmost:
+		for b := a.parent; b != nil; b = b.parent {
+			if b.first != a.first {
+				return
+			}
+			if !f(b) {
+				return
+			}
+		}
+	case OpIsRightmost:
+		for b := a.parent; b != nil; b = b.parent {
+			if b.last != a.last {
+				return
+			}
+			if !f(b) {
+				return
+			}
+		}
+	case OpImmPrecedes:
+		for _, b := range tt.nodes {
+			if b.first == a.last+1 && !f(b) {
+				return
+			}
+		}
+	case OpImmFollows:
+		for _, b := range tt.nodes {
+			if b.last+1 == a.first && !f(b) {
+				return
+			}
+		}
+	case OpPrecedes:
+		for _, b := range tt.nodes {
+			if b.first > a.last && !f(b) {
+				return
+			}
+		}
+	case OpFollows:
+		for _, b := range tt.nodes {
+			if b.last < a.first && !f(b) {
+				return
+			}
+		}
+	case OpSister, OpSisterImmPre, OpSisterImmFol, OpSisterPre, OpSisterFol:
+		if a.parent == nil {
+			return
+		}
+		for _, b := range a.parent.children {
+			if b == a {
+				continue
+			}
+			switch op {
+			case OpSisterImmPre:
+				if b.first != a.last+1 {
+					continue
+				}
+			case OpSisterImmFol:
+				if b.last+1 != a.first {
+					continue
+				}
+			case OpSisterPre:
+				if b.first <= a.last {
+					continue
+				}
+			case OpSisterFol:
+				if b.last >= a.first {
+					continue
+				}
+			}
+			if !f(b) {
+				return
+			}
+		}
+	}
+}
+
+func firstChild(n *tnode) *tnode {
+	if len(n.children) == 0 {
+		return nil
+	}
+	return n.children[0]
+}
+
+func lastChild(n *tnode) *tnode {
+	if len(n.children) == 0 {
+		return nil
+	}
+	return n.children[len(n.children)-1]
+}

@@ -1,0 +1,397 @@
+// Package tgrep implements a TGrep2-dialect tree pattern matcher, the first
+// baseline system of the paper's evaluation (Section 5.1.1, [25]).
+//
+// TGrep2 queries are nested expressions relating a head node to argument
+// nodes: `S << saw` finds S nodes dominating the word "saw". As in TGrep2,
+// words are leaf nodes whose label is the word itself, all relations in a
+// chain apply to the head node, parenthesized arguments carry their own
+// relations, `=name` suffixes bind nodes and bare `=name` arguments refer
+// back to them, and `!` negates a relation.
+//
+// The matcher reproduces TGrep2's algorithmic shape: a corpus-wide inverted
+// index from labels to trees prunes the search when the pattern contains
+// literal labels, and matching inside each candidate tree is backtracking
+// search — there is no positional labeling scheme, which is exactly what the
+// paper compares against.
+package tgrep
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// RelOp enumerates the supported TGrep2 relations.
+type RelOp int
+
+const (
+	OpChild         RelOp = iota // A < B : A immediately dominates B
+	OpParent                     // A > B : A is immediately dominated by B
+	OpDom                        // A << B : A dominates B
+	OpDomBy                      // A >> B : A is dominated by B
+	OpFirstChild                 // A <, B : B is the first child of A
+	OpLastChild                  // A <' B (or <-) : B is the last child of A
+	OpIsFirstChild               // A >, B : A is the first child of B
+	OpIsLastChild                // A >' B (or >-) : A is the last child of B
+	OpLeftmostDesc               // A <<, B : B is the leftmost descendant of A
+	OpRightmostDesc              // A <<' B : B is the rightmost descendant of A
+	OpIsLeftmost                 // A >>, B : A is the leftmost descendant of B
+	OpIsRightmost                // A >>' B : A is the rightmost descendant of B
+	OpImmPrecedes                // A . B : A immediately precedes B
+	OpImmFollows                 // A , B : A immediately follows B
+	OpPrecedes                   // A .. B : A precedes B
+	OpFollows                    // A ,, B : A follows B
+	OpSister                     // A $ B : A and B are sisters
+	OpSisterImmPre               // A $. B : sister of and immediately precedes
+	OpSisterImmFol               // A $, B : sister of and immediately follows
+	OpSisterPre                  // A $.. B : sister of and precedes
+	OpSisterFol                  // A $,, B : sister of and follows
+)
+
+var relNames = map[RelOp]string{
+	OpChild: "<", OpParent: ">", OpDom: "<<", OpDomBy: ">>",
+	OpFirstChild: "<,", OpLastChild: "<'", OpIsFirstChild: ">,", OpIsLastChild: ">'",
+	OpLeftmostDesc: "<<,", OpRightmostDesc: "<<'", OpIsLeftmost: ">>,", OpIsRightmost: ">>'",
+	OpImmPrecedes: ".", OpImmFollows: ",", OpPrecedes: "..", OpFollows: ",,",
+	OpSister: "$", OpSisterImmPre: "$.", OpSisterImmFol: "$,",
+	OpSisterPre: "$..", OpSisterFol: "$,,",
+}
+
+func (op RelOp) String() string { return relNames[op] }
+
+// NodeSpec matches a node label: one or more alternated literals, or the
+// wildcard (__ or *). An optional binding name captures the matched node.
+type NodeSpec struct {
+	Labels   []string // empty = wildcard
+	Bind     string   // "=name" binding, "" if none
+	Backref  string   // non-empty when the spec is a bare =name backref
+	wildcard bool
+}
+
+// Matches reports whether the spec matches a label.
+func (ns *NodeSpec) Matches(label string) bool {
+	if ns.wildcard {
+		return true
+	}
+	for _, l := range ns.Labels {
+		if l == label {
+			return true
+		}
+	}
+	return false
+}
+
+// Rel is one relation of a pattern: operator, negation flag and argument.
+type Rel struct {
+	Op      RelOp
+	Negated bool
+	Arg     *Pattern
+}
+
+// Pattern is a head node spec plus its chained relations.
+type Pattern struct {
+	Head NodeSpec
+	Rels []Rel
+}
+
+// RequiredLabels returns the literal labels that any match must contain:
+// the head's single-alternative labels and those of non-negated arguments,
+// recursively. Used for index pruning.
+func (p *Pattern) RequiredLabels() []string {
+	var out []string
+	var rec func(q *Pattern)
+	rec = func(q *Pattern) {
+		if !q.Head.wildcard && len(q.Head.Labels) == 1 && q.Head.Backref == "" {
+			out = append(out, q.Head.Labels[0])
+		}
+		for _, r := range q.Rels {
+			if !r.Negated {
+				rec(r.Arg)
+			}
+		}
+	}
+	rec(p)
+	return out
+}
+
+// String renders the pattern in TGrep2 syntax.
+func (p *Pattern) String() string {
+	var b strings.Builder
+	writePattern(&b, p, false)
+	return b.String()
+}
+
+func writePattern(b *strings.Builder, p *Pattern, parens bool) {
+	if parens {
+		b.WriteByte('(')
+	}
+	switch {
+	case p.Head.Backref != "":
+		b.WriteString("=" + p.Head.Backref)
+	case p.Head.wildcard:
+		b.WriteString("__")
+	default:
+		for i, l := range p.Head.Labels {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			b.WriteString(quoteLabel(l))
+		}
+	}
+	if p.Head.Bind != "" {
+		b.WriteString("=" + p.Head.Bind)
+	}
+	for _, r := range p.Rels {
+		b.WriteByte(' ')
+		if r.Negated {
+			b.WriteByte('!')
+		}
+		b.WriteString(r.Op.String())
+		b.WriteByte(' ')
+		writePattern(b, r.Arg, len(r.Arg.Rels) > 0)
+	}
+	if parens {
+		b.WriteByte(')')
+	}
+}
+
+// quoteLabel quotes a label that would not re-lex as a bare literal.
+func quoteLabel(l string) string {
+	needsQuote := l == "" || l == "__" || l == "*" ||
+		strings.HasPrefix(l, ".") || strings.HasSuffix(l, ".") ||
+		strings.HasPrefix(l, "'") || strings.ContainsAny(l, " \t()|=!<>,$\"")
+	if needsQuote {
+		return `"` + l + `"`
+	}
+	return l
+}
+
+// Compile parses a TGrep2 pattern.
+func Compile(src string) (*Pattern, error) {
+	p := &tparser{src: src}
+	pat, err := p.parsePattern()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	if p.pos < len(p.src) {
+		return nil, p.errf("trailing input")
+	}
+	if err := checkBindings(pat); err != nil {
+		return nil, err
+	}
+	return pat, nil
+}
+
+// MustCompile is Compile panicking on error.
+func MustCompile(src string) *Pattern {
+	p, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// checkBindings verifies that every backref is bound earlier in a
+// left-to-right traversal.
+func checkBindings(p *Pattern) error {
+	bound := map[string]bool{}
+	var rec func(q *Pattern) error
+	rec = func(q *Pattern) error {
+		if q.Head.Backref != "" && !bound[q.Head.Backref] {
+			return fmt.Errorf("tgrep: backreference =%s used before binding", q.Head.Backref)
+		}
+		if q.Head.Bind != "" {
+			bound[q.Head.Bind] = true
+		}
+		for _, r := range q.Rels {
+			if err := rec(r.Arg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(p)
+}
+
+type tparser struct {
+	src string
+	pos int
+}
+
+func (p *tparser) errf(format string, args ...any) error {
+	return fmt.Errorf("tgrep: %s at offset %d in %q", fmt.Sprintf(format, args...), p.pos, p.src)
+}
+
+func (p *tparser) ws() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// relation operators, longest first for maximal munch.
+var relTokens = []struct {
+	tok string
+	op  RelOp
+}{
+	{"<<,", OpLeftmostDesc}, {"<<'", OpRightmostDesc}, {">>,", OpIsLeftmost}, {">>'", OpIsRightmost},
+	{"$..", OpSisterPre}, {"$,,", OpSisterFol},
+	{"<<", OpDom}, {">>", OpDomBy},
+	{"<,", OpFirstChild}, {"<'", OpLastChild}, {"<-", OpLastChild},
+	{">,", OpIsFirstChild}, {">'", OpIsLastChild}, {">-", OpIsLastChild},
+	{"$.", OpSisterImmPre}, {"$,", OpSisterImmFol},
+	{"..", OpPrecedes}, {",,", OpFollows},
+	{"<", OpChild}, {">", OpParent},
+	{".", OpImmPrecedes}, {",", OpImmFollows}, {"$", OpSister},
+}
+
+func (p *tparser) relOp() (RelOp, bool) {
+	for _, rt := range relTokens {
+		if strings.HasPrefix(p.src[p.pos:], rt.tok) {
+			p.pos += len(rt.tok)
+			return rt.op, true
+		}
+	}
+	return 0, false
+}
+
+func isLabelRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) ||
+		r == '-' || r == '_' || r == '*' || r == '+' || r == '\'' || r == '.'
+}
+
+// label scans a label literal. A '.' is accepted inside a label only when
+// surrounded by label runes ("U.S") — a trailing or leading dot is the
+// precedes operator; labels with trailing dots can be written quoted, as in
+// TGrep2 ("U.S."). A bare "*" or "__" is the wildcard.
+func (p *tparser) label() (string, bool) {
+	if p.pos < len(p.src) && p.src[p.pos] == '"' {
+		end := strings.IndexByte(p.src[p.pos+1:], '"')
+		if end < 0 {
+			return "", false
+		}
+		lbl := p.src[p.pos+1 : p.pos+1+end]
+		p.pos += end + 2
+		return lbl, lbl != ""
+	}
+	start := p.pos
+	for p.pos < len(p.src) {
+		r, sz := utf8.DecodeRuneInString(p.src[p.pos:])
+		if r == '.' {
+			nr, _ := utf8.DecodeRuneInString(p.src[p.pos+sz:])
+			if p.pos == start || !isLabelRune(nr) || nr == '.' {
+				break
+			}
+			p.pos += sz
+			continue
+		}
+		if r == '\'' && p.pos == start {
+			break
+		}
+		if !isLabelRune(r) {
+			break
+		}
+		p.pos += sz
+	}
+	if p.pos == start {
+		return "", false
+	}
+	return p.src[start:p.pos], true
+}
+
+func (p *tparser) parsePattern() (*Pattern, error) {
+	p.ws()
+	spec, err := p.parseNodeSpec()
+	if err != nil {
+		return nil, err
+	}
+	pat := &Pattern{Head: *spec}
+	for {
+		p.ws()
+		if p.pos >= len(p.src) || p.src[p.pos] == ')' {
+			return pat, nil
+		}
+		neg := false
+		if p.src[p.pos] == '!' {
+			neg = true
+			p.pos++
+			p.ws()
+		}
+		op, ok := p.relOp()
+		if !ok {
+			if neg {
+				return nil, p.errf("expected relation after '!'")
+			}
+			return pat, nil
+		}
+		p.ws()
+		var arg *Pattern
+		if p.pos < len(p.src) && p.src[p.pos] == '(' {
+			p.pos++
+			arg, err = p.parsePattern()
+			if err != nil {
+				return nil, err
+			}
+			p.ws()
+			if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+				return nil, p.errf("expected ')'")
+			}
+			p.pos++
+		} else {
+			spec, err := p.parseNodeSpec()
+			if err != nil {
+				return nil, err
+			}
+			arg = &Pattern{Head: *spec}
+		}
+		pat.Rels = append(pat.Rels, Rel{Op: op, Negated: neg, Arg: arg})
+	}
+}
+
+func (p *tparser) parseNodeSpec() (*NodeSpec, error) {
+	p.ws()
+	if p.pos < len(p.src) && p.src[p.pos] == '=' {
+		p.pos++
+		name, ok := p.label()
+		if !ok {
+			return nil, p.errf("expected name after '='")
+		}
+		return &NodeSpec{Backref: name}, nil
+	}
+	first, ok := p.label()
+	if !ok {
+		return nil, p.errf("expected node label")
+	}
+	spec := &NodeSpec{}
+	if first == "__" || first == "*" {
+		spec.wildcard = true
+	} else {
+		spec.Labels = []string{first}
+	}
+	for p.pos < len(p.src) && p.src[p.pos] == '|' {
+		p.pos++
+		alt, ok := p.label()
+		if !ok {
+			return nil, p.errf("expected label after '|'")
+		}
+		if spec.wildcard {
+			return nil, p.errf("wildcard cannot alternate")
+		}
+		spec.Labels = append(spec.Labels, alt)
+	}
+	if p.pos < len(p.src) && p.src[p.pos] == '=' {
+		p.pos++
+		name, ok := p.label()
+		if !ok {
+			return nil, p.errf("expected binding name after '='")
+		}
+		spec.Bind = name
+	}
+	return spec, nil
+}

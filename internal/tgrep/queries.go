@@ -1,0 +1,32 @@
+package tgrep
+
+// EvalQueries maps the 23 evaluation queries of Figure 6(c) (by Q-number) to
+// the nearest-equivalent TGrep2 patterns used in the Figures 7–9
+// comparison. Where LPath's subtree scoping or edge alignment has no TGrep2
+// primitive, the pattern uses node naming and the leftmost/rightmost
+// descendant relations, as a TGrep2 user would.
+var EvalQueries = map[int]string{
+	1:  `S << saw`,
+	2:  `NP , VB`,
+	3:  `NN ,, (VB > VP)`,
+	4:  `NN >> VP=p ,, (VB > =p)`,
+	5:  `NP >' VP`,
+	6:  `NP >>' VP`,
+	7:  `VP=p <<, VB=v << (NP=n , =v) << (PP , =n >>' =p)`,
+	8:  `S << (NP < ADJP)`,
+	9:  `NP !<< JJ`,
+	10: `NP . (PP << (IN < of) $. VP)`,
+	11: `S << (what . building)`,
+	12: `rapprochement`,
+	13: `1929`,
+	14: `ADVP-LOC-CLR`,
+	15: `WHPP`,
+	16: `PP-TMP > RRC`,
+	17: `ADJP-PRD > UCP-PRD`,
+	18: `NP > (NP > (NP > (NP > NP)))`,
+	19: `VP > (VP > VP)`,
+	20: `SBAR $, PP`,
+	21: `ADJP $, ADVP`,
+	22: `NP $, (NP $, NP)`,
+	23: `VP $, VP`,
+}

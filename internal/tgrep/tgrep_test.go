@@ -1,0 +1,264 @@
+package tgrep
+
+import (
+	"strings"
+	"testing"
+
+	"lpath/internal/tree"
+)
+
+func figureCorpus() *Corpus {
+	c := tree.NewCorpus()
+	c.Add(tree.Figure1())
+	return BuildCorpus(c)
+}
+
+func count(t *testing.T, c *Corpus, pattern string) int {
+	t.Helper()
+	p, err := Compile(pattern)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", pattern, err)
+	}
+	return c.Count(p)
+}
+
+func sigs(ms []Match) []string {
+	out := make([]string, 0, len(ms))
+	for _, m := range ms {
+		if m.Node != nil {
+			out = append(out, m.Node.Tag+"["+strings.Join(m.Node.Words(), " ")+"]")
+		} else {
+			out = append(out, "word:"+m.Word)
+		}
+	}
+	return out
+}
+
+func TestCompileBasics(t *testing.T) {
+	p := MustCompile(`S << saw`)
+	if len(p.Head.Labels) != 1 || p.Head.Labels[0] != "S" {
+		t.Errorf("head = %+v", p.Head)
+	}
+	if len(p.Rels) != 1 || p.Rels[0].Op != OpDom {
+		t.Errorf("rels = %+v", p.Rels)
+	}
+	if arg := p.Rels[0].Arg; arg.Head.Labels[0] != "saw" {
+		t.Errorf("arg = %+v", arg.Head)
+	}
+}
+
+func TestCompileOperators(t *testing.T) {
+	cases := map[string]RelOp{
+		`A < B`: OpChild, `A > B`: OpParent, `A << B`: OpDom, `A >> B`: OpDomBy,
+		`A <, B`: OpFirstChild, `A <' B`: OpLastChild, `A <- B`: OpLastChild,
+		`A >, B`: OpIsFirstChild, `A >' B`: OpIsLastChild, `A >- B`: OpIsLastChild,
+		`A <<, B`: OpLeftmostDesc, `A <<' B`: OpRightmostDesc,
+		`A >>, B`: OpIsLeftmost, `A >>' B`: OpIsRightmost,
+		`A . B`: OpImmPrecedes, `A , B`: OpImmFollows,
+		`A .. B`: OpPrecedes, `A ,, B`: OpFollows,
+		`A $ B`: OpSister, `A $. B`: OpSisterImmPre, `A $, B`: OpSisterImmFol,
+		`A $.. B`: OpSisterPre, `A $,, B`: OpSisterFol,
+	}
+	for src, op := range cases {
+		p, err := Compile(src)
+		if err != nil {
+			t.Errorf("Compile(%q): %v", src, err)
+			continue
+		}
+		if len(p.Rels) != 1 || p.Rels[0].Op != op {
+			t.Errorf("Compile(%q) op = %v, want %v", src, p.Rels[0].Op, op)
+		}
+	}
+}
+
+func TestCompileNesting(t *testing.T) {
+	p := MustCompile(`S << (NP < ADJP)`)
+	arg := p.Rels[0].Arg
+	if arg.Head.Labels[0] != "NP" || len(arg.Rels) != 1 || arg.Rels[0].Op != OpChild {
+		t.Errorf("nested arg = %+v", arg)
+	}
+	p = MustCompile(`NP > (NP > (NP > NP))`)
+	depth := 0
+	for q := p; len(q.Rels) > 0; q = q.Rels[0].Arg {
+		depth++
+	}
+	if depth != 3 {
+		t.Errorf("nesting depth = %d", depth)
+	}
+}
+
+func TestCompileNegationAndAlternation(t *testing.T) {
+	p := MustCompile(`NP !<< JJ`)
+	if !p.Rels[0].Negated {
+		t.Error("negation lost")
+	}
+	p = MustCompile(`NP|VP << NN`)
+	if len(p.Head.Labels) != 2 {
+		t.Errorf("alternation = %+v", p.Head)
+	}
+	p = MustCompile(`__ < NN`)
+	if !p.Head.wildcard {
+		t.Error("wildcard lost")
+	}
+}
+
+func TestCompileBindings(t *testing.T) {
+	p := MustCompile(`NN >> VP=p ,, (VB > =p)`)
+	if p.Rels[0].Arg.Head.Bind != "p" {
+		t.Errorf("binding = %+v", p.Rels[0].Arg.Head)
+	}
+	if p.Rels[1].Arg.Rels[0].Arg.Head.Backref != "p" {
+		t.Errorf("backref = %+v", p.Rels[1].Arg.Rels[0].Arg.Head)
+	}
+	if _, err := Compile(`NN ,, (VB > =p)`); err == nil {
+		t.Error("unbound backref should fail")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	for _, src := range []string{
+		``, `<< NP`, `S <<`, `S << (NP`, `S ! NP`, `S |`, `__|NP << X`, `S << ()`,
+	} {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q): expected error", src)
+		}
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	for _, src := range []string{
+		`S << saw`, `NP !<< JJ`, `NN >> VP=p ,, (VB > =p)`,
+		`S << (NP < ADJP)`, `NP|VP < NN`,
+	} {
+		p := MustCompile(src)
+		printed := p.String()
+		p2, err := Compile(printed)
+		if err != nil {
+			t.Errorf("reprint %q → %q: %v", src, printed, err)
+			continue
+		}
+		if p2.String() != printed {
+			t.Errorf("unstable print: %q vs %q", p2.String(), printed)
+		}
+	}
+}
+
+func TestSearchFigure1(t *testing.T) {
+	c := figureCorpus()
+	cases := []struct {
+		pattern string
+		want    int
+	}{
+		{`S << saw`, 1},              // Q1-style word dominance
+		{`NP , V`, 2},                // immediate-follows: NP(3,9), NP(3,6)
+		{`N ,, (V > VP)`, 3},         // man, dog, today follow the verb
+		{`N >> VP=p ,, (V > =p)`, 2}, // scoped: today excluded
+		{`NP >' VP`, 1},              // rightmost child of VP
+		{`NP >>' VP`, 2},             // rightmost descendants of VP
+		{`S << (NP < Adj)`, 1},
+		{`NP !<< Adj`, 2}, // NP[I], NP[a dog]
+		{`saw`, 1},        // bare word lookup
+		{`rapprochement`, 0},
+		{`NP < Det`, 2},
+		{`NP <, Det`, 2},
+		{`NP <' N`, 2},
+		{`Det >, NP`, 2},
+		{`N >' NP`, 2},
+		{`VP <<, V`, 1},
+		{`VP <<' N`, 1}, // N(dog) is the rightmost descendant chain
+		{`NP $, V`, 1},  // sister immediately following V
+		{`NP $.. V`, 0}, // no sister strictly preceding V... (V is first)
+		{`V $.. NP`, 1},
+		{`NP $ PP`, 1},
+		{`Det .. N`, 2}, // each Det precedes some N
+		{`__ < saw`, 1}, // wildcard head
+		{`NP > (NP > NP)`, 0},
+		{`N , Prep`, 0},   // "a" follows "with"; no N starts at terminal 7
+		{`Det , Prep`, 1}, // Det(a) immediately follows Prep(with)
+	}
+	for _, tc := range cases {
+		if got := count(t, c, tc.pattern); got != tc.want {
+			p := MustCompile(tc.pattern)
+			t.Errorf("%s: count = %d, want %d (matches %v)",
+				tc.pattern, got, tc.want, sigs(c.Search(p)))
+		}
+	}
+}
+
+// TestSearchAgainstLPathSemantics pins a few adjacency cases that must agree
+// with the LPath immediate-following examples from the paper.
+func TestSearchAgainstLPathSemantics(t *testing.T) {
+	c := figureCorpus()
+	// Section 1: nodes immediately following V are NP, NP and Det (plus the
+	// word "the" at the terminal level in the TGrep2 view).
+	p := MustCompile(`__ , V`)
+	ms := c.Search(p)
+	var tags []string
+	for _, m := range ms {
+		if m.Node != nil {
+			tags = append(tags, m.Node.Tag)
+		} else {
+			tags = append(tags, "w:"+m.Word)
+		}
+	}
+	wantTags := map[string]bool{"NP": true, "Det": true, "w:the": true}
+	if len(ms) != 4 {
+		t.Fatalf("__ , V matched %v", tags)
+	}
+	for _, tag := range tags {
+		if !wantTags[tag] {
+			t.Errorf("unexpected match %s", tag)
+		}
+	}
+}
+
+func TestIndexPruning(t *testing.T) {
+	c := tree.NewCorpus()
+	c.Add(tree.Figure1())
+	c.Add(tree.MustParseTree(`(S (NP you) (VP (V ran)))`))
+	tc := BuildCorpus(c)
+	// "saw" appears only in tree 1; the index must prune tree 2.
+	p := MustCompile(`S << saw`)
+	if got := tc.candidateTrees(p); len(got) != 1 || got[0] != 0 {
+		t.Errorf("candidateTrees = %v", got)
+	}
+	// Wildcard-only patterns scan everything.
+	p = MustCompile(`__ < __`)
+	if got := tc.candidateTrees(p); len(got) != 2 {
+		t.Errorf("candidateTrees(wildcard) = %v", got)
+	}
+	// Negated labels must not prune.
+	p = MustCompile(`S !<< saw`)
+	if got := tc.candidateTrees(p); len(got) != 2 {
+		t.Errorf("candidateTrees(negated) = %v", got)
+	}
+	if got := tc.Count(p); got != 1 {
+		t.Errorf("S !<< saw count = %d, want 1", got)
+	}
+}
+
+func TestEvalQueriesCompile(t *testing.T) {
+	if len(EvalQueries) != 23 {
+		t.Fatalf("EvalQueries has %d entries", len(EvalQueries))
+	}
+	for id, q := range EvalQueries {
+		if _, err := Compile(q); err != nil {
+			t.Errorf("Q%d %q: %v", id, q, err)
+		}
+	}
+}
+
+func TestWordsWithDots(t *testing.T) {
+	c := tree.NewCorpus()
+	c.Add(tree.MustParseTree(`(S (NNP U.S.) (VBD fell))`))
+	tc := BuildCorpus(c)
+	if got := count(t, tc, `S << "U.S."`); got != 1 {
+		t.Errorf("U.S. lookup = %d", got)
+	}
+	if got := count(t, tc, `S << U.S`); got != 0 {
+		t.Errorf("unquoted partial lookup = %d, want 0", got)
+	}
+	if got := count(t, tc, `NNP . VBD`); got != 1 {
+		t.Errorf("NNP . VBD = %d", got)
+	}
+}

@@ -1,0 +1,23 @@
+package tree
+
+// Figure1 returns the running-example syntax tree of the paper (Figure 1):
+// the analysis of "I saw the old man with a dog today".
+//
+// The leaf spans induced by this tree reproduce the relational rows of
+// Figure 5: S spans [1,10], V spans [2,3], the object NP spans [3,9], the
+// inner NP "the old man" spans [3,6], and so on.
+func Figure1() *Tree {
+	return MustParseTree(`
+		(S
+		  (NP I)
+		  (VP
+		    (V saw)
+		    (NP
+		      (NP (Det the) (Adj old) (N man))
+		      (PP (Prep with)
+		          (NP (Det a) (N dog)))))
+		  (N today))`)
+}
+
+// Figure1Sentence is the terminal string of the Figure 1 tree.
+const Figure1Sentence = "I saw the old man with a dog today"

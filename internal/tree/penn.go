@@ -1,0 +1,287 @@
+package tree
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file implements a reader and writer for the Penn Treebank bracketed
+// format, the de-facto interchange format for syntactically parsed corpora:
+//
+//	( (S (NP-SBJ (PRP I)) (VP (VBD saw) (NP (DT the) (NN dog))) (. .)) )
+//
+// The reader accepts both the outer-wrapper form above (an extra unlabeled
+// pair of parentheses around each sentence, as emitted by the Treebank tools)
+// and the bare form without it. Tags and words may contain any rune except
+// whitespace and parentheses, so Treebank tags such as "-NONE-", "NP-SBJ-1",
+// "." and "," round-trip exactly.
+
+// ParseError describes a syntax error in bracketed input.
+type ParseError struct {
+	Line int    // 1-based line of the offending token
+	Msg  string // description of the problem
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("treebank: line %d: %s", e.Line, e.Msg)
+}
+
+type pennToken struct {
+	kind rune // '(' , ')' or 'a' for an atom
+	text string
+	line int
+}
+
+type pennLexer struct {
+	r    *bufio.Reader
+	line int
+	peek *pennToken
+}
+
+func newPennLexer(r io.Reader) *pennLexer {
+	return &pennLexer{r: bufio.NewReaderSize(r, 64<<10), line: 1}
+}
+
+func (lx *pennLexer) next() (pennToken, error) {
+	if lx.peek != nil {
+		t := *lx.peek
+		lx.peek = nil
+		return t, nil
+	}
+	for {
+		ch, _, err := lx.r.ReadRune()
+		if err != nil {
+			return pennToken{}, err
+		}
+		switch ch {
+		case '\n':
+			lx.line++
+		case ' ', '\t', '\r', '\f', '\v':
+			// skip
+		case '(', ')':
+			return pennToken{kind: ch, line: lx.line}, nil
+		default:
+			var b strings.Builder
+			b.WriteRune(ch)
+			for {
+				ch, _, err := lx.r.ReadRune()
+				if err != nil {
+					break
+				}
+				if ch == '(' || ch == ')' || ch == ' ' || ch == '\t' ||
+					ch == '\n' || ch == '\r' || ch == '\f' || ch == '\v' {
+					_ = lx.r.UnreadRune()
+					break
+				}
+				b.WriteRune(ch)
+			}
+			return pennToken{kind: 'a', text: b.String(), line: lx.line}, nil
+		}
+	}
+}
+
+func (lx *pennLexer) unread(t pennToken) { lx.peek = &t }
+
+// Reader parses a stream of bracketed trees.
+type Reader struct {
+	lx *pennLexer
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader { return &Reader{lx: newPennLexer(r)} }
+
+// Read parses and returns the next tree from the stream. It returns io.EOF
+// when the input is exhausted.
+func (rd *Reader) Read() (*Tree, error) {
+	t, err := rd.lx.next()
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	if t.kind != '(' {
+		return nil, &ParseError{t.line, fmt.Sprintf("expected '(', found %q", tokenDesc(t))}
+	}
+	// Distinguish "( (S ...) )" from "(S ...)": if the next token is another
+	// '(' the outer pair is an unlabeled wrapper.
+	t2, err := rd.lx.next()
+	if err != nil {
+		return nil, unexpectedEOF(err)
+	}
+	if t2.kind == '(' {
+		rd.lx.unread(t2)
+		root, err := rd.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		closeTok, err := rd.lx.next()
+		if err != nil {
+			return nil, unexpectedEOF(err)
+		}
+		if closeTok.kind != ')' {
+			return nil, &ParseError{closeTok.line, "expected ')' closing sentence wrapper"}
+		}
+		return NewTree(root), nil
+	}
+	// Bare form: t2 must be the root tag.
+	if t2.kind != 'a' {
+		return nil, &ParseError{t2.line, "expected tag after '('"}
+	}
+	root, err := rd.parseBody(t2.text, t2.line)
+	if err != nil {
+		return nil, err
+	}
+	return NewTree(root), nil
+}
+
+// parseNode parses "(" TAG body ")" and returns the node.
+func (rd *Reader) parseNode() (*Node, error) {
+	t, err := rd.lx.next()
+	if err != nil {
+		return nil, unexpectedEOF(err)
+	}
+	if t.kind != '(' {
+		return nil, &ParseError{t.line, fmt.Sprintf("expected '(', found %q", tokenDesc(t))}
+	}
+	tagTok, err := rd.lx.next()
+	if err != nil {
+		return nil, unexpectedEOF(err)
+	}
+	if tagTok.kind != 'a' {
+		return nil, &ParseError{tagTok.line, "expected tag after '('"}
+	}
+	return rd.parseBody(tagTok.text, tagTok.line)
+}
+
+// parseBody parses the remainder of a node whose opening "(" TAG has been
+// consumed: either a single word (preterminal) or one or more child nodes,
+// followed by ")".
+func (rd *Reader) parseBody(tag string, line int) (*Node, error) {
+	n := &Node{Tag: tag}
+	for {
+		t, err := rd.lx.next()
+		if err != nil {
+			return nil, unexpectedEOF(err)
+		}
+		switch t.kind {
+		case ')':
+			if len(n.Children) == 0 && n.Word == "" {
+				return nil, &ParseError{t.line, fmt.Sprintf("empty constituent %q", tag)}
+			}
+			return n, nil
+		case '(':
+			if n.Word != "" {
+				return nil, &ParseError{t.line, fmt.Sprintf("constituent %q mixes word and children", tag)}
+			}
+			rd.lx.unread(t)
+			child, err := rd.parseNode()
+			if err != nil {
+				return nil, err
+			}
+			n.AddChild(child)
+		case 'a':
+			if len(n.Children) > 0 {
+				return nil, &ParseError{t.line, fmt.Sprintf("constituent %q mixes children and word %q", tag, t.text)}
+			}
+			if n.Word != "" {
+				return nil, &ParseError{t.line, fmt.Sprintf("constituent %q has two words (%q, %q)", tag, n.Word, t.text)}
+			}
+			n.Word = t.text
+		}
+	}
+}
+
+func tokenDesc(t pennToken) string {
+	switch t.kind {
+	case '(':
+		return "("
+	case ')':
+		return ")"
+	default:
+		return t.text
+	}
+}
+
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return &ParseError{0, "unexpected end of input"}
+	}
+	return err
+}
+
+// ReadAll parses every tree in the stream into a fresh corpus.
+func ReadAll(r io.Reader) (*Corpus, error) {
+	rd := NewReader(r)
+	c := NewCorpus()
+	for {
+		t, err := rd.Read()
+		if err == io.EOF {
+			return c, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		c.Add(t)
+	}
+}
+
+// ParseTree parses a single bracketed tree from a string.
+func ParseTree(s string) (*Tree, error) {
+	rd := NewReader(strings.NewReader(s))
+	t, err := rd.Read()
+	if err == io.EOF {
+		return nil, &ParseError{1, "empty input"}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustParseTree is ParseTree panicking on error; for tests and examples.
+func MustParseTree(s string) *Tree {
+	t, err := ParseTree(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func writeNode(b *strings.Builder, n *Node) {
+	b.WriteByte('(')
+	b.WriteString(n.Tag)
+	if n.Word != "" {
+		b.WriteByte(' ')
+		b.WriteString(n.Word)
+	}
+	for _, c := range n.Children {
+		b.WriteByte(' ')
+		writeNode(b, c)
+	}
+	b.WriteByte(')')
+}
+
+// Write writes the tree to w in single-line bracketed form with the standard
+// sentence wrapper, followed by a newline.
+func Write(w io.Writer, t *Tree) error {
+	var b strings.Builder
+	b.WriteString("( ")
+	writeNode(&b, t.Root)
+	b.WriteString(" )\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteAll writes every tree of the corpus to w.
+func WriteAll(w io.Writer, c *Corpus) error {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	for _, t := range c.Trees {
+		if err := Write(bw, t); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

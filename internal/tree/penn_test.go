@@ -1,0 +1,201 @@
+package tree
+
+import (
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseTreeBare(t *testing.T) {
+	tr, err := ParseTree("(S (NP I) (VP (V saw) (NP (Det the) (N dog))))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root.Tag != "S" {
+		t.Errorf("root = %q", tr.Root.Tag)
+	}
+	if got := strings.Join(tr.Root.Words(), " "); got != "I saw the dog" {
+		t.Errorf("words = %q", got)
+	}
+}
+
+func TestParseTreeWrapped(t *testing.T) {
+	tr, err := ParseTree("( (S (NP-SBJ (PRP I)) (VP (VBD saw) (NP (DT the) (NN dog))) (. .)) )")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root.Tag != "S" {
+		t.Errorf("root = %q", tr.Root.Tag)
+	}
+	if got := len(tr.Root.Children); got != 3 {
+		t.Fatalf("root children = %d", got)
+	}
+	if tr.Root.Children[2].Tag != "." || tr.Root.Children[2].Word != "." {
+		t.Errorf("punctuation node = (%s %s)", tr.Root.Children[2].Tag, tr.Root.Children[2].Word)
+	}
+}
+
+func TestParseTreebankTags(t *testing.T) {
+	// Tags with hyphens, leading hyphens and digits must survive.
+	tr, err := ParseTree("(S (NP-SBJ-1 (-NONE- *T*-1)) (ADVP-LOC-CLR (RB here)))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root.Children[0].Tag != "NP-SBJ-1" {
+		t.Errorf("tag = %q", tr.Root.Children[0].Tag)
+	}
+	none := tr.Root.Children[0].Children[0]
+	if none.Tag != "-NONE-" || none.Word != "*T*-1" {
+		t.Errorf("trace node = (%s %s)", none.Tag, none.Word)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"unbalanced open", "(S (NP I)"},
+		{"no open", "S NP)"},
+		{"empty constituent", "(S (NP))"},
+		{"word then child", "(S foo (NP I))"},
+		{"child then word", "(S (NP I) foo)"},
+		{"two words", "(NP the dog)"},
+		{"bad wrapper", "( (S (NP I)) extra )"},
+		{"empty input", ""},
+		{"missing tag", "((I))"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseTree(tc.input); err == nil {
+			t.Errorf("%s: expected error for %q", tc.name, tc.input)
+		}
+	}
+}
+
+func TestParseErrorHasLine(t *testing.T) {
+	_, err := ParseTree("(S\n(NP\n I) (NP))")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("expected *ParseError, got %T (%v)", err, err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("error line = %d, want 3", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "line 3") {
+		t.Errorf("error text = %q", pe.Error())
+	}
+}
+
+func TestReaderStream(t *testing.T) {
+	input := "( (S (NP a)) )\n( (S (NP b)) )\n(S (NP c))\n"
+	rd := NewReader(strings.NewReader(input))
+	var words []string
+	for {
+		tr, err := rd.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		words = append(words, tr.Root.Words()...)
+	}
+	if got := strings.Join(words, ""); got != "abc" {
+		t.Errorf("stream words = %q, want abc", got)
+	}
+}
+
+func TestReadAll(t *testing.T) {
+	input := "( (S (NP a)) )( (S (NP b)) )"
+	c, err := ReadAll(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if c.Trees[0].ID != 1 || c.Trees[1].ID != 2 {
+		t.Errorf("IDs = %d, %d", c.Trees[0].ID, c.Trees[1].ID)
+	}
+}
+
+func TestRoundTripFigure1(t *testing.T) {
+	tr := Figure1()
+	var sb strings.Builder
+	if err := Write(&sb, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTree(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Root.String() != tr.Root.String() {
+		t.Errorf("round trip mismatch:\n in: %s\nout: %s", tr.Root, back.Root)
+	}
+}
+
+// randomTree builds a random well-formed tree for property tests.
+func randomTree(rng *rand.Rand, maxDepth int) *Node {
+	tags := []string{"S", "NP", "VP", "PP", "ADJP", "X-1", "-NONE-"}
+	words := []string{"a", "dog", "saw", "*T*-1", "ran", "x"}
+	var build func(depth int) *Node
+	build = func(depth int) *Node {
+		n := &Node{Tag: tags[rng.Intn(len(tags))]}
+		if depth >= maxDepth || rng.Intn(3) == 0 {
+			n.Word = words[rng.Intn(len(words))]
+			return n
+		}
+		kids := 1 + rng.Intn(3)
+		for i := 0; i < kids; i++ {
+			n.AddChild(build(depth + 1))
+		}
+		return n
+	}
+	return build(1)
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewTree(randomTree(rng, 6))
+		if err := tr.Validate(); err != nil {
+			t.Logf("invalid random tree: %v", err)
+			return false
+		}
+		var sb strings.Builder
+		if err := Write(&sb, tr); err != nil {
+			return false
+		}
+		back, err := ParseTree(sb.String())
+		if err != nil {
+			t.Logf("parse back failed: %v", err)
+			return false
+		}
+		return back.Root.String() == tr.Root.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteAll(t *testing.T) {
+	c := NewCorpus()
+	c.Add(Figure1())
+	c.Add(MustParseTree("(S (NP me) (VP (V ran)))"))
+	var sb strings.Builder
+	if err := WriteAll(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAll(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("round-trip corpus has %d trees", back.Len())
+	}
+	if back.NodeCount() != c.NodeCount() {
+		t.Errorf("node count %d != %d", back.NodeCount(), c.NodeCount())
+	}
+}

@@ -1,0 +1,399 @@
+// Package tree defines the ordered linguistic tree model used throughout the
+// repository: an ordered labeled tree whose terminals are units of a
+// linguistic artifact (words) and whose non-terminals are annotations, as in
+// Section 2.1 of the LPath paper (Bird et al., ICDE 2006).
+//
+// The package also provides a reader and writer for the Penn Treebank
+// bracketed format, traversal helpers, and a Corpus container that groups a
+// set of trees under stable tree identifiers.
+package tree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is a single node of a linguistic tree.
+//
+// A preterminal node (a part-of-speech node such as V or NN) carries the
+// terminal it annotates in Word; following the paper's data model the word is
+// exposed to queries as the @lex attribute of the preterminal. Additional
+// attributes, which are rare, live in Attrs and are allocated lazily.
+type Node struct {
+	// Tag is the syntactic category label, e.g. "NP" or "VP" or "NP-SBJ".
+	Tag string
+	// Word is the terminal annotated by this node, or "" for phrasal nodes.
+	// It is exposed to queries as the @lex attribute.
+	Word string
+	// Parent is nil for the root.
+	Parent *Node
+	// Children are the ordered children of the node.
+	Children []*Node
+	// Attrs holds attributes other than @lex; nil for almost every node.
+	Attrs map[string]string
+}
+
+// IsLeaf reports whether the node is a preterminal, i.e. annotates a word and
+// has no element children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Attr returns the value of the named attribute ("lex" or an Attrs key) and
+// whether it is present. The leading '@' may be included or omitted.
+func (n *Node) Attr(name string) (string, bool) {
+	name = strings.TrimPrefix(name, "@")
+	if name == "lex" {
+		if n.Word == "" {
+			return "", false
+		}
+		return n.Word, true
+	}
+	v, ok := n.Attrs[name]
+	return v, ok
+}
+
+// SetAttr sets an attribute on the node. Setting "lex" assigns Word.
+func (n *Node) SetAttr(name, value string) {
+	name = strings.TrimPrefix(name, "@")
+	if name == "lex" {
+		n.Word = value
+		return
+	}
+	if n.Attrs == nil {
+		n.Attrs = make(map[string]string, 1)
+	}
+	n.Attrs[name] = value
+}
+
+// AttrNames returns the attribute names present on the node, sorted, each
+// with a leading '@'.
+func (n *Node) AttrNames() []string {
+	var names []string
+	if n.Word != "" {
+		names = append(names, "@lex")
+	}
+	for k := range n.Attrs {
+		names = append(names, "@"+k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AddChild appends child to n and sets its parent pointer.
+func (n *Node) AddChild(child *Node) {
+	child.Parent = n
+	n.Children = append(n.Children, child)
+}
+
+// ChildIndex returns the index of n in its parent's child list, or -1 for a
+// root node.
+func (n *Node) ChildIndex() int {
+	if n.Parent == nil {
+		return -1
+	}
+	for i, c := range n.Parent.Children {
+		if c == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// NextSibling returns the immediately following sibling, or nil.
+func (n *Node) NextSibling() *Node {
+	i := n.ChildIndex()
+	if i < 0 || i+1 >= len(n.Parent.Children) {
+		return nil
+	}
+	return n.Parent.Children[i+1]
+}
+
+// PrevSibling returns the immediately preceding sibling, or nil.
+func (n *Node) PrevSibling() *Node {
+	i := n.ChildIndex()
+	if i <= 0 {
+		return nil
+	}
+	return n.Parent.Children[i-1]
+}
+
+// Root returns the root of the tree containing n.
+func (n *Node) Root() *Node {
+	for n.Parent != nil {
+		n = n.Parent
+	}
+	return n
+}
+
+// Depth returns the depth of the node; the root has depth 1, as in
+// Definition 4.1 of the paper.
+func (n *Node) Depth() int {
+	d := 1
+	for p := n.Parent; p != nil; p = p.Parent {
+		d++
+	}
+	return d
+}
+
+// IsAncestorOf reports whether n is a proper ancestor of other.
+func (n *Node) IsAncestorOf(other *Node) bool {
+	for p := other.Parent; p != nil; p = p.Parent {
+		if p == n {
+			return true
+		}
+	}
+	return false
+}
+
+// LeftmostLeaf returns the leftmost leaf descendant of n (n itself if a leaf).
+func (n *Node) LeftmostLeaf() *Node {
+	for len(n.Children) > 0 {
+		n = n.Children[0]
+	}
+	return n
+}
+
+// RightmostLeaf returns the rightmost leaf descendant of n (n itself if a
+// leaf).
+func (n *Node) RightmostLeaf() *Node {
+	for len(n.Children) > 0 {
+		n = n.Children[len(n.Children)-1]
+	}
+	return n
+}
+
+// Walk visits n and every descendant in document (preorder) order, calling
+// visit for each. If visit returns false the subtree below the node is
+// skipped.
+func (n *Node) Walk(visit func(*Node) bool) {
+	if !visit(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(visit)
+	}
+}
+
+// Size returns the number of nodes in the subtree rooted at n.
+func (n *Node) Size() int {
+	total := 0
+	n.Walk(func(*Node) bool { total++; return true })
+	return total
+}
+
+// Leaves returns the leaf nodes of the subtree rooted at n, left to right.
+func (n *Node) Leaves() []*Node {
+	var out []*Node
+	n.Walk(func(m *Node) bool {
+		if m.IsLeaf() {
+			out = append(out, m)
+		}
+		return true
+	})
+	return out
+}
+
+// Words returns the terminal string of the subtree, left to right.
+func (n *Node) Words() []string {
+	var out []string
+	for _, l := range n.Leaves() {
+		if l.Word != "" {
+			out = append(out, l.Word)
+		}
+	}
+	return out
+}
+
+// String renders the subtree in single-line Penn bracketed form.
+func (n *Node) String() string {
+	var b strings.Builder
+	writeNode(&b, n)
+	return b.String()
+}
+
+// Tree is a single linguistic tree with a corpus-stable identifier.
+type Tree struct {
+	// ID distinguishes trees within a corpus; assigned by Corpus.Add.
+	ID int
+	// Root is the root node.
+	Root *Node
+}
+
+// NewTree wraps a root node as a Tree with ID 0.
+func NewTree(root *Node) *Tree { return &Tree{Root: root} }
+
+// Size returns the number of nodes in the tree.
+func (t *Tree) Size() int {
+	if t.Root == nil {
+		return 0
+	}
+	return t.Root.Size()
+}
+
+// Nodes returns all nodes of the tree in document order.
+func (t *Tree) Nodes() []*Node {
+	if t.Root == nil {
+		return nil
+	}
+	out := make([]*Node, 0, 32)
+	t.Root.Walk(func(n *Node) bool { out = append(out, n); return true })
+	return out
+}
+
+// MaxDepth returns the depth of the deepest node (root = 1).
+func (t *Tree) MaxDepth() int {
+	if t.Root == nil {
+		return 0
+	}
+	max := 0
+	var rec func(n *Node, d int)
+	rec = func(n *Node, d int) {
+		if d > max {
+			max = d
+		}
+		for _, c := range n.Children {
+			rec(c, d+1)
+		}
+	}
+	rec(t.Root, 1)
+	return max
+}
+
+// Validate checks structural invariants: parent pointers are consistent,
+// every leaf has a word, and every non-leaf has no word.
+func (t *Tree) Validate() error {
+	if t.Root == nil {
+		return fmt.Errorf("tree %d: nil root", t.ID)
+	}
+	if t.Root.Parent != nil {
+		return fmt.Errorf("tree %d: root has a parent", t.ID)
+	}
+	var err error
+	t.Root.Walk(func(n *Node) bool {
+		if err != nil {
+			return false
+		}
+		if n.Tag == "" {
+			err = fmt.Errorf("tree %d: node with empty tag", t.ID)
+			return false
+		}
+		if n.IsLeaf() && n.Word == "" {
+			err = fmt.Errorf("tree %d: leaf %q without word", t.ID, n.Tag)
+			return false
+		}
+		if !n.IsLeaf() && n.Word != "" {
+			err = fmt.Errorf("tree %d: internal node %q carries word %q", t.ID, n.Tag, n.Word)
+			return false
+		}
+		for _, c := range n.Children {
+			if c.Parent != n {
+				err = fmt.Errorf("tree %d: broken parent pointer under %q", t.ID, n.Tag)
+				return false
+			}
+		}
+		return true
+	})
+	return err
+}
+
+// Corpus is an ordered collection of trees with stable identifiers.
+type Corpus struct {
+	Trees []*Tree
+}
+
+// NewCorpus creates an empty corpus.
+func NewCorpus() *Corpus { return &Corpus{} }
+
+// Add appends a tree, assigning it the next tree ID, and returns the tree.
+func (c *Corpus) Add(t *Tree) *Tree {
+	t.ID = len(c.Trees) + 1
+	c.Trees = append(c.Trees, t)
+	return t
+}
+
+// AddRoot wraps the root in a Tree and adds it.
+func (c *Corpus) AddRoot(root *Node) *Tree { return c.Add(NewTree(root)) }
+
+// Len returns the number of trees.
+func (c *Corpus) Len() int { return len(c.Trees) }
+
+// NodeCount returns the total number of element nodes across all trees.
+func (c *Corpus) NodeCount() int {
+	total := 0
+	for _, t := range c.Trees {
+		total += t.Size()
+	}
+	return total
+}
+
+// WordCount returns the total number of terminals across all trees.
+func (c *Corpus) WordCount() int {
+	total := 0
+	for _, t := range c.Trees {
+		for _, n := range t.Nodes() {
+			if n.Word != "" {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// MaxDepth returns the maximum node depth across all trees.
+func (c *Corpus) MaxDepth() int {
+	max := 0
+	for _, t := range c.Trees {
+		if d := t.MaxDepth(); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// TagFrequencies returns tag → occurrence count over all element nodes.
+func (c *Corpus) TagFrequencies() map[string]int {
+	freq := make(map[string]int)
+	for _, t := range c.Trees {
+		t.Root.Walk(func(n *Node) bool {
+			freq[n.Tag]++
+			return true
+		})
+	}
+	return freq
+}
+
+// TagFreq is a (tag, count) pair used for frequency rankings.
+type TagFreq struct {
+	Tag   string
+	Count int
+}
+
+// TopTags returns the k most frequent tags, most frequent first; ties are
+// broken alphabetically so the ranking is deterministic.
+func (c *Corpus) TopTags(k int) []TagFreq {
+	freq := c.TagFrequencies()
+	out := make([]TagFreq, 0, len(freq))
+	for tag, n := range freq {
+		out = append(out, TagFreq{tag, n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Validate validates every tree in the corpus.
+func (c *Corpus) Validate() error {
+	for _, t := range c.Trees {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1Structure(t *testing.T) {
+	tr := Figure1()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(tr.Root.Words(), " "); got != Figure1Sentence {
+		t.Errorf("words = %q, want %q", got, Figure1Sentence)
+	}
+	if got := tr.Root.Tag; got != "S" {
+		t.Errorf("root tag = %q, want S", got)
+	}
+	if got := len(tr.Root.Children); got != 3 {
+		t.Fatalf("root has %d children, want 3", got)
+	}
+	tags := []string{}
+	for _, c := range tr.Root.Children {
+		tags = append(tags, c.Tag)
+	}
+	want := []string{"NP", "VP", "N"}
+	for i := range want {
+		if tags[i] != want[i] {
+			t.Errorf("root child %d tag = %q, want %q", i, tags[i], want[i])
+		}
+	}
+	if got := tr.Size(); got != 15 {
+		t.Errorf("size = %d, want 15", got)
+	}
+	if got := tr.MaxDepth(); got != 6 {
+		t.Errorf("max depth = %d, want 6", got)
+	}
+}
+
+func TestNodeNavigation(t *testing.T) {
+	tr := Figure1()
+	vp := tr.Root.Children[1]
+	if vp.Tag != "VP" {
+		t.Fatalf("expected VP, got %q", vp.Tag)
+	}
+	v := vp.Children[0]
+	if v.Tag != "V" || v.Word != "saw" {
+		t.Fatalf("expected (V saw), got (%s %s)", v.Tag, v.Word)
+	}
+	if sib := v.NextSibling(); sib == nil || sib.Tag != "NP" {
+		t.Errorf("V next sibling: got %v", sib)
+	}
+	if sib := v.PrevSibling(); sib != nil {
+		t.Errorf("V prev sibling should be nil, got %v", sib)
+	}
+	np := v.NextSibling()
+	if sib := np.NextSibling(); sib != nil {
+		t.Errorf("object NP next sibling should be nil, got %v", sib)
+	}
+	if got := v.Depth(); got != 3 {
+		t.Errorf("V depth = %d, want 3", got)
+	}
+	if v.Root() != tr.Root {
+		t.Error("Root() did not reach the tree root")
+	}
+	if !tr.Root.IsAncestorOf(v) {
+		t.Error("root should be ancestor of V")
+	}
+	if v.IsAncestorOf(tr.Root) {
+		t.Error("V must not be ancestor of root")
+	}
+	if v.IsAncestorOf(v) {
+		t.Error("IsAncestorOf must be irreflexive")
+	}
+	if got := np.LeftmostLeaf().Word; got != "the" {
+		t.Errorf("object NP leftmost leaf = %q, want \"the\"", got)
+	}
+	if got := np.RightmostLeaf().Word; got != "dog" {
+		t.Errorf("object NP rightmost leaf = %q, want \"dog\"", got)
+	}
+	if got := v.ChildIndex(); got != 0 {
+		t.Errorf("V child index = %d, want 0", got)
+	}
+	if got := tr.Root.ChildIndex(); got != -1 {
+		t.Errorf("root child index = %d, want -1", got)
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	n := &Node{Tag: "V", Word: "saw"}
+	if v, ok := n.Attr("lex"); !ok || v != "saw" {
+		t.Errorf("Attr(lex) = %q, %v", v, ok)
+	}
+	if v, ok := n.Attr("@lex"); !ok || v != "saw" {
+		t.Errorf("Attr(@lex) = %q, %v", v, ok)
+	}
+	if _, ok := n.Attr("pos"); ok {
+		t.Error("Attr(pos) should be absent")
+	}
+	n.SetAttr("pos", "VBD")
+	if v, ok := n.Attr("pos"); !ok || v != "VBD" {
+		t.Errorf("Attr(pos) = %q, %v after SetAttr", v, ok)
+	}
+	n.SetAttr("@lex", "seen")
+	if n.Word != "seen" {
+		t.Errorf("SetAttr(@lex) did not update Word: %q", n.Word)
+	}
+	names := n.AttrNames()
+	if len(names) != 2 || names[0] != "@lex" || names[1] != "@pos" {
+		t.Errorf("AttrNames = %v", names)
+	}
+	empty := &Node{Tag: "NP"}
+	if _, ok := empty.Attr("lex"); ok {
+		t.Error("phrasal node should have no @lex")
+	}
+}
+
+func TestLeavesAndWords(t *testing.T) {
+	tr := Figure1()
+	leaves := tr.Root.Leaves()
+	if len(leaves) != 9 {
+		t.Fatalf("got %d leaves, want 9", len(leaves))
+	}
+	want := strings.Fields(Figure1Sentence)
+	for i, l := range leaves {
+		if l.Word != want[i] {
+			t.Errorf("leaf %d = %q, want %q", i, l.Word, want[i])
+		}
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	tr := Figure1()
+	var visited []string
+	tr.Root.Walk(func(n *Node) bool {
+		visited = append(visited, n.Tag)
+		return n.Tag != "VP" // prune below VP
+	})
+	for _, tag := range visited {
+		if tag == "V" {
+			t.Fatal("walk descended into pruned VP subtree")
+		}
+	}
+	if len(visited) != 4 { // S, NP, VP, N
+		t.Errorf("visited %d nodes, want 4 (%v)", len(visited), visited)
+	}
+}
+
+func TestCorpusBasics(t *testing.T) {
+	c := NewCorpus()
+	t1 := c.Add(Figure1())
+	t2 := c.AddRoot(MustParseTree("(S (NP me) (VP (V ran)))").Root)
+	if t1.ID != 1 || t2.ID != 2 {
+		t.Errorf("tree IDs = %d, %d; want 1, 2", t1.ID, t2.ID)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	if got := c.NodeCount(); got != 15+4 {
+		t.Errorf("NodeCount = %d, want 19", got)
+	}
+	if got := c.WordCount(); got != 9+2 {
+		t.Errorf("WordCount = %d, want 11", got)
+	}
+	if got := c.MaxDepth(); got != 6 {
+		t.Errorf("MaxDepth = %d, want 6", got)
+	}
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopTags(t *testing.T) {
+	c := NewCorpus()
+	c.Add(Figure1())
+	top := c.TopTags(3)
+	if len(top) != 3 {
+		t.Fatalf("TopTags(3) returned %d entries", len(top))
+	}
+	if top[0].Tag != "NP" || top[0].Count != 4 {
+		t.Errorf("top tag = %+v, want NP×4", top[0])
+	}
+	if top[1].Tag != "N" || top[1].Count != 3 {
+		t.Errorf("second tag = %+v, want N×3", top[1])
+	}
+	if top[2].Tag != "Det" || top[2].Count != 2 {
+		t.Errorf("third tag = %+v, want Det×2", top[2])
+	}
+	all := c.TopTags(100)
+	if len(all) != len(c.TagFrequencies()) {
+		t.Errorf("TopTags(100) should return all %d tags, got %d",
+			len(c.TagFrequencies()), len(all))
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		tree *Tree
+	}{
+		{"nil root", &Tree{}},
+		{"leaf without word", NewTree(&Node{Tag: "NP"})},
+		{"empty tag", NewTree(&Node{Tag: ""})},
+	}
+	for _, tc := range cases {
+		if err := tc.tree.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+	// Internal node carrying a word.
+	bad := &Node{Tag: "NP", Word: "x"}
+	bad.AddChild(&Node{Tag: "N", Word: "dog"})
+	if err := NewTree(bad).Validate(); err == nil {
+		t.Error("internal node with word: expected validation error")
+	}
+	// Broken parent pointer.
+	root := &Node{Tag: "S"}
+	child := &Node{Tag: "N", Word: "x"}
+	root.Children = append(root.Children, child) // no parent pointer set
+	if err := NewTree(root).Validate(); err == nil {
+		t.Error("broken parent pointer: expected validation error")
+	}
+}

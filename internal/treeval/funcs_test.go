@@ -1,0 +1,81 @@
+package treeval
+
+import (
+	"testing"
+
+	"lpath/internal/lpath"
+	"lpath/internal/tree"
+)
+
+// TestFunctionLibraryPaper checks the XPath-equivalence examples the paper
+// gives in Section 2.2: the immediate-following-sibling query expressed with
+// position(), and child edge alignment expressed with last().
+func TestFunctionLibraryPaper(t *testing.T) {
+	ev := New(tree.Figure1())
+	// Q2-equivalent via the function library:
+	// //V/following-sibling::_[position()=1][.NP]  ~  //V==>NP
+	expect(t, ev, `//V/following-sibling::_[position()=1][.NP]`,
+		"NP[the old man with a dog]")
+	// Q5-equivalent: //VP/_[last()][.NP]  ~  //VP{/NP$}
+	expect(t, ev, `//VP/_[last()][.NP]`,
+		"NP[the old man with a dog]")
+}
+
+func TestPositionSemantics(t *testing.T) {
+	ev := New(tree.Figure1())
+	// Children of the NP with a direct Adj child (the old man): Det, Adj, N.
+	expect(t, ev, `//NP[/Adj]/_[position()=1]`, "Det[the]")
+	expect(t, ev, `//NP[/Adj]/_[position()=2]`, "Adj[old]")
+	expect(t, ev, `//NP[/Adj]/_[position()=last()]`, "N[man]")
+	// Positions recompute between predicates: after [position()>1] the
+	// remaining Adj and N are at positions 1 and 2, so both pass <3.
+	expect(t, ev, `//NP[/Adj]/_[position()>1][position()<3]`, "Adj[old]", "N[man]")
+	// Numeric shorthand.
+	expect(t, ev, `//NP[/Adj]/_[2]`, "Adj[old]")
+	// position() on a reverse axis counts nearest-first.
+	expect(t, ev, `//Prep\\_[position()=1]`, "PP[with a dog]")
+	expect(t, ev, `//Prep\\_[position()=2]`, "NP[the old man with a dog]")
+	expect(t, ev, `//Prep\\_[last()]`, "S[I saw the old man with a dog today]")
+	// Preceding-sibling nearest-first.
+	expect(t, ev, `//N[@lex=man]<==_[position()=1]`, "Adj[old]")
+	expect(t, ev, `//N[@lex=man]<==_[position()=2]`, "Det[the]")
+	// Sequential filtering: the second predicate sees positions after the
+	// first has filtered.
+	expect(t, ev, `//NP[/Adj]/_[position()>1][position()=1]`, "Adj[old]")
+}
+
+func TestCountFunction(t *testing.T) {
+	ev := New(tree.Figure1())
+	expect(t, ev, `//NP[count(/_)=3]`, "NP[the old man]")
+	expect(t, ev, `//NP[count(/_)>=2]`,
+		"NP[the old man]", "NP[the old man with a dog]", "NP[a dog]")
+	expect(t, ev, `//NP[count(//N)=2]`, "NP[the old man with a dog]")
+	expect(t, ev, `//S[count(//NP)=4]`, "S[I saw the old man with a dog today]")
+	expect(t, ev, `//S[count(//NP)!=4]`)
+	expect(t, ev, `//NP[count(/Det)<1]`, "NP[I]", "NP[the old man with a dog]")
+}
+
+func TestStringFunctions(t *testing.T) {
+	ev := New(tree.Figure1())
+	expect(t, ev, `//_[contains(@lex,'o')]`,
+		"Adj[old]", "N[dog]", "N[today]")
+	expect(t, ev, `//_[starts-with(@lex,'to')]`, "N[today]")
+	expect(t, ev, `//_[ends-with(@lex,'og')]`, "N[dog]")
+	expect(t, ev, `//NP[contains(//N@lex,'a')]`, // any N below with 'a' in it
+		"NP[the old man]", "NP[the old man with a dog]")
+	expect(t, ev, `//_[contains(@lex,'zzz')]`)
+	// On the context node's attribute, via a nil head.
+	expect(t, ev, `//V[starts-with(@lex,'s')]`, "V[saw]")
+}
+
+func TestFunctionLibraryErrors(t *testing.T) {
+	ev := New(tree.Figure1())
+	// String functions require an attribute path.
+	p, err := lpath.Parse(`//NP[contains(//N,'a')]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Eval(p); err == nil {
+		t.Error("contains() without attribute path should fail")
+	}
+}

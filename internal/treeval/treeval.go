@@ -1,0 +1,452 @@
+// Package treeval is the reference evaluator for LPath: a direct,
+// tree-walking implementation of the language semantics that never consults
+// the interval labeling or the relational store. It exists as the
+// correctness oracle for the label-based query engine (package engine): both
+// must return identical result sets on every query and corpus.
+//
+// The evaluator is deliberately simple — each step scans every node of the
+// tree — so its behaviour is easy to audit against the paper's definitions.
+package treeval
+
+import (
+	"fmt"
+	"sort"
+
+	"lpath/internal/lpath"
+	"lpath/internal/tree"
+)
+
+// nodeInfo caches the structural facts each axis test needs: the 1-based
+// positions of the node's first and last leaf in the terminal sequence, its
+// depth, and its document-order index.
+type nodeInfo struct {
+	firstLeaf int // position of leftmost leaf descendant (1-based)
+	lastLeaf  int // position of rightmost leaf descendant
+	depth     int
+	order     int // preorder index, for deterministic result ordering
+}
+
+// Evaluator evaluates LPath queries over a single tree.
+type Evaluator struct {
+	tree  *tree.Tree
+	nodes []*tree.Node
+	info  map[*tree.Node]nodeInfo
+}
+
+// New prepares an evaluator for the tree.
+func New(t *tree.Tree) *Evaluator {
+	ev := &Evaluator{tree: t, info: make(map[*tree.Node]nodeInfo, 64)}
+	leaf := 0
+	var rec func(n *tree.Node, depth int) (first, last int)
+	rec = func(n *tree.Node, depth int) (int, int) {
+		order := len(ev.nodes)
+		ev.nodes = append(ev.nodes, n)
+		var first, last int
+		if len(n.Children) == 0 {
+			leaf++
+			first, last = leaf, leaf
+		} else {
+			for i, c := range n.Children {
+				f, l := rec(c, depth+1)
+				if i == 0 {
+					first = f
+				}
+				last = l
+			}
+		}
+		ev.info[n] = nodeInfo{firstLeaf: first, lastLeaf: last, depth: depth, order: order}
+		return first, last
+	}
+	if t != nil && t.Root != nil {
+		rec(t.Root, 1)
+	}
+	return ev
+}
+
+// Eval evaluates the query from the tree root (the query's leading axis is
+// applied to a virtual super-root, so //S matches the root as XPath's
+// document node semantics require). Results are the distinct matches of the
+// final step, in document order.
+func (ev *Evaluator) Eval(p *lpath.Path) ([]*tree.Node, error) {
+	res, err := ev.evalPath(p, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Count returns the number of matches of the query.
+func (ev *Evaluator) Count(p *lpath.Path) (int, error) {
+	res, err := ev.Eval(p)
+	return len(res), err
+}
+
+// evalPath evaluates a relative path from the context node (nil = virtual
+// super-root) under the given scope stack, returning the final matches.
+func (ev *Evaluator) evalPath(p *lpath.Path, ctx *tree.Node, scopes []*tree.Node) ([]*tree.Node, error) {
+	contexts := []*tree.Node{ctx}
+	for i := range p.Steps {
+		step := &p.Steps[i]
+		var next []*tree.Node
+		seen := map[*tree.Node]bool{}
+		for _, c := range contexts {
+			matches, err := ev.evalStep(step, c, scopes)
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range matches {
+				if !seen[m] {
+					seen[m] = true
+					next = append(next, m)
+				}
+			}
+		}
+		contexts = next
+		if len(contexts) == 0 {
+			break
+		}
+	}
+	if p.Scoped != nil {
+		var out []*tree.Node
+		seen := map[*tree.Node]bool{}
+		for _, c := range contexts {
+			if c == nil {
+				// Scope on the virtual root: scope to the whole tree.
+				c = ev.tree.Root
+			}
+			matches, err := ev.evalPath(p.Scoped, c, append(scopes, c))
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range matches {
+				if !seen[m] {
+					seen[m] = true
+					out = append(out, m)
+				}
+			}
+		}
+		contexts = out
+	}
+	// Drop a virtual-root context that survived an empty path.
+	res := contexts[:0:0]
+	for _, c := range contexts {
+		if c != nil {
+			res = append(res, c)
+		}
+	}
+	sort.Slice(res, func(i, j int) bool { return ev.info[res[i]].order < ev.info[res[j]].order })
+	return res, nil
+}
+
+// evalStep returns the nodes reachable from ctx along one step: the axis,
+// node test, scope constraint and edge alignment select the candidate list,
+// and the predicates then filter it sequentially — position() in the k-th
+// predicate sees the list as filtered by the first k-1 predicates, with
+// positions counted in document order for forward axes and reverse document
+// order for reverse axes, as in XPath.
+func (ev *Evaluator) evalStep(step *lpath.Step, ctx *tree.Node, scopes []*tree.Node) ([]*tree.Node, error) {
+	if step.Axis == lpath.AxisAttribute {
+		return nil, fmt.Errorf("treeval: attribute step @%s is only valid inside a comparison or existence predicate", step.Test)
+	}
+	var cands []*tree.Node
+	for _, cand := range ev.nodes {
+		if !ev.onAxis(step.Axis, cand, ctx) {
+			continue
+		}
+		if !step.Wildcard() && cand.Tag != step.Test {
+			continue
+		}
+		if len(scopes) > 0 && !ev.inSubtree(cand, scopes[len(scopes)-1]) {
+			continue
+		}
+		if step.LeftAlign || step.RightAlign {
+			ref := ev.alignRef(ctx, scopes)
+			ci, ri := ev.info[cand], ev.info[ref]
+			if step.LeftAlign && ci.firstLeaf != ri.firstLeaf {
+				continue
+			}
+			if step.RightAlign && ci.lastLeaf != ri.lastLeaf {
+				continue
+			}
+		}
+		cands = append(cands, cand)
+	}
+	if lpath.ReverseAxis(step.Axis) {
+		for i, j := 0, len(cands)-1; i < j; i, j = i+1, j-1 {
+			cands[i], cands[j] = cands[j], cands[i]
+		}
+	}
+	for _, pred := range step.Preds {
+		var err error
+		cands, err = ev.filterPred(pred, cands, scopes)
+		if err != nil {
+			return nil, err
+		}
+		if len(cands) == 0 {
+			break
+		}
+	}
+	return cands, nil
+}
+
+// filterPred keeps the candidates satisfying one predicate, supplying each
+// its 1-based position and the list size for the positional functions.
+func (ev *Evaluator) filterPred(pred lpath.Expr, cands []*tree.Node, scopes []*tree.Node) ([]*tree.Node, error) {
+	out := cands[:0:0]
+	size := len(cands)
+	for i, c := range cands {
+		ok, err := ev.evalExpr(pred, c, scopes, i+1, size)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// alignRef returns the node that ^/$ align against: the innermost scope, or
+// the step's context node when no scope is open (the tree root for the
+// virtual root).
+func (ev *Evaluator) alignRef(ctx *tree.Node, scopes []*tree.Node) *tree.Node {
+	if len(scopes) > 0 {
+		return scopes[len(scopes)-1]
+	}
+	if ctx == nil {
+		return ev.tree.Root
+	}
+	return ctx
+}
+
+func (ev *Evaluator) inSubtree(n, scope *tree.Node) bool {
+	return n == scope || scope.IsAncestorOf(n)
+}
+
+// onAxis reports whether cand is reachable from ctx along the axis,
+// following the structural definitions of Section 3 (a nil ctx is the
+// virtual super-root above the tree root).
+func (ev *Evaluator) onAxis(axis lpath.Axis, cand, ctx *tree.Node) bool {
+	if ctx == nil {
+		switch axis {
+		case lpath.AxisChild:
+			return cand == ev.tree.Root
+		case lpath.AxisDescendant, lpath.AxisDescendantOrSelf:
+			return true
+		default:
+			return false
+		}
+	}
+	ci, xi := ev.info[ctx], ev.info[cand]
+	switch axis {
+	case lpath.AxisSelf:
+		return cand == ctx
+	case lpath.AxisChild:
+		return cand.Parent == ctx
+	case lpath.AxisParent:
+		return ctx.Parent == cand
+	case lpath.AxisDescendant:
+		return ctx.IsAncestorOf(cand)
+	case lpath.AxisDescendantOrSelf:
+		return cand == ctx || ctx.IsAncestorOf(cand)
+	case lpath.AxisAncestor:
+		return cand.IsAncestorOf(ctx)
+	case lpath.AxisAncestorOrSelf:
+		return cand == ctx || cand.IsAncestorOf(ctx)
+	case lpath.AxisFollowing:
+		return xi.firstLeaf > ci.lastLeaf
+	case lpath.AxisFollowingOrSelf:
+		return cand == ctx || xi.firstLeaf > ci.lastLeaf
+	case lpath.AxisImmediateFollowing:
+		return xi.firstLeaf == ci.lastLeaf+1
+	case lpath.AxisPreceding:
+		return xi.lastLeaf < ci.firstLeaf
+	case lpath.AxisPrecedingOrSelf:
+		return cand == ctx || xi.lastLeaf < ci.firstLeaf
+	case lpath.AxisImmediatePreceding:
+		return xi.lastLeaf+1 == ci.firstLeaf
+	case lpath.AxisFollowingSibling:
+		return cand.Parent != nil && cand.Parent == ctx.Parent && xi.firstLeaf > ci.lastLeaf
+	case lpath.AxisFollowingSiblingOrSelf:
+		return cand == ctx || (cand.Parent != nil && cand.Parent == ctx.Parent && xi.firstLeaf > ci.lastLeaf)
+	case lpath.AxisImmediateFollowingSibling:
+		return ctx.NextSibling() == cand
+	case lpath.AxisPrecedingSibling:
+		return cand.Parent != nil && cand.Parent == ctx.Parent && xi.lastLeaf < ci.firstLeaf
+	case lpath.AxisPrecedingSiblingOrSelf:
+		return cand == ctx || (cand.Parent != nil && cand.Parent == ctx.Parent && xi.lastLeaf < ci.firstLeaf)
+	case lpath.AxisImmediatePrecedingSibling:
+		return ctx.PrevSibling() == cand
+	}
+	return false
+}
+
+// evalExpr evaluates a predicate expression with the candidate node as
+// context; pos and size carry the positional context of the enclosing
+// candidate list. Predicates inherit the enclosing scope stack, so
+// navigation inside braces stays constrained to the scope.
+func (ev *Evaluator) evalExpr(e lpath.Expr, ctx *tree.Node, scopes []*tree.Node, pos, size int) (bool, error) {
+	switch x := e.(type) {
+	case *lpath.AndExpr:
+		ok, err := ev.evalExpr(x.L, ctx, scopes, pos, size)
+		if err != nil || !ok {
+			return false, err
+		}
+		return ev.evalExpr(x.R, ctx, scopes, pos, size)
+	case *lpath.OrExpr:
+		ok, err := ev.evalExpr(x.L, ctx, scopes, pos, size)
+		if err != nil || ok {
+			return ok, err
+		}
+		return ev.evalExpr(x.R, ctx, scopes, pos, size)
+	case *lpath.NotExpr:
+		ok, err := ev.evalExpr(x.X, ctx, scopes, pos, size)
+		return !ok, err
+	case *lpath.PathExpr:
+		return ev.evalExistential(x.Path, ctx, scopes, "", "")
+	case *lpath.CmpExpr:
+		return ev.evalExistential(x.Path, ctx, scopes, x.Op, x.Value)
+	case *lpath.PositionExpr:
+		rhs := x.Value
+		if x.Last {
+			rhs = size
+		}
+		return lpath.CompareInts(pos, x.Op, rhs), nil
+	case *lpath.LastExpr:
+		return pos == size, nil
+	case *lpath.CountExpr:
+		matches, err := ev.evalPath(x.Path, ctx, scopes)
+		if err != nil {
+			return false, err
+		}
+		return lpath.CompareInts(len(matches), x.Op, x.Value), nil
+	case *lpath.StrFnExpr:
+		return ev.evalStrFn(x, ctx, scopes)
+	}
+	return false, fmt.Errorf("treeval: unknown predicate expression %T", e)
+}
+
+// evalStrFn evaluates contains/starts-with/ends-with over the attribute
+// values reached by the path.
+func (ev *Evaluator) evalStrFn(x *lpath.StrFnExpr, ctx *tree.Node, scopes []*tree.Node) (bool, error) {
+	head, attr, err := lpath.SplitAttr(x.Path)
+	if err != nil {
+		return false, err
+	}
+	if attr == "" {
+		return false, lpath.ErrCmpNeedsAttr
+	}
+	var elems []*tree.Node
+	if head == nil {
+		elems = []*tree.Node{ctx}
+	} else {
+		elems, err = ev.evalPath(head, ctx, scopes)
+		if err != nil {
+			return false, err
+		}
+	}
+	for _, el := range elems {
+		v, ok := el.Attr(attr)
+		if !ok {
+			continue
+		}
+		if lpath.StrFn(x.Fn, v, x.Arg) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// evalExistential evaluates a predicate path. When op is non-empty the path
+// must end in an attribute step, and the test holds iff some reached element
+// has an attribute value satisfying the comparison; otherwise the test holds
+// iff the path has any match. An attribute final step without a comparison
+// tests attribute existence.
+func (ev *Evaluator) evalExistential(p *lpath.Path, ctx *tree.Node, scopes []*tree.Node, op, value string) (bool, error) {
+	head, attr, err := lpath.SplitAttr(p)
+	if err != nil {
+		return false, err
+	}
+	if op != "" && attr == "" {
+		return false, fmt.Errorf("treeval: comparison requires a path ending in an attribute step")
+	}
+	var elems []*tree.Node
+	if head == nil {
+		elems = []*tree.Node{ctx}
+	} else {
+		elems, err = ev.evalPath(head, ctx, scopes)
+		if err != nil {
+			return false, err
+		}
+	}
+	if attr == "" {
+		return len(elems) > 0, nil
+	}
+	for _, el := range elems {
+		v, ok := el.Attr(attr)
+		if !ok {
+			continue
+		}
+		switch op {
+		case "":
+			return true, nil
+		case "=":
+			if v == value {
+				return true, nil
+			}
+		case "!=":
+			if v != value {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// CorpusEval evaluates queries over a whole corpus, one evaluator per tree.
+type CorpusEval struct {
+	evals []*Evaluator
+}
+
+// NewCorpus prepares evaluators for every tree in the corpus.
+func NewCorpus(c *tree.Corpus) *CorpusEval {
+	ce := &CorpusEval{evals: make([]*Evaluator, 0, c.Len())}
+	for _, t := range c.Trees {
+		ce.evals = append(ce.evals, New(t))
+	}
+	return ce
+}
+
+// Match is a query match: a node within a tree.
+type Match struct {
+	TreeID int
+	Node   *tree.Node
+}
+
+// Eval returns every match of the query across the corpus.
+func (ce *CorpusEval) Eval(p *lpath.Path) ([]Match, error) {
+	var out []Match
+	for _, ev := range ce.evals {
+		res, err := ev.Eval(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range res {
+			out = append(out, Match{TreeID: ev.tree.ID, Node: n})
+		}
+	}
+	return out, nil
+}
+
+// Count returns the total number of matches across the corpus.
+func (ce *CorpusEval) Count(p *lpath.Path) (int, error) {
+	total := 0
+	for _, ev := range ce.evals {
+		n, err := ev.Count(p)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}

@@ -1,0 +1,273 @@
+package treeval
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"lpath/internal/lpath"
+	"lpath/internal/tree"
+)
+
+// sig gives a readable identity for a node: Tag[covered words].
+func sig(n *tree.Node) string {
+	return n.Tag + "[" + strings.Join(n.Words(), " ") + "]"
+}
+
+func evalSigs(t *testing.T, ev *Evaluator, query string) []string {
+	t.Helper()
+	p, err := lpath.Parse(query)
+	if err != nil {
+		t.Fatalf("parse %q: %v", query, err)
+	}
+	res, err := ev.Eval(p)
+	if err != nil {
+		t.Fatalf("eval %q: %v", query, err)
+	}
+	sigs := make([]string, 0, len(res))
+	for _, n := range res {
+		sigs = append(sigs, sig(n))
+	}
+	sort.Strings(sigs)
+	return sigs
+}
+
+func expect(t *testing.T, ev *Evaluator, query string, want ...string) {
+	t.Helper()
+	got := evalSigs(t, ev, query)
+	sort.Strings(want)
+	if want == nil {
+		want = []string{}
+	}
+	if got == nil {
+		got = []string{}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("%s:\n got %v\nwant %v", query, got, want)
+	}
+}
+
+// TestFigure2Queries checks every example query of Figure 2 against the
+// result sets given in the paper.
+func TestFigure2Queries(t *testing.T) {
+	ev := New(tree.Figure1())
+	expect(t, ev, `//S[//_[@lex=saw]]`,
+		"S[I saw the old man with a dog today]")
+	expect(t, ev, `//V==>NP`,
+		"NP[the old man with a dog]")
+	expect(t, ev, `//V->NP`,
+		"NP[the old man with a dog]", "NP[the old man]")
+	expect(t, ev, `//VP/V-->N`,
+		"N[man]", "N[dog]", "N[today]")
+	expect(t, ev, `//VP{/V-->N}`,
+		"N[man]", "N[dog]")
+	expect(t, ev, `//VP{/NP$}`,
+		"NP[the old man with a dog]")
+	expect(t, ev, `//VP{//NP$}`,
+		"NP[the old man with a dog]", "NP[a dog]")
+}
+
+// TestSection1ImmediateFollowing checks the introduction's example: the
+// constituents immediately following the verb are NP, NP and Det.
+func TestSection1ImmediateFollowing(t *testing.T) {
+	ev := New(tree.Figure1())
+	expect(t, ev, `//V->_`,
+		"NP[the old man with a dog]", "NP[the old man]", "Det[the]")
+}
+
+func TestVerticalAxes(t *testing.T) {
+	ev := New(tree.Figure1())
+	expect(t, ev, `//PP/NP`, "NP[a dog]")
+	expect(t, ev, `//PP//Det`, "Det[a]")
+	expect(t, ev, `//Prep\PP`, "PP[with a dog]")
+	expect(t, ev, `//Prep\\_`,
+		"PP[with a dog]",
+		"NP[the old man with a dog]",
+		"VP[saw the old man with a dog]",
+		"S[I saw the old man with a dog today]")
+	expect(t, ev, `//Adj\ancestor::NP`,
+		"NP[the old man]", "NP[the old man with a dog]")
+	expect(t, ev, `//Adj/descendant-or-self::Adj`, "Adj[old]")
+	expect(t, ev, `//Adj\ancestor-or-self::Adj`, "Adj[old]")
+	// /S from the virtual root selects the tree root only.
+	expect(t, ev, `/S`, "S[I saw the old man with a dog today]")
+	expect(t, ev, `/NP`) // no NP at the root
+}
+
+func TestHorizontalAxes(t *testing.T) {
+	ev := New(tree.Figure1())
+	expect(t, ev, `//Adj-->Prep`, "Prep[with]")
+	expect(t, ev, `//Prep<--Adj`, "Adj[old]")
+	expect(t, ev, `//Prep<-N`, "N[man]")
+	expect(t, ev, `//Prep<-_`, "N[man]", "NP[the old man]")
+	expect(t, ev, `//V<==_`) // V is the first child of VP: no preceding sibling
+	expect(t, ev, `//VP<==_`, "NP[I]")
+	expect(t, ev, `//PP<=NP`, "NP[the old man]")
+	expect(t, ev, `//N[@lex=dog]-->N`, "N[today]")
+	expect(t, ev, `//N[@lex=man]/following::Det`, "Det[a]")
+	expect(t, ev, `//N[@lex=man]/following-or-self::N`,
+		"N[man]", "N[dog]", "N[today]")
+	expect(t, ev, `//N[@lex=dog]/preceding-or-self::N`,
+		"N[man]", "N[dog]")
+	expect(t, ev, `//V/following-sibling-or-self::_`,
+		"V[saw]", "NP[the old man with a dog]")
+	expect(t, ev, `//NP[@lex=I]=>VP`, "VP[saw the old man with a dog]")
+	expect(t, ev, `//VP==>_`, "N[today]")
+	expect(t, ev, `//VP/preceding-sibling-or-self::_`,
+		"NP[I]", "VP[saw the old man with a dog]")
+	expect(t, ev, `//N[@lex=today]<=_`, "VP[saw the old man with a dog]")
+}
+
+func TestSelfAxis(t *testing.T) {
+	ev := New(tree.Figure1())
+	expect(t, ev, `//V.`, "V[saw]")
+	expect(t, ev, `//NP.NP[@lex=I]`, "NP[I]")
+	expect(t, ev, `//V.N`) // self with mismatching tag
+}
+
+func TestPredicates(t *testing.T) {
+	ev := New(tree.Figure1())
+	expect(t, ev, `//NP[//Adj]`,
+		"NP[the old man]", "NP[the old man with a dog]")
+	expect(t, ev, `//NP[not(//Adj)]`,
+		"NP[I]", "NP[a dog]")
+	expect(t, ev, `//NP[//Adj and //Prep]`,
+		"NP[the old man with a dog]")
+	expect(t, ev, `//NP[//Adj or @lex=I]`,
+		"NP[I]", "NP[the old man]", "NP[the old man with a dog]")
+	expect(t, ev, `//NP[@lex!=I]`) // only the leaf NP has @lex, and it is "I"
+	expect(t, ev, `//N[@lex!=man]`, "N[dog]", "N[today]")
+	expect(t, ev, `//NP[@lex]`, "NP[I]")
+	expect(t, ev, `//NP[/NP and /PP]`,
+		"NP[the old man with a dog]")
+	expect(t, ev, `//NP[\VP]`, "NP[the old man with a dog]")
+	expect(t, ev, `//Det[-->N[@lex=dog]]`, "Det[the]", "Det[a]")
+	expect(t, ev, `//_[@lex=saw]`, "V[saw]")
+	// Nested path predicate with its own predicate.
+	expect(t, ev, `//NP[->PP[//Det]]`, "NP[the old man]")
+}
+
+func TestScoping(t *testing.T) {
+	ev := New(tree.Figure1())
+	// Within-VP noun search; today is excluded.
+	expect(t, ev, `//VP{//N}`, "N[man]", "N[dog]")
+	// Nested scopes narrow progressively.
+	expect(t, ev, `//NP{//PP{//Det}}`, "Det[a]")
+	// Scope at the start of a query scopes to the whole tree.
+	expect(t, ev, `//S{//V}`, "V[saw]")
+	// Predicates inside a scope are also constrained to the scope.
+	expect(t, ev, `//VP{//NP[//N]}`,
+		"NP[the old man]", "NP[the old man with a dog]", "NP[a dog]")
+}
+
+func TestAlignmentDetailed(t *testing.T) {
+	ev := New(tree.Figure1())
+	// Left-aligned descendants of VP: V only (l=2).
+	expect(t, ev, `//VP{//^_}`, "V[saw]")
+	// Right-aligned descendants of VP: everything whose span ends at "dog".
+	expect(t, ev, `//VP{//_$}`,
+		"NP[the old man with a dog]", "PP[with a dog]", "NP[a dog]", "N[dog]")
+	// Without braces, alignment is relative to the step's context node.
+	expect(t, ev, `//VP/_$`, "NP[the old man with a dog]")
+	expect(t, ev, `//VP/^_`, "V[saw]")
+	// Q7-style pattern adapted to the example grammar.
+	expect(t, ev, `//VP[{//^V->NP->PP$}]`, "VP[saw the old man with a dog]")
+	// Alignment at the top level is relative to the whole tree.
+	expect(t, ev, `//^NP`, "NP[I]")
+	expect(t, ev, `//_$`,
+		"S[I saw the old man with a dog today]", "N[today]")
+}
+
+func TestAttributeErrors(t *testing.T) {
+	ev := New(tree.Figure1())
+	for _, q := range []string{
+		`//@lex`,            // attribute as a main-path step
+		`//_[@lex/NP]`,      // attribute step not final
+		`//_[//NP=saw]`,     // comparison without attribute step
+		`//_[{//@lex}=saw]`, // attribute inside scope head position is fine? no: scoped tail final step is @lex — allowed
+	} {
+		p, err := lpath.Parse(q)
+		if err != nil {
+			continue // some are syntax errors, equally acceptable
+		}
+		if _, err := ev.Eval(p); err == nil && q != `//_[{//@lex}=saw]` {
+			t.Errorf("Eval(%q): expected error", q)
+		}
+	}
+}
+
+func TestAttributeInScopedPredicate(t *testing.T) {
+	ev := New(tree.Figure1())
+	// A scoped predicate path ending in an attribute comparison.
+	expect(t, ev, `//VP[{//_[@lex=saw]}]`, "VP[saw the old man with a dog]")
+}
+
+func TestCorpusEval(t *testing.T) {
+	c := tree.NewCorpus()
+	c.Add(tree.Figure1())
+	c.Add(tree.MustParseTree(`(S (NP you) (VP (V saw) (NP (Det a) (N cat))))`))
+	ce := NewCorpus(c)
+	p := lpath.MustParse(`//_[@lex=saw]`)
+	ms, err := ce.Eval(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("matches = %d, want 2", len(ms))
+	}
+	if ms[0].TreeID != 1 || ms[1].TreeID != 2 {
+		t.Errorf("tree IDs = %d, %d", ms[0].TreeID, ms[1].TreeID)
+	}
+	n, err := ce.Count(p)
+	if err != nil || n != 2 {
+		t.Errorf("Count = %d, %v", n, err)
+	}
+	// Det(a)->N(dog) in tree 1 and Det(a)->N(cat) in tree 2;
+	// Det(the) is immediately followed by Adj(old), not an N.
+	n, err = ce.Count(lpath.MustParse(`//Det->N`))
+	if err != nil || n != 2 {
+		t.Errorf("Count(//Det->N) = %d, %v; want 2", n, err)
+	}
+}
+
+func TestResultsDocumentOrderAndDedup(t *testing.T) {
+	ev := New(tree.Figure1())
+	// Two Dets each have an Adj/N following; ancestors overlap — dedup must
+	// apply across context nodes.
+	p := lpath.MustParse(`//Det\\NP`)
+	res, err := ev.Eval(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[*tree.Node]bool{}
+	for _, n := range res {
+		if seen[n] {
+			t.Fatalf("duplicate node %s in results", sig(n))
+		}
+		seen[n] = true
+	}
+	// Document order: NP[the old man with a dog] precedes NP[the old man].
+	if len(res) < 2 || sig(res[0]) != "NP[the old man with a dog]" {
+		t.Errorf("results out of document order: %v", sigsOf(res))
+	}
+}
+
+func sigsOf(ns []*tree.Node) []string {
+	out := make([]string, len(ns))
+	for i, n := range ns {
+		out[i] = sig(n)
+	}
+	return out
+}
+
+func TestEmptyTree(t *testing.T) {
+	ev := New(&tree.Tree{})
+	res, err := ev.Eval(lpath.MustParse(`//NP`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Errorf("results on empty tree: %v", res)
+	}
+}

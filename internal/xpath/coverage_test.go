@@ -1,0 +1,108 @@
+package xpath
+
+import (
+	"testing"
+
+	"lpath/internal/relstore"
+	"lpath/internal/tree"
+)
+
+func figEngine(t *testing.T, opts ...Option) *Engine {
+	t.Helper()
+	c := tree.NewCorpus()
+	c.Add(tree.Figure1())
+	c.Add(tree.MustParseTree(`(S (NP you) (VP (V saw) (NP (Det a) (N cat))))`))
+	e, err := New(relstore.Build(c, relstore.SchemeStartEnd), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestValueDrivenWithContexts exercises the value-index access path under
+// every supported axis relation (filterContained branches).
+func TestValueDrivenWithContexts(t *testing.T) {
+	e := figEngine(t)
+	cases := []struct {
+		query string
+		want  int
+	}{
+		{`//S/NP[@lex='I']`, 1},                        // child + value
+		{`//S//*[@lex='saw']`, 2},                      // descendant + value
+		{`//VP[descendant-or-self::*[@lex='saw']]`, 2}, // desc-or-self + value
+		{`//*[@lex='saw'][self::V]`, 2},                // self after value probe
+		{`//Det[parent::NP[.//*[@lex='dog']]]`, 1},     // parent navigation
+		{`//Det[ancestor::VP[.//*[@lex='cat']]]`, 1},   // ancestor navigation
+		{`/S[.//*[@lex='cat']]`, 1},                    // root-child + value pred
+		{`//*[@lex='nope']`, 0},
+	}
+	for _, tc := range cases {
+		n, err := e.Count(MustParse(tc.query))
+		if err != nil {
+			t.Errorf("%s: %v", tc.query, err)
+			continue
+		}
+		if n != tc.want {
+			t.Errorf("%s: count = %d, want %d", tc.query, n, tc.want)
+		}
+	}
+	// The same queries without the value index must agree.
+	noval := figEngine(t, WithoutValueIndex())
+	for _, tc := range cases {
+		n, err := noval.Count(MustParse(tc.query))
+		if err != nil || n != tc.want {
+			t.Errorf("no-value-index %s: count = %d, %v (want %d)", tc.query, n, err, tc.want)
+		}
+	}
+}
+
+func TestParserKeywordAdjacency(t *testing.T) {
+	// 'or'/'and' adjacent to parens rather than spaces.
+	p := MustParse(`//S[.//NP or(.//ZZ)]`)
+	e := figEngine(t)
+	n, err := e.Count(p)
+	if err != nil || n != 2 {
+		t.Errorf("or( adjacency: %d, %v", n, err)
+	}
+	p = MustParse(`//S[(.//NP)and .//VP]`)
+	n, err = e.Count(p)
+	if err != nil || n != 2 {
+		t.Errorf("and adjacency: %d, %v", n, err)
+	}
+	// 'order' must not lex as the keyword 'or'.
+	if _, err := Parse(`//S[.//NP order]`); err == nil {
+		t.Error("trailing garbage should fail")
+	}
+}
+
+func TestXPathMoreErrors(t *testing.T) {
+	for _, q := range []string{
+		`//S[@]`,           // missing attribute name
+		`//S[.//NP=]`,      // missing literal
+		`//S[.//NP='x]`,    // unterminated literal
+		`//S[.//NP!=x]`,    // unquoted literal
+		`//descendant::NP`, // // with explicit axis
+		`//S[not(.//NP]`,   // missing close paren
+		`//S[child::@x]`,   // @ after explicit axis
+	} {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q): expected error", q)
+		}
+	}
+}
+
+func TestXPathAttrComparisonForms(t *testing.T) {
+	e := figEngine(t)
+	n, err := e.Count(MustParse(`//V[@lex!="ran"]`))
+	if err != nil || n != 2 {
+		t.Errorf("!= form: %d, %v", n, err)
+	}
+	n, err = e.Count(MustParse(`//V[./@lex='saw']`))
+	if err != nil || n != 2 {
+		t.Errorf("./@ form: %d, %v", n, err)
+	}
+	n, err = e.Count(MustParse(`//V[attribute::lex='saw']`))
+	if err != nil || n != 2 {
+		t.Errorf("attribute:: form: %d, %v", n, err)
+	}
+}

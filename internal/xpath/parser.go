@@ -1,0 +1,365 @@
+// Package xpath implements the comparison system of Figure 10: an XPath 1.0
+// subset evaluated over the conventional start/end labeling scheme of
+// DeHaan et al. [11] rather than the paper's interval scheme.
+//
+// The subset covers what the 11 XPath-expressible evaluation queries need:
+// the child, descendant, descendant-or-self, self, parent, ancestor and
+// attribute axes, '*' wildcards, and predicates built from relative paths,
+// attribute comparisons, not(), and, or. The horizontal LPath axes, subtree
+// scoping and edge alignment are deliberately absent — they are the features
+// the start/end scheme cannot support (Lemma 3.1).
+//
+// Queries parse into the shared lpath.Path AST (restricted to Core XPath
+// axes), and evaluate on a relstore built with relstore.SchemeStartEnd.
+package xpath
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"lpath/internal/lpath"
+)
+
+// Parse parses an absolute XPath query (beginning with / or //) from the
+// supported subset into the shared AST.
+func Parse(query string) (*lpath.Path, error) {
+	p := &xparser{src: query}
+	p.ws()
+	path, err := p.parseAbsolute()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	if p.pos < len(p.src) {
+		return nil, p.errf("trailing input")
+	}
+	return path, nil
+}
+
+// MustParse is Parse panicking on error.
+func MustParse(query string) *lpath.Path {
+	p, err := Parse(query)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type xparser struct {
+	src string
+	pos int
+}
+
+func (p *xparser) errf(format string, args ...any) error {
+	return fmt.Errorf("xpath: %s at offset %d in %q", fmt.Sprintf(format, args...), p.pos, p.src)
+}
+
+func (p *xparser) ws() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *xparser) eat(s string) bool {
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *xparser) peekPrefix(s string) bool { return strings.HasPrefix(p.src[p.pos:], s) }
+
+func isXNameRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '-' || r == '_' || r == '.'
+}
+
+func (p *xparser) name() (string, bool) {
+	start := p.pos
+	for p.pos < len(p.src) {
+		r, sz := utf8.DecodeRuneInString(p.src[p.pos:])
+		if !isXNameRune(r) {
+			break
+		}
+		p.pos += sz
+	}
+	if p.pos == start {
+		return "", false
+	}
+	return p.src[start:p.pos], true
+}
+
+// parseAbsolute parses '/'|'//' Step (('/'|'//') Step)*.
+func (p *xparser) parseAbsolute() (*lpath.Path, error) {
+	if !p.peekPrefix("/") {
+		return nil, p.errf("expected absolute path")
+	}
+	return p.parseSteps()
+}
+
+// parseSteps parses a slash-separated step sequence; the caller guarantees
+// the input starts with '/' or '//'.
+func (p *xparser) parseSteps() (*lpath.Path, error) {
+	path := &lpath.Path{}
+	for {
+		p.ws()
+		var axis lpath.Axis
+		switch {
+		case p.eat("//"):
+			axis = lpath.AxisDescendant
+		case p.eat("/"):
+			axis = lpath.AxisChild
+		default:
+			if len(path.Steps) == 0 {
+				return nil, p.errf("expected step")
+			}
+			return path, nil
+		}
+		step, err := p.parseStep(axis)
+		if err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, *step)
+	}
+}
+
+func (p *xparser) parseStep(axis lpath.Axis) (*lpath.Step, error) {
+	p.ws()
+	// Long axis forms.
+	explicit := false
+	for name, a := range map[string]lpath.Axis{
+		"descendant-or-self::": lpath.AxisDescendantOrSelf,
+		"descendant::":         lpath.AxisDescendant,
+		"ancestor-or-self::":   lpath.AxisAncestorOrSelf,
+		"ancestor::":           lpath.AxisAncestor,
+		"child::":              lpath.AxisChild,
+		"parent::":             lpath.AxisParent,
+		"self::":               lpath.AxisSelf,
+		"attribute::":          lpath.AxisAttribute,
+	} {
+		if p.peekPrefix(name) {
+			if axis == lpath.AxisDescendant {
+				return nil, p.errf("'//' may not combine with an explicit axis")
+			}
+			p.eat(name)
+			axis = a
+			explicit = true
+			break
+		}
+	}
+	step := &lpath.Step{Axis: axis}
+	switch {
+	case p.eat("@"):
+		if step.Axis == lpath.AxisChild && !explicit {
+			step.Axis = lpath.AxisAttribute
+		} else if step.Axis != lpath.AxisAttribute {
+			return nil, p.errf("@ after explicit axis")
+		}
+		n, ok := p.name()
+		if !ok {
+			return nil, p.errf("expected attribute name")
+		}
+		step.Test = n
+	case p.eat("*"):
+		step.Test = "_"
+	default:
+		n, ok := p.name()
+		if !ok {
+			return nil, p.errf("expected node test")
+		}
+		step.Test = n
+	}
+	for {
+		p.ws()
+		if !p.eat("[") {
+			break
+		}
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		p.ws()
+		if !p.eat("]") {
+			return nil, p.errf("expected ]")
+		}
+		step.Preds = append(step.Preds, e)
+	}
+	return step, nil
+}
+
+func (p *xparser) parseOr() (lpath.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.ws()
+		if !p.eat("or ") && !p.peekOrKeyword("or") {
+			return l, nil
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &lpath.OrExpr{L: l, R: r}
+	}
+}
+
+// peekOrKeyword handles "or(" and "or[" style adjacency; the common form
+// "or " is consumed by the caller.
+func (p *xparser) peekOrKeyword(kw string) bool {
+	if p.peekPrefix(kw) {
+		rest := p.src[p.pos+len(kw):]
+		if rest != "" && !isXNameRune(rune(rest[0])) {
+			p.pos += len(kw)
+			return true
+		}
+	}
+	return false
+}
+
+func (p *xparser) parseAnd() (lpath.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.ws()
+		if !p.eat("and ") && !p.peekOrKeyword("and") {
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &lpath.AndExpr{L: l, R: r}
+	}
+}
+
+func (p *xparser) parseUnary() (lpath.Expr, error) {
+	p.ws()
+	if p.peekPrefix("not") {
+		save := p.pos
+		p.pos += 3
+		p.ws()
+		if p.eat("(") {
+			inner, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			p.ws()
+			if !p.eat(")") {
+				return nil, p.errf("expected )")
+			}
+			return &lpath.NotExpr{X: inner}, nil
+		}
+		p.pos = save
+	}
+	if p.eat("(") {
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		p.ws()
+		if !p.eat(")") {
+			return nil, p.errf("expected )")
+		}
+		return inner, nil
+	}
+	return p.parseRelative()
+}
+
+// parseRelative parses a relative path predicate: './/'-, '.'-, '@'-, or
+// name-initial, optionally followed by a comparison.
+func (p *xparser) parseRelative() (lpath.Expr, error) {
+	path := &lpath.Path{}
+	p.ws()
+	switch {
+	case p.eat(".//"):
+		step, err := p.parseStep(lpath.AxisDescendant)
+		if err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, *step)
+	case p.eat("./"):
+		step, err := p.parseStep(lpath.AxisChild)
+		if err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, *step)
+	case p.eat("."):
+		path.Steps = append(path.Steps, lpath.Step{Axis: lpath.AxisSelf, Test: "_"})
+	default:
+		// name- / * / @ / axis:: -initial: an implicit child (or attribute)
+		// step.
+		step, err := p.parseStep(lpath.AxisChild)
+		if err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, *step)
+	}
+	// Continue with /-separated steps.
+	for {
+		p.ws()
+		var axis lpath.Axis
+		switch {
+		case p.eat("//"):
+			axis = lpath.AxisDescendant
+		case p.eat("/"):
+			axis = lpath.AxisChild
+		default:
+			goto done
+		}
+		step, err := p.parseStep(axis)
+		if err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, *step)
+	}
+done:
+	p.ws()
+	op := ""
+	switch {
+	case p.eat("!="):
+		op = "!="
+	case p.eat("="):
+		op = "="
+	}
+	if op == "" {
+		return &lpath.PathExpr{Path: path}, nil
+	}
+	p.ws()
+	val, err := p.literal()
+	if err != nil {
+		return nil, err
+	}
+	return &lpath.CmpExpr{Path: path, Op: op, Value: val}, nil
+}
+
+func (p *xparser) literal() (string, error) {
+	if p.pos >= len(p.src) {
+		return "", p.errf("expected literal")
+	}
+	q := p.src[p.pos]
+	if q != '\'' && q != '"' {
+		return "", p.errf("expected quoted literal")
+	}
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != q {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return "", p.errf("unterminated literal")
+	}
+	val := p.src[start:p.pos]
+	p.pos++
+	return val, nil
+}

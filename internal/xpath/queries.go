@@ -1,0 +1,18 @@
+package xpath
+
+// EvalQueries maps the 11 XPath-expressible evaluation queries of Figure
+// 6(c) (by their Q-number) to XPath 1.0 surface syntax, as used in the
+// Figure 10 labeling-scheme comparison.
+var EvalQueries = map[int]string{
+	1:  `//S[.//*[@lex='saw']]`,
+	8:  `//S[.//NP/ADJP]`,
+	9:  `//NP[not(.//JJ)]`,
+	12: `//*[@lex='rapprochement']`,
+	13: `//*[@lex='1929']`,
+	14: `//ADVP-LOC-CLR`,
+	15: `//WHPP`,
+	16: `//RRC/PP-TMP`,
+	17: `//UCP-PRD/ADJP-PRD`,
+	18: `//NP/NP/NP/NP/NP`,
+	19: `//VP/VP/VP`,
+}

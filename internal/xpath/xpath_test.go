@@ -1,0 +1,252 @@
+package xpath
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lpath/internal/engine"
+	"lpath/internal/lpath"
+	"lpath/internal/relstore"
+	"lpath/internal/tree"
+)
+
+func TestParseBasics(t *testing.T) {
+	p := MustParse(`//S`)
+	if len(p.Steps) != 1 || p.Steps[0].Axis != lpath.AxisDescendant || p.Steps[0].Test != "S" {
+		t.Errorf("parse //S = %v", p)
+	}
+	p = MustParse(`/S/NP`)
+	if len(p.Steps) != 2 || p.Steps[0].Axis != lpath.AxisChild {
+		t.Errorf("parse /S/NP = %v", p)
+	}
+	p = MustParse(`//*`)
+	if !p.Steps[0].Wildcard() {
+		t.Errorf("wildcard lost: %v", p)
+	}
+	p = MustParse(`//NP-SBJ-1`)
+	if p.Steps[0].Test != "NP-SBJ-1" {
+		t.Errorf("hyphen tag = %q", p.Steps[0].Test)
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	p := MustParse(`//S[.//*[@lex='saw']]`)
+	pe, ok := p.Steps[0].Preds[0].(*lpath.PathExpr)
+	if !ok {
+		t.Fatalf("pred = %T", p.Steps[0].Preds[0])
+	}
+	if pe.Path.Steps[0].Axis != lpath.AxisDescendant || !pe.Path.Steps[0].Wildcard() {
+		t.Errorf("inner path = %v", pe.Path)
+	}
+	cmp, ok := pe.Path.Steps[0].Preds[0].(*lpath.CmpExpr)
+	if !ok || cmp.Value != "saw" {
+		t.Errorf("cmp = %v", pe.Path.Steps[0].Preds[0])
+	}
+	p = MustParse(`//NP[not(.//JJ)]`)
+	if _, ok := p.Steps[0].Preds[0].(*lpath.NotExpr); !ok {
+		t.Errorf("pred = %T", p.Steps[0].Preds[0])
+	}
+	p = MustParse(`//NP[.//JJ and .//DT or @lex='x']`)
+	if _, ok := p.Steps[0].Preds[0].(*lpath.OrExpr); !ok {
+		t.Errorf("pred = %T", p.Steps[0].Preds[0])
+	}
+	p = MustParse(`//S[.//NP/ADJP]`)
+	pe = p.Steps[0].Preds[0].(*lpath.PathExpr)
+	if len(pe.Path.Steps) != 2 || pe.Path.Steps[1].Axis != lpath.AxisChild {
+		t.Errorf("path = %v", pe.Path)
+	}
+	p = MustParse(`//NP[@lex!="dog"]`)
+	cmp = p.Steps[0].Preds[0].(*lpath.CmpExpr)
+	if cmp.Op != "!=" || cmp.Value != "dog" {
+		t.Errorf("cmp = %+v", cmp)
+	}
+}
+
+func TestParseLongAxes(t *testing.T) {
+	p := MustParse(`/child::S/descendant::NP`)
+	if p.Steps[0].Axis != lpath.AxisChild || p.Steps[1].Axis != lpath.AxisDescendant {
+		t.Errorf("axes = %v, %v", p.Steps[0].Axis, p.Steps[1].Axis)
+	}
+	p = MustParse(`//NP[ancestor::VP]`)
+	pe := p.Steps[0].Preds[0].(*lpath.PathExpr)
+	if pe.Path.Steps[0].Axis != lpath.AxisAncestor {
+		t.Errorf("axis = %v", pe.Path.Steps[0].Axis)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, q := range []string{
+		``, `NP`, `//`, `//NP[`, `//NP[]`, `//NP[@lex=]`, `//NP[@lex=saw]`,
+		`//NP]`, `///NP`, `//NP[not .//JJ]`, `//descendant::NP`,
+	} {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q): expected error", q)
+		}
+	}
+}
+
+func TestAllEvalQueriesParse(t *testing.T) {
+	if len(EvalQueries) != 11 {
+		t.Fatalf("EvalQueries has %d entries, want 11", len(EvalQueries))
+	}
+	for id, q := range EvalQueries {
+		if _, err := Parse(q); err != nil {
+			t.Errorf("Q%d %q: %v", id, q, err)
+		}
+	}
+}
+
+func TestEngineRequiresStartEnd(t *testing.T) {
+	c := tree.NewCorpus()
+	c.Add(tree.Figure1())
+	if _, err := New(relstore.Build(c, relstore.SchemeInterval)); err == nil {
+		t.Fatal("expected scheme error")
+	}
+}
+
+func TestEngineRejectsLPathExtensions(t *testing.T) {
+	c := tree.NewCorpus()
+	c.Add(tree.Figure1())
+	e, err := New(relstore.Build(c, relstore.SchemeStartEnd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{`//V->NP`, `//VP{/NP$}`, `//VP/NP$`, `//VP/^V`} {
+		if _, err := e.Eval(lpath.MustParse(q)); err == nil {
+			t.Errorf("Eval(%q): expected unsupported-feature error", q)
+		}
+	}
+}
+
+func TestEvalFigure1(t *testing.T) {
+	c := tree.NewCorpus()
+	c.Add(tree.Figure1())
+	e, err := New(relstore.Build(c, relstore.SchemeStartEnd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		query string
+		want  int
+	}{
+		{`//NP`, 4},
+		{`//S[.//*[@lex='saw']]`, 1},
+		{`//NP[not(.//Adj)]`, 2},
+		{`//NP[.//Adj]`, 2},
+		{`//S/NP`, 1},
+		{`//NP/NP`, 1},
+		{`//*[@lex='dog']`, 1},
+		{`//*[@lex='missing']`, 0},
+		{`//NP[parent::VP]`, 1},
+		{`//Det[ancestor::PP]`, 1},
+		{`//V[self::V]`, 1},
+		{`//NP[.//Adj and .//Prep]`, 1},
+		{`//NP[.//Adj or @lex='I']`, 3},
+	}
+	for _, tc := range cases {
+		n, err := e.Count(MustParse(tc.query))
+		if err != nil {
+			t.Errorf("%s: %v", tc.query, err)
+			continue
+		}
+		if n != tc.want {
+			t.Errorf("%s: count = %d, want %d", tc.query, n, tc.want)
+		}
+	}
+}
+
+// equivalentLPath maps each XPath test query to the equivalent LPath text so
+// the two engines (different labeling schemes) can be cross-validated.
+var equivalent = []struct{ xpath, lp string }{
+	{`//NP`, `//NP`},
+	{`//S/NP`, `/S/NP`},
+	{`//NP/NP`, `//NP/NP`},
+	{`//S[.//*[@lex='saw']]`, `//S[//_[@lex=saw]]`},
+	{`//NP[not(.//Adj)]`, `//NP[not(//Adj)]`},
+	{`//NP[.//Adj and .//Prep]`, `//NP[//Adj and //Prep]`},
+	{`//NP[parent::VP]`, `//NP[\VP]`},
+	{`//Det[ancestor::PP]`, `//Det[\\PP]`},
+	{`//*[@lex='dog']`, `//_[@lex=dog]`},
+	{`//NP/NP/NP`, `//NP/NP/NP`},
+	{`//V/descendant-or-self::*`, `//V/descendant-or-self::_`},
+}
+
+// TestCrossValidateWithLPathEngine checks that the XPath engine on start/end
+// labels and the LPath engine on interval labels agree on the shared
+// fragment, over random corpora.
+func TestCrossValidateWithLPathEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tags := []string{"S", "NP", "VP", "PP", "N", "V", "Det", "Adj", "Prep"}
+	words := []string{"saw", "dog", "the", "I", "old"}
+	var build func(depth int) *tree.Node
+	build = func(depth int) *tree.Node {
+		n := &tree.Node{Tag: tags[rng.Intn(len(tags))]}
+		if depth >= 6 || rng.Intn(3) == 0 {
+			n.Word = words[rng.Intn(len(words))]
+			return n
+		}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			n.AddChild(build(depth + 1))
+		}
+		return n
+	}
+	c := tree.NewCorpus()
+	for i := 0; i < 8; i++ {
+		c.AddRoot(build(1))
+	}
+	xe, err := New(relstore.Build(c, relstore.SchemeStartEnd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	le, err := engine.New(relstore.Build(c, relstore.SchemeInterval))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range equivalent {
+		xm, err := xe.Eval(MustParse(pair.xpath))
+		if err != nil {
+			t.Errorf("xpath %q: %v", pair.xpath, err)
+			continue
+		}
+		lm, err := le.Eval(lpath.MustParse(pair.lp))
+		if err != nil {
+			t.Errorf("lpath %q: %v", pair.lp, err)
+			continue
+		}
+		if len(xm) != len(lm) {
+			t.Errorf("%s vs %s: %d vs %d matches", pair.xpath, pair.lp, len(xm), len(lm))
+			continue
+		}
+		for i := range xm {
+			if xm[i].TreeID != lm[i].TreeID || xm[i].Node != lm[i].Node {
+				t.Errorf("%s vs %s: match %d differs", pair.xpath, pair.lp, i)
+				break
+			}
+		}
+	}
+}
+
+func TestValueIndexOption(t *testing.T) {
+	c := tree.NewCorpus()
+	c.Add(tree.Figure1())
+	s := relstore.Build(c, relstore.SchemeStartEnd)
+	e1, _ := New(s)
+	e2, _ := New(s, WithoutValueIndex())
+	q := MustParse(`//*[@lex='saw']`)
+	n1, err1 := e1.Count(q)
+	n2, err2 := e2.Count(q)
+	if err1 != nil || err2 != nil || n1 != n2 || n1 != 1 {
+		t.Errorf("value index on/off disagree: %d/%v vs %d/%v", n1, err1, n2, err2)
+	}
+}
+
+func TestParseWhitespaceTolerance(t *testing.T) {
+	p := MustParse(`  //S[ .//NP and .//VP ]  `)
+	if len(p.Steps) != 1 || len(p.Steps[0].Preds) != 1 {
+		t.Errorf("parse = %v", p)
+	}
+	if !strings.Contains(p.String(), "S") {
+		t.Errorf("printed = %q", p.String())
+	}
+}

@@ -1,0 +1,275 @@
+// Package lpath is a from-scratch Go implementation of LPath, the XPath
+// dialect for linguistic queries of Bird, Chen, Davidson, Lee and Zheng
+// (ICDE 2006), together with the interval-labeling query engine the paper
+// proposes and the baseline systems it evaluates against.
+//
+// The public API is small:
+//
+//	c, _ := lpath.GenerateCorpus("wsj", 0.01, 42) // or LoadCorpus / NewCorpus
+//	q, _ := lpath.Compile(`//VP{/V-->N}`)
+//	matches, _ := c.Select(q)
+//	n, _ := c.Count(q)
+//
+// Queries support the full LPath language: the XPath vertical axes, the
+// horizontal axes -> --> <- <-- => ==> <= <==, subtree scoping with braces,
+// edge alignment ^ and $, and predicates with @attr comparisons, and/or/not.
+//
+// Corpora are ordered trees in the Penn Treebank bracketed format. Select
+// uses the interval-label relational engine (internal/engine); SelectOracle
+// evaluates with the reference tree-walker for cross-checking.
+package lpath
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"lpath/internal/corpus"
+	"lpath/internal/engine"
+	ast "lpath/internal/lpath"
+	"lpath/internal/relstore"
+	"lpath/internal/sqlgen"
+	"lpath/internal/tree"
+	"lpath/internal/treeval"
+)
+
+// Tree is an ordered linguistic tree (see the internal/tree package for the
+// node model).
+type Tree = tree.Tree
+
+// Node is a node of a linguistic tree.
+type Node = tree.Node
+
+// Match is one query result: a node within a tree of the corpus.
+type Match = engine.Match
+
+// Stats summarizes a corpus (sentence, word, node and tag counts).
+type Stats = corpus.Stats
+
+// ParseTree parses one bracketed tree, e.g. "(S (NP I) (VP (V saw)))".
+func ParseTree(s string) (*Tree, error) { return tree.ParseTree(s) }
+
+// Query is a compiled LPath query.
+type Query struct {
+	text string
+	path *ast.Path
+}
+
+// Compile parses and validates an LPath query.
+func Compile(text string) (*Query, error) {
+	p, err := ast.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	if err := ast.Validate(p); err != nil {
+		return nil, err
+	}
+	return &Query{text: text, path: p}, nil
+}
+
+// MustCompile is Compile panicking on error; for tests and constants.
+func MustCompile(text string) *Query {
+	q, err := Compile(text)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// String returns the original query text.
+func (q *Query) String() string { return q.text }
+
+// Canonical returns the pretty-printed canonical form of the query.
+func (q *Query) Canonical() string { return q.path.String() }
+
+// SQL returns the relational translation of the query over the node
+// relation {tid, left, right, depth, id, pid, name, value}, as the paper's
+// yacc-based translator produced for its commercial database backend.
+func (q *Query) SQL() (string, error) { return sqlgen.Translate(q.path) }
+
+// Corpus is a queryable collection of linguistic trees. The zero value is
+// not usable; create one with NewCorpus, LoadCorpus, OpenCorpus or
+// GenerateCorpus. Adding trees invalidates the index, which is rebuilt
+// lazily on the next query.
+type Corpus struct {
+	trees  *tree.Corpus
+	store  *relstore.Store
+	eng    *engine.Engine
+	oracle *treeval.CorpusEval
+	dirty  bool
+}
+
+// NewCorpus creates an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{trees: tree.NewCorpus(), dirty: true}
+}
+
+// LoadCorpus reads bracketed trees from r.
+func LoadCorpus(r io.Reader) (*Corpus, error) {
+	tc, err := tree.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{trees: tc, dirty: true}, nil
+}
+
+// OpenCorpus reads bracketed trees from a file.
+func OpenCorpus(path string) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	c, err := LoadCorpus(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}
+
+// GenerateCorpus synthesizes a corpus with the named profile ("wsj" or
+// "swb") at the given scale (1.0 ≈ the paper's corpus size; see
+// internal/corpus for the calibration).
+func GenerateCorpus(profile string, scale float64, seed int64) (*Corpus, error) {
+	p, err := corpus.ParseProfile(profile)
+	if err != nil {
+		return nil, err
+	}
+	tc := corpus.Generate(corpus.Config{Profile: p, Scale: scale, Seed: seed})
+	return &Corpus{trees: tc, dirty: true}, nil
+}
+
+// Add appends a tree to the corpus.
+func (c *Corpus) Add(t *Tree) {
+	c.trees.Add(t)
+	c.dirty = true
+}
+
+// AddSentence parses a bracketed tree and appends it.
+func (c *Corpus) AddSentence(bracketed string) error {
+	t, err := tree.ParseTree(bracketed)
+	if err != nil {
+		return err
+	}
+	c.Add(t)
+	return nil
+}
+
+// Len returns the number of trees.
+func (c *Corpus) Len() int { return c.trees.Len() }
+
+// Trees returns the underlying trees (shared, not copied).
+func (c *Corpus) Trees() []*Tree { return c.trees.Trees }
+
+// Stats measures the corpus (Figure 6(a)-style statistics).
+func (c *Corpus) Stats() Stats { return corpus.Measure(c.trees) }
+
+// Save writes the corpus in bracketed format.
+func (c *Corpus) Save(w io.Writer) error { return tree.WriteAll(w, c.trees) }
+
+// SaveStore writes the corpus's interval-label store as a binary snapshot,
+// building it first if needed. A snapshot contains the complete labeled
+// relation, so LoadStore can answer queries without re-parsing or
+// re-labeling — the paper's "label once, query many times" workflow.
+func (c *Corpus) SaveStore(w io.Writer) error {
+	if err := c.Build(); err != nil {
+		return err
+	}
+	return c.store.WriteSnapshot(w)
+}
+
+// LoadStore reads a store snapshot written by SaveStore and returns a
+// ready-to-query corpus with its trees reconstructed from the relation.
+func LoadStore(r io.Reader) (*Corpus, error) {
+	store, trees, err := relstore.ReadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(store)
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{trees: trees, store: store, eng: eng}, nil
+}
+
+// OpenStore reads a store snapshot from a file.
+func OpenStore(path string) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	c, err := LoadStore(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}
+
+// Build constructs the interval-label store and indexes eagerly. Queries
+// trigger it automatically; calling it explicitly separates indexing time
+// from query time, as the benchmarks do.
+func (c *Corpus) Build() error {
+	if !c.dirty && c.eng != nil {
+		return nil
+	}
+	store := relstore.Build(c.trees, relstore.SchemeInterval)
+	eng, err := engine.New(store)
+	if err != nil {
+		return err
+	}
+	c.store = store
+	c.eng = eng
+	c.oracle = nil
+	c.dirty = false
+	return nil
+}
+
+// Select evaluates the query with the label-based engine and returns the
+// distinct matches of its final step in document order.
+func (c *Corpus) Select(q *Query) ([]Match, error) {
+	if err := c.Build(); err != nil {
+		return nil, err
+	}
+	return c.eng.Eval(q.path)
+}
+
+// Count returns the number of matches of the query.
+func (c *Corpus) Count(q *Query) (int, error) {
+	ms, err := c.Select(q)
+	return len(ms), err
+}
+
+// SelectOracle evaluates the query with the reference tree-walking
+// evaluator. It is slow and exists to cross-check Select.
+func (c *Corpus) SelectOracle(q *Query) ([]Match, error) {
+	if c.oracle == nil {
+		c.oracle = treeval.NewCorpus(c.trees)
+	}
+	ms, err := c.oracle.Eval(q.path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = Match{TreeID: m.TreeID, Node: m.Node}
+	}
+	return out, nil
+}
+
+// EvalQueries returns the paper's 23-query evaluation set (Figure 6(c)),
+// in order; XPath reports which are XPath 1.0-expressible.
+func EvalQueries() []EvalQuery {
+	out := make([]EvalQuery, 0, len(ast.EvalQueries))
+	for _, q := range ast.EvalQueries {
+		out = append(out, EvalQuery{ID: q.ID, Text: q.Text, XPath: q.XPathExpressible})
+	}
+	return out
+}
+
+// EvalQuery is one entry of the paper's evaluation query set.
+type EvalQuery struct {
+	ID    int
+	Text  string
+	XPath bool
+}

@@ -1,0 +1,311 @@
+package lpath
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func figure1Corpus(t *testing.T) *Corpus {
+	t.Helper()
+	c := NewCorpus()
+	if err := c.AddSentence(`(S (NP I) (VP (V saw) (NP (NP (Det the) (Adj old) (N man)) (PP (Prep with) (NP (Det a) (N dog))))) (N today))`); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCompileAndSelect(t *testing.T) {
+	c := figure1Corpus(t)
+	q, err := Compile(`//V->NP`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := c.Select(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("matches = %d, want 2", len(ms))
+	}
+	for _, m := range ms {
+		if m.Node.Tag != "NP" || m.TreeID != 1 {
+			t.Errorf("match = %+v", m)
+		}
+	}
+	n, err := c.Count(q)
+	if err != nil || n != 2 {
+		t.Errorf("Count = %d, %v", n, err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile(`//NP[`); err == nil {
+		t.Error("syntax error not reported")
+	}
+	if _, err := Compile(`//S@lex`); err == nil {
+		t.Error("semantic error not reported")
+	}
+}
+
+func TestQueryStringAndSQL(t *testing.T) {
+	q := MustCompile(`//VB->NP`)
+	if q.String() != `//VB->NP` {
+		t.Errorf("String = %q", q.String())
+	}
+	if q.Canonical() != `//VB->NP` {
+		t.Errorf("Canonical = %q", q.Canonical())
+	}
+	sql, err := q.SQL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "n2.left = n1.right") {
+		t.Errorf("SQL = %s", sql)
+	}
+}
+
+func TestOracleAgreement(t *testing.T) {
+	c, err := GenerateCorpus("wsj", 0.001, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eq := range EvalQueries() {
+		q, err := Compile(eq.Text)
+		if err != nil {
+			t.Fatalf("Q%d: %v", eq.ID, err)
+		}
+		fast, err := c.Select(q)
+		if err != nil {
+			t.Fatalf("Q%d select: %v", eq.ID, err)
+		}
+		slow, err := c.SelectOracle(q)
+		if err != nil {
+			t.Fatalf("Q%d oracle: %v", eq.ID, err)
+		}
+		if len(fast) != len(slow) {
+			t.Errorf("Q%d: engine %d matches, oracle %d", eq.ID, len(fast), len(slow))
+			continue
+		}
+		for i := range fast {
+			if fast[i] != slow[i] {
+				t.Errorf("Q%d: match %d differs", eq.ID, i)
+				break
+			}
+		}
+	}
+}
+
+func TestLoadSaveRoundTrip(t *testing.T) {
+	c := figure1Corpus(t)
+	var sb strings.Builder
+	if err := c.Save(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCorpus(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 1 {
+		t.Fatalf("Len = %d", back.Len())
+	}
+	n, err := back.Count(MustCompile(`//NP`))
+	if err != nil || n != 4 {
+		t.Errorf("Count(//NP) = %d, %v", n, err)
+	}
+}
+
+func TestOpenCorpusMissing(t *testing.T) {
+	if _, err := OpenCorpus("/nonexistent/corpus.mrg"); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestAddInvalidatesIndex(t *testing.T) {
+	c := figure1Corpus(t)
+	q := MustCompile(`//NP`)
+	n, _ := c.Count(q)
+	if n != 4 {
+		t.Fatalf("initial count = %d", n)
+	}
+	if err := c.AddSentence(`(S (NP me) (VP (V ran)))`); err != nil {
+		t.Fatal(err)
+	}
+	n, _ = c.Count(q)
+	if n != 5 {
+		t.Errorf("count after Add = %d, want 5", n)
+	}
+}
+
+func TestGenerateCorpusErrors(t *testing.T) {
+	if _, err := GenerateCorpus("brown", 0.01, 1); err == nil {
+		t.Error("expected error for unknown profile")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := figure1Corpus(t)
+	st := c.Stats()
+	if st.Sentences != 1 || st.Words != 9 || st.TreeNodes != 15 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEvalQueriesAccessor(t *testing.T) {
+	qs := EvalQueries()
+	if len(qs) != 23 {
+		t.Fatalf("EvalQueries = %d", len(qs))
+	}
+	ids := make([]int, len(qs))
+	nx := 0
+	for i, q := range qs {
+		ids[i] = q.ID
+		if q.XPath {
+			nx++
+		}
+	}
+	if !sort.IntsAreSorted(ids) || ids[0] != 1 || ids[22] != 23 {
+		t.Errorf("ids = %v", ids)
+	}
+	if nx != 11 {
+		t.Errorf("XPath-expressible = %d, want 11", nx)
+	}
+}
+
+func TestStoreSnapshotRoundTrip(t *testing.T) {
+	orig, err := GenerateCorpus("wsj", 0.001, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := orig.SaveStore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadStore(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != orig.Len() {
+		t.Fatalf("trees = %d, want %d", loaded.Len(), orig.Len())
+	}
+	for _, q := range []string{`//NP`, `//VB->NP`, `//VP{/VB-->NN}`, `//_[@lex=rapprochement]`} {
+		query := MustCompile(q)
+		a, err := orig.Count(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Count(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("%s: %d vs %d after snapshot round trip", q, a, b)
+		}
+	}
+	// The reconstructed corpus still cross-checks against the oracle.
+	q := MustCompile(`//VP{//NP$}`)
+	fast, _ := loaded.Select(q)
+	slow, _ := loaded.SelectOracle(q)
+	if len(fast) != len(slow) {
+		t.Errorf("loaded corpus: engine %d vs oracle %d", len(fast), len(slow))
+	}
+}
+
+func TestLoadStoreErrors(t *testing.T) {
+	if _, err := LoadStore(strings.NewReader("garbage")); err == nil {
+		t.Error("expected error for bad snapshot")
+	}
+	if _, err := OpenStore("/nonexistent.idx"); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+// TestConcurrentQueries checks that a built corpus answers queries safely
+// from many goroutines (the engine is read-only after Build).
+func TestConcurrentQueries(t *testing.T) {
+	c, err := GenerateCorpus("wsj", 0.002, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Build(); err != nil {
+		t.Fatal(err)
+	}
+	queries := []*Query{
+		MustCompile(`//NP`), MustCompile(`//VB->NP`), MustCompile(`//VP{/VB-->NN}`),
+		MustCompile(`//NP[not(//JJ)]`), MustCompile(`//S[//_[@lex=saw]]`),
+	}
+	want := make([]int, len(queries))
+	for i, q := range queries {
+		want[i], err = c.Count(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 8*len(queries))
+	for g := 0; g < 8; g++ {
+		for i, q := range queries {
+			go func(i int, q *Query) {
+				n, err := c.Count(q)
+				if err == nil && n != want[i] {
+					err = fmt.Errorf("query %d: got %d, want %d", i, n, want[i])
+				}
+				done <- err
+			}(i, q)
+		}
+	}
+	for i := 0; i < 8*len(queries); i++ {
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestFunctionLibraryThroughPublicAPI(t *testing.T) {
+	c := figure1Corpus(t)
+	cases := []struct {
+		query string
+		want  int
+	}{
+		{`//V/following-sibling::_[position()=1][.NP]`, 1}, // the paper's XPath formulation of ==>
+		{`//VP/_[last()][.NP]`, 1},                         // and of child right-alignment
+		{`//NP[count(/_)=3]`, 1},
+		{`//_[contains(@lex,'o')]`, 3},
+	}
+	for _, tc := range cases {
+		n, err := c.Count(MustCompile(tc.query))
+		if err != nil {
+			t.Errorf("%s: %v", tc.query, err)
+			continue
+		}
+		if n != tc.want {
+			t.Errorf("%s: count = %d, want %d", tc.query, n, tc.want)
+		}
+	}
+}
+
+func TestFigure2ThroughPublicAPI(t *testing.T) {
+	c := figure1Corpus(t)
+	cases := []struct {
+		query string
+		want  int
+	}{
+		{`//S[//_[@lex=saw]]`, 1},
+		{`//V==>NP`, 1},
+		{`//V->NP`, 2},
+		{`//VP/V-->N`, 3},
+		{`//VP{/V-->N}`, 2},
+		{`//VP{/NP$}`, 1},
+		{`//VP{//NP$}`, 2},
+	}
+	for _, tc := range cases {
+		n, err := c.Count(MustCompile(tc.query))
+		if err != nil {
+			t.Errorf("%s: %v", tc.query, err)
+			continue
+		}
+		if n != tc.want {
+			t.Errorf("%s: count = %d, want %d", tc.query, n, tc.want)
+		}
+	}
+}

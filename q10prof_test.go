@@ -1,0 +1,21 @@
+package lpath
+
+import (
+	"testing"
+
+	"lpath/internal/bench"
+	"lpath/internal/corpus"
+)
+
+func BenchmarkQ10Profile(b *testing.B) {
+	s, err := bench.BuildSystems(bench.GenerateTrees(corpus.WSJ, 0.05, 42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunLPath(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
