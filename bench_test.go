@@ -19,6 +19,7 @@ package lpath
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -316,6 +317,115 @@ func BenchmarkAblationClustering(b *testing.B) {
 			}
 		}
 	})
+}
+
+var (
+	parBenchOnce sync.Once
+	parBenchCorp *Corpus
+)
+
+// parallelBenchCorpus builds one shared WSJ corpus with a fixed shard
+// layout so every sub-benchmark varies only the worker count.
+func parallelBenchCorpus(b *testing.B) *Corpus {
+	b.Helper()
+	parBenchOnce.Do(func() {
+		shards := runtime.GOMAXPROCS(0)
+		if shards < 4 {
+			shards = 4
+		}
+		c, err := GenerateCorpus("wsj", benchScale(), 42, WithShards(shards))
+		if err != nil {
+			return
+		}
+		if err := c.Build(); err != nil {
+			return
+		}
+		// Warm the shard index outside the timed regions.
+		if _, err := c.SelectParallel(MustCompile(`//NP`)); err != nil {
+			return
+		}
+		parBenchCorp = c
+	})
+	if parBenchCorp == nil {
+		b.Fatal("parallel benchmark corpus failed to build")
+	}
+	return parBenchCorp
+}
+
+// BenchmarkParallelSelect compares serial Select against sharded
+// SelectParallel at increasing worker counts on representative queries.
+// Speedup is bounded by physical cores: expect ≥2x at 4 workers on 4+ cores
+// and ~1x on a single-core host.
+func BenchmarkParallelSelect(b *testing.B) {
+	c := parallelBenchCorpus(b)
+	queries := map[string]*Query{
+		"Q03": MustCompile(`//VP/VB-->NN`),
+		"Q18": MustCompile(`//NP/NP/NP/NP/NP`),
+		"Q22": MustCompile(`//NP=>NP=>NP`),
+	}
+	workerCounts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	for name, q := range queries {
+		q := q
+		b.Run(name+"/Serial", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Select(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, w := range workerCounts {
+			w := w
+			b.Run(fmt.Sprintf("%s/Workers%d", name, w), func(b *testing.B) {
+				c.Configure(WithWorkers(w))
+				for i := 0; i < b.N; i++ {
+					if _, err := c.SelectParallel(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPlanCache measures the compiled-plan cache against cold
+// compilation for a hot query text.
+func BenchmarkPlanCache(b *testing.B) {
+	const text = `//VP[{//^VB->NP->PP$}]`
+	b.Run("ColdCompile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Compile(text); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("CachedCompile", func(b *testing.B) {
+		c := NewCorpus(WithPlanCache(64))
+		if _, err := c.CompileCached(text); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.CompileCached(text); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBuildShards measures the sharded index construction that
+// SelectParallel adds over the serial store build.
+func BenchmarkBuildShards(b *testing.B) {
+	trees := bench.GenerateTrees(corpus.WSJ, benchScale(), 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := &Corpus{trees: treeCorpusOf(trees), dirty: true, shardsDirty: true, shardCount: 4}
+		if err := c.buildShards(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkBuildStore measures index construction (the offline cost of the

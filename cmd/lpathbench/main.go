@@ -8,11 +8,14 @@
 //
 // Figures: 6a (dataset characteristics), 6b (tag frequencies), 6c (query
 // result sizes), 7 (WSJ query times), 8 (SWB query times), 9 (scalability),
-// 10 (labeling-scheme comparison), ablations, or all.
+// 10 (labeling-scheme comparison), ablations, par (parallel sharded
+// execution scaling), or all.
 //
 // -scale sets the fraction of the paper's corpus size (1.0 ≈ 49k WSJ
 // sentences / 3.5M nodes; the default 0.05 keeps a full run under a couple
 // of minutes). With -csv DIR each timing figure is also written as CSV.
+// -workers caps the worker sweep of the parallel experiment (default:
+// GOMAXPROCS); the sweep measures 1, 2, 4, ... up to the cap.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -30,10 +34,11 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "experiment: 6a 6b 6c 7 8 9 10 ablations all")
-		scale  = flag.Float64("scale", 0.05, "corpus scale (1.0 = paper size)")
-		seed   = flag.Int64("seed", 42, "corpus seed")
-		csvDir = flag.String("csv", "", "directory for CSV output (optional)")
+		fig     = flag.String("fig", "all", "experiment: 6a 6b 6c 7 8 9 10 ablations par all")
+		scale   = flag.Float64("scale", 0.05, "corpus scale (1.0 = paper size)")
+		seed    = flag.Int64("seed", 42, "corpus seed")
+		csvDir  = flag.String("csv", "", "directory for CSV output (optional)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "max workers for the parallel experiment")
 	)
 	flag.Parse()
 
@@ -134,6 +139,25 @@ func main() {
 		bench.WriteAblations(os.Stdout, rows)
 		fmt.Println()
 	}
+	if need("par") {
+		rows, err := bench.ParallelScaling(buildWSJ(), workerSweep(*workers))
+		check(err)
+		bench.WriteParallel(os.Stdout, rows)
+		writeCSV(*csvDir, "parallel_scaling.csv", bench.CSVParallel(rows))
+		fmt.Println()
+	}
+}
+
+// workerSweep returns 1, 2, 4, ... doubling up to and including max.
+func workerSweep(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var out []int
+	for w := 1; w < max; w *= 2 {
+		out = append(out, w)
+	}
+	return append(out, max)
 }
 
 func timed[T any](what string, f func() T) T {

@@ -247,6 +247,42 @@ func TestFig10AndAblations(t *testing.T) {
 	WriteAblations(&sb, ab)
 }
 
+func TestParallelScalingAndFormat(t *testing.T) {
+	ws, _ := testSystems(t)
+	rows, err := ParallelScaling(ws, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Fig9Queries)*3 {
+		t.Fatalf("rows = %d, want %d", len(rows), len(Fig9Queries)*3)
+	}
+	for _, r := range rows {
+		if r.Serial <= 0 || r.Parallel <= 0 {
+			t.Errorf("Q%d workers=%d: non-positive timing %v/%v", r.ID, r.Workers, r.Serial, r.Parallel)
+		}
+		if r.Speedup() <= 0 {
+			t.Errorf("Q%d workers=%d: speedup %f", r.ID, r.Workers, r.Speedup())
+		}
+		// Each query must report the same match count at every worker count
+		// (ParallelScaling itself verifies parallel == serial counts).
+		if r.Matches < 0 {
+			t.Errorf("Q%d: negative match count", r.ID)
+		}
+	}
+	var sb strings.Builder
+	WriteParallel(&sb, rows)
+	if !strings.Contains(sb.String(), "Parallel scaling") || !strings.Contains(sb.String(), "workers") {
+		t.Errorf("WriteParallel output:\n%s", sb.String())
+	}
+	csv := CSVParallel(rows)
+	if !strings.HasPrefix(csv, "query,workers,serial_s,parallel_s,speedup,matches\n") {
+		t.Errorf("CSV header: %q", csv)
+	}
+	if strings.Count(csv, "\n") != len(rows)+1 {
+		t.Errorf("CSV rows = %d, want %d", strings.Count(csv, "\n")-1, len(rows))
+	}
+}
+
 func TestReplicateFractional(t *testing.T) {
 	base := GenerateTrees(corpus.WSJ, 0.001, 5)
 	half := Replicate(base, 0.5)

@@ -1,11 +1,14 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"lpath/internal/corpus"
+	"lpath/internal/engine"
+	"lpath/internal/relstore"
 	"lpath/internal/tree"
 )
 
@@ -249,6 +252,80 @@ func Ablations(s *Systems) ([]AblationRow, error) {
 		Baseline: fwd,
 		Ablated:  rev,
 	})
+	return out, nil
+}
+
+// ParallelRow is one (query, workers) measurement of the parallel-scaling
+// experiment: the serial engine time against the sharded EvalParallel time
+// at a worker count, with the speedup factor.
+type ParallelRow struct {
+	ID       int
+	Query    string
+	Workers  int
+	Serial   time.Duration
+	Parallel time.Duration
+	Matches  int
+}
+
+// Speedup is the serial/parallel time ratio.
+func (r ParallelRow) Speedup() float64 {
+	if r.Parallel <= 0 {
+		return 0
+	}
+	return float64(r.Serial) / float64(r.Parallel)
+}
+
+// ParallelScaling measures the sharded parallel evaluator against the
+// serial engine on the representative Figure 9 queries, sweeping the worker
+// counts over a fixed shard layout (one shard per worker at the largest
+// count, so only the pool size varies across rows). Speedups track the
+// physical core count: on a single-core host every worker count measures
+// scheduling overhead only.
+func ParallelScaling(s *Systems, workerCounts []int) ([]ParallelRow, error) {
+	maxWorkers := 1
+	for _, w := range workerCounts {
+		if w > maxWorkers {
+			maxWorkers = w
+		}
+	}
+	shards, err := engine.NewSharded(relstore.BuildShards(s.Trees, relstore.SchemeInterval, maxWorkers))
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	var out []ParallelRow
+	for _, id := range Fig9Queries {
+		plan := s.lpathQ[id]
+		var serialN int
+		serial := TimeIt(func() {
+			ms, e := s.LPath.Eval(plan)
+			if e != nil {
+				err = e
+			}
+			serialN = len(ms)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("Q%d serial: %w", id, err)
+		}
+		for _, w := range workerCounts {
+			row := ParallelRow{ID: id, Query: s.QueryText(id), Workers: w, Serial: serial}
+			row.Parallel = TimeIt(func() {
+				ms, e := engine.EvalParallel(ctx, shards, plan, engine.WithWorkers(w))
+				if e != nil {
+					err = e
+				}
+				row.Matches = len(ms)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("Q%d workers=%d: %w", id, w, err)
+			}
+			if row.Matches != serialN {
+				return nil, fmt.Errorf("bench: Q%d parallel returned %d matches, serial %d",
+					id, row.Matches, serialN)
+			}
+			out = append(out, row)
+		}
+	}
 	return out, nil
 }
 

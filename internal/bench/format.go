@@ -111,6 +111,28 @@ func WriteAblations(w io.Writer, rows []AblationRow) {
 	}
 }
 
+// WriteParallel renders the parallel-scaling measurements.
+func WriteParallel(w io.Writer, rows []ParallelRow) {
+	fmt.Fprintf(w, "Parallel scaling: serial engine vs sharded EvalParallel (s)\n")
+	fmt.Fprintf(w, "%-4s %-30s %8s %10s %10s %9s %9s\n",
+		"Q", "Query", "workers", "serial", "parallel", "speedup", "matches")
+	for _, r := range rows {
+		fmt.Fprintf(w, "Q%-3d %-30s %8d %10s %10s %8.2fx %9d\n",
+			r.ID, r.Query, r.Workers, secs(r.Serial), secs(r.Parallel), r.Speedup(), r.Matches)
+	}
+}
+
+// CSVParallel renders the parallel-scaling rows as CSV.
+func CSVParallel(rows []ParallelRow) string {
+	var b strings.Builder
+	b.WriteString("query,workers,serial_s,parallel_s,speedup,matches\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "Q%d,%d,%f,%f,%f,%d\n",
+			r.ID, r.Workers, r.Serial.Seconds(), r.Parallel.Seconds(), r.Speedup(), r.Matches)
+	}
+	return b.String()
+}
+
 // CSVFig7or8 renders the timing rows as CSV.
 func CSVFig7or8(rows []SystemTiming) string {
 	var b strings.Builder

@@ -1,0 +1,164 @@
+// Parallel evaluation: the interval scheme makes every axis a per-tree label
+// comparison (Table 2), so a query over a corpus decomposes into independent
+// evaluations over disjoint tid shards — the same per-tree decomposability
+// that makes conjunctive tree queries parallelizable. EvalParallel fans a
+// compiled query out over per-shard engines with a bounded worker pool and
+// merges the per-shard results back into global (tid, id) order.
+
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"lpath/internal/lpath"
+	"lpath/internal/relstore"
+)
+
+// NewSharded builds one engine per shard store. The shards are typically the
+// output of relstore.BuildShards; every engine option applies to every
+// shard.
+func NewSharded(shards []*relstore.Store, opts ...Option) ([]*Engine, error) {
+	out := make([]*Engine, len(shards))
+	for i, s := range shards {
+		e, err := New(s, opts...)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+// ParallelOption configures a parallel evaluation.
+type ParallelOption func(*parallelConfig)
+
+type parallelConfig struct {
+	workers int
+}
+
+// WithWorkers bounds the worker pool at n goroutines. Values below 1 restore
+// the default, runtime.GOMAXPROCS(0).
+func WithWorkers(n int) ParallelOption {
+	return func(c *parallelConfig) { c.workers = n }
+}
+
+// EvalParallel evaluates the query over every shard concurrently, using at
+// most the configured number of workers (default runtime.GOMAXPROCS(0)),
+// and returns the merged matches in global (tree, document) order — the
+// identical order Engine.Eval produces on an unsharded store, because
+// shards partition whole trees.
+//
+// The first shard error cancels the remaining work via the context;
+// cancelling ctx abandons shards that have not started. The result slice is
+// deterministic: it does not depend on the worker count or on scheduling.
+func EvalParallel(ctx context.Context, shards []*Engine, p *lpath.Path, opts ...ParallelOption) ([]Match, error) {
+	cfg := parallelConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workers < 1 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	if err := lpath.Validate(p); err != nil {
+		return nil, err
+	}
+	if len(shards) == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return []Match{}, nil
+	}
+	workers := cfg.workers
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([][]Match, len(shards))
+	jobs := make(chan int)
+	var (
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		evalErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			evalErr = err
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					continue // drain: cancelled work is not evaluated
+				}
+				ms, err := shards[i].Eval(p)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				results[i] = ms
+			}
+		}()
+	}
+	for i := range shards {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return mergeByTree(results), nil
+}
+
+// mergeByTree merges per-shard match lists, each already in (tid, id) order,
+// into one global (tid, id)-ordered list. Shards hold disjoint tid sets, so
+// comparing head TreeIDs (ties broken by shard index, which cannot occur
+// across well-formed shards) yields exactly the unsharded engine's order.
+func mergeByTree(results [][]Match) []Match {
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	if total == 0 {
+		// Eval returns a non-nil empty slice when nothing matches; mirror it
+		// so SelectParallel stays byte-identical to Select, matches or not.
+		return []Match{}
+	}
+	out := make([]Match, 0, total)
+	heads := make([]int, len(results))
+	for len(out) < total {
+		best := -1
+		for s, r := range results {
+			if heads[s] >= len(r) {
+				continue
+			}
+			if best == -1 || r[heads[s]].TreeID < results[best][heads[best]].TreeID {
+				best = s
+			}
+		}
+		// A shard's run of equal-TreeID matches is contiguous; copy the
+		// whole tree's matches in one go to keep the merge near O(total).
+		r := results[best]
+		i := heads[best]
+		tid := r[i].TreeID
+		j := i
+		for j < len(r) && r[j].TreeID == tid {
+			j++
+		}
+		out = append(out, r[i:j]...)
+		heads[best] = j
+	}
+	return out
+}

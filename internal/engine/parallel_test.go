@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"lpath/internal/lpath"
+	"lpath/internal/relstore"
+	"lpath/internal/tree"
+)
+
+func shardEngines(t *testing.T, c *tree.Corpus, k int) []*Engine {
+	t.Helper()
+	shards, err := NewSharded(relstore.BuildShards(c, relstore.SchemeInterval, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shards
+}
+
+// TestEvalParallelMatchesSerial is the core equivalence property: on random
+// corpora, for every query in the cross-validation corpus, every shard
+// count and every worker count, EvalParallel returns exactly Engine.Eval's
+// result — same matches, same order.
+func TestEvalParallelMatchesSerial(t *testing.T) {
+	plans := make([]*lpath.Path, len(queryCorpus))
+	for i, q := range queryCorpus {
+		plans[i] = lpath.MustParse(q)
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		c := randomCorpus(seed, 7)
+		serial := buildEngine(t, c)
+		want := make([][]Match, len(plans))
+		for i, p := range plans {
+			ms, err := serial.Eval(p)
+			if err != nil {
+				t.Fatalf("seed %d: serial %q: %v", seed, queryCorpus[i], err)
+			}
+			want[i] = ms
+		}
+		for _, k := range []int{1, 3, 7} {
+			shards := shardEngines(t, c, k)
+			for _, workers := range []int{1, 3} {
+				for i, p := range plans {
+					got, err := EvalParallel(context.Background(), shards, p, WithWorkers(workers))
+					if err != nil {
+						t.Fatalf("seed %d k=%d w=%d: parallel %q: %v", seed, k, workers, queryCorpus[i], err)
+					}
+					if len(got) == 0 && len(want[i]) == 0 {
+						continue
+					}
+					if !reflect.DeepEqual(got, want[i]) {
+						t.Errorf("seed %d k=%d w=%d: %q: parallel %d matches, serial %d",
+							seed, k, workers, queryCorpus[i], len(got), len(want[i]))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEvalParallelDefaultWorkers(t *testing.T) {
+	c := tree.NewCorpus()
+	c.Add(tree.Figure1())
+	shards := shardEngines(t, c, 1)
+	// Workers below 1 fall back to GOMAXPROCS; both must succeed.
+	for _, w := range []int{-1, 0, 99} {
+		ms, err := EvalParallel(context.Background(), shards, lpath.MustParse(`//NP`), WithWorkers(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(ms) != 4 {
+			t.Errorf("workers=%d: %d matches, want 4", w, len(ms))
+		}
+	}
+}
+
+func TestEvalParallelEmptyShards(t *testing.T) {
+	ms, err := EvalParallel(context.Background(), nil, lpath.MustParse(`//NP`))
+	if err != nil || len(ms) != 0 {
+		t.Errorf("empty shard set: %d matches, %v", len(ms), err)
+	}
+}
+
+func TestEvalParallelValidationError(t *testing.T) {
+	c := tree.NewCorpus()
+	c.Add(tree.Figure1())
+	shards := shardEngines(t, c, 2)
+	if _, err := EvalParallel(context.Background(), shards, lpath.MustParse(`//S@lex`)); err == nil {
+		t.Error("expected validation error for attribute step in main path")
+	}
+}
+
+func TestEvalParallelCancelledContext(t *testing.T) {
+	c := randomCorpus(5, 6)
+	shards := shardEngines(t, c, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EvalParallel(ctx, shards, lpath.MustParse(`//NP`)); err == nil {
+		t.Error("expected context error after cancellation")
+	}
+}
+
+func TestMergeByTree(t *testing.T) {
+	n := &tree.Node{Tag: "X"}
+	m := func(tid int) Match { return Match{TreeID: tid, Node: n} }
+	got := mergeByTree([][]Match{
+		{m(1), m(1), m(4)},
+		{m(2), m(3), m(3)},
+		nil,
+		{m(5)},
+	})
+	want := []int{1, 1, 2, 3, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d matches, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].TreeID != w {
+			t.Errorf("merged[%d].TreeID = %d, want %d", i, got[i].TreeID, w)
+		}
+	}
+	// The empty merge is a non-nil empty slice, mirroring Engine.Eval, so
+	// EvalParallel is byte-identical to serial even on zero matches.
+	for _, in := range [][][]Match{nil, {nil, nil}} {
+		if m := mergeByTree(in); m == nil || len(m) != 0 {
+			t.Errorf("empty merge = %#v, want non-nil empty slice", m)
+		}
+	}
+}

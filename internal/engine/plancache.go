@@ -1,0 +1,129 @@
+// The compiled-plan cache: parsing and validating an LPath query is pure
+// CPU work that repeats verbatim under production traffic, where a small
+// set of query texts dominates. PlanCache memoizes text → compiled plan
+// with LRU eviction so the parse+validate cost is paid once per distinct
+// query, and exposes hit/miss/eviction counters for observability.
+
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"lpath/internal/lpath"
+)
+
+// DefaultPlanCacheSize is the capacity used when none is given.
+const DefaultPlanCacheSize = 128
+
+// PlanCache is a bounded LRU cache from query text to compiled plan. It is
+// safe for concurrent use. Plans are immutable after compilation (the
+// engine never mutates a *lpath.Path), so a cached plan may be evaluated
+// from many goroutines at once.
+type PlanCache struct {
+	mu        sync.Mutex
+	capacity  int
+	order     *list.List // front = most recently used; values are *planEntry
+	entries   map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type planEntry struct {
+	text string
+	plan *lpath.Path
+}
+
+// NewPlanCache creates a cache holding at most capacity plans; a
+// non-positive capacity selects DefaultPlanCacheSize.
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity < 1 {
+		capacity = DefaultPlanCacheSize
+	}
+	return &PlanCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached plan for the query text, marking it most recently
+// used.
+func (c *PlanCache) Get(text string) (*lpath.Path, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[text]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*planEntry).plan, true
+}
+
+// Put inserts or refreshes a plan, evicting the least recently used entry
+// when the cache is full.
+func (c *PlanCache) Put(text string, plan *lpath.Path) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[text]; ok {
+		el.Value.(*planEntry).plan = plan
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*planEntry).text)
+		c.evictions++
+	}
+	c.entries[text] = c.order.PushFront(&planEntry{text: text, plan: plan})
+}
+
+// GetOrCompile returns the cached plan for the text, compiling and caching
+// it on a miss. Concurrent misses on the same text may compile more than
+// once; every compilation produces an equivalent immutable plan, so the
+// duplicate work is harmless and the cache keeps whichever lands last.
+// Compilation errors are returned and not cached.
+func (c *PlanCache) GetOrCompile(text string, compile func(string) (*lpath.Path, error)) (*lpath.Path, error) {
+	if p, ok := c.Get(text); ok {
+		return p, nil
+	}
+	p, err := compile(text)
+	if err != nil {
+		return nil, err
+	}
+	c.Put(text, p)
+	return p, nil
+}
+
+// Len returns the number of cached plans.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// CacheStats is a snapshot of the cache's counters.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Len       int
+	Capacity  int
+}
+
+// Stats returns a consistent snapshot of the counters.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Len:       c.order.Len(),
+		Capacity:  c.capacity,
+	}
+}

@@ -1,0 +1,128 @@
+package relstore
+
+import (
+	"math/rand"
+	"testing"
+
+	"lpath/internal/tree"
+)
+
+func randomShardCorpus(seed int64, n int) *tree.Corpus {
+	rng := rand.New(rand.NewSource(seed))
+	tags := []string{"S", "NP", "VP", "N", "V"}
+	words := []string{"a", "b", "c", "d"}
+	var build func(depth int) *tree.Node
+	build = func(depth int) *tree.Node {
+		nd := &tree.Node{Tag: tags[rng.Intn(len(tags))]}
+		if depth >= 5 || rng.Intn(3) == 0 {
+			nd.Word = words[rng.Intn(len(words))]
+			return nd
+		}
+		for i, kids := 0, 1+rng.Intn(3); i < kids; i++ {
+			nd.AddChild(build(depth + 1))
+		}
+		return nd
+	}
+	c := tree.NewCorpus()
+	for i := 0; i < n; i++ {
+		c.AddRoot(build(1))
+	}
+	return c
+}
+
+func TestSplitByTIDCoverage(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 23} {
+		c := randomShardCorpus(int64(n), n)
+		for _, k := range []int{1, 2, 3, 5, 17, 100} {
+			parts := SplitByTID(c, k)
+			wantParts := k
+			if wantParts > n {
+				wantParts = n
+			}
+			if len(parts) != wantParts {
+				t.Fatalf("n=%d k=%d: %d parts, want %d", n, k, len(parts), wantParts)
+			}
+			// The chunks must cover every tree exactly once, in tid order,
+			// preserving identifiers.
+			nextID := 1
+			for _, p := range parts {
+				if p.Len() == 0 {
+					t.Fatalf("n=%d k=%d: empty shard", n, k)
+				}
+				for _, tr := range p.Trees {
+					if tr.ID != nextID {
+						t.Fatalf("n=%d k=%d: tree ID %d, want %d", n, k, tr.ID, nextID)
+					}
+					nextID++
+				}
+			}
+			if nextID != n+1 {
+				t.Fatalf("n=%d k=%d: covered %d trees, want %d", n, k, nextID-1, n)
+			}
+		}
+	}
+}
+
+func TestSplitByTIDEdgeCases(t *testing.T) {
+	if parts := SplitByTID(tree.NewCorpus(), 4); parts != nil {
+		t.Errorf("empty corpus: %d parts, want none", len(parts))
+	}
+	c := randomShardCorpus(7, 6)
+	if parts := SplitByTID(c, 0); len(parts) != 1 || parts[0].Len() != 6 {
+		t.Errorf("k=0 should yield a single full shard")
+	}
+	if parts := SplitByTID(c, -3); len(parts) != 1 {
+		t.Errorf("negative k should yield a single full shard")
+	}
+}
+
+func TestSplitByTIDBalance(t *testing.T) {
+	// Uniform trees must split into shards within one tree of each other.
+	c := tree.NewCorpus()
+	for i := 0; i < 40; i++ {
+		c.Add(tree.MustParseTree(`(S (NP a) (VP (V b) (NP c)))`))
+	}
+	for _, k := range []int{2, 4, 5, 8} {
+		min, max := c.Len(), 0
+		for _, p := range SplitByTID(c, k) {
+			if p.Len() < min {
+				min = p.Len()
+			}
+			if p.Len() > max {
+				max = p.Len()
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("k=%d: shard sizes range %d..%d on uniform trees", k, min, max)
+		}
+	}
+}
+
+func TestBuildShardsPartitionsStore(t *testing.T) {
+	c := randomShardCorpus(3, 11)
+	whole := Build(c, SchemeInterval)
+	for _, k := range []int{1, 2, 4, 11} {
+		shards := BuildShards(c, SchemeInterval, k)
+		rows, elems, trees := 0, 0, 0
+		seenTID := map[int32]int{}
+		for si, s := range shards {
+			if s.Scheme() != SchemeInterval {
+				t.Fatalf("k=%d: shard scheme %v", k, s.Scheme())
+			}
+			rows += s.Len()
+			elems += s.ElementCount()
+			trees += s.TreeCount()
+			for i := 0; i < s.Len(); i++ {
+				tid := s.Row(int32(i)).TID
+				if prev, ok := seenTID[tid]; ok && prev != si {
+					t.Fatalf("k=%d: tid %d appears in shards %d and %d", k, tid, prev, si)
+				}
+				seenTID[tid] = si
+			}
+		}
+		if rows != whole.Len() || elems != whole.ElementCount() || trees != whole.TreeCount() {
+			t.Errorf("k=%d: shards total rows/elems/trees = %d/%d/%d, want %d/%d/%d",
+				k, rows, elems, trees, whole.Len(), whole.ElementCount(), whole.TreeCount())
+		}
+	}
+}

@@ -20,9 +20,11 @@
 package lpath
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"lpath/internal/corpus"
 	"lpath/internal/engine"
@@ -97,30 +99,83 @@ type Corpus struct {
 	eng    *engine.Engine
 	oracle *treeval.CorpusEval
 	dirty  bool
+
+	// Parallel execution state: per-shard engines (built lazily, invalidated
+	// separately from the serial engine so either path can build first) and
+	// the configured worker-pool and shard-count bounds.
+	shards      []*engine.Engine
+	shardsDirty bool
+	workers     int
+	shardCount  int
+
+	// planCache memoizes query text → compiled plan for SelectText.
+	planCache *engine.PlanCache
+}
+
+// Option configures query execution on a Corpus; pass options to a
+// constructor or apply them later with Configure.
+type Option func(*Corpus)
+
+// WithWorkers bounds SelectParallel's worker pool at n goroutines. The
+// default (and any value below 1) is runtime.GOMAXPROCS(0).
+func WithWorkers(n int) Option {
+	return func(c *Corpus) { c.workers = n }
+}
+
+// WithShards partitions the corpus into k tree-ID shards for parallel
+// execution. The default (and any value below 1) is the worker count, so
+// every worker owns one shard; larger values improve load balance on skewed
+// corpora at a small per-shard indexing cost.
+func WithShards(k int) Option {
+	return func(c *Corpus) {
+		c.shardCount = k
+		c.shardsDirty = true
+	}
+}
+
+// WithPlanCache enables the compiled-plan cache used by SelectText and
+// CountText, holding at most capacity plans under LRU eviction (capacity < 1
+// selects the default, engine.DefaultPlanCacheSize = 128).
+func WithPlanCache(capacity int) Option {
+	return func(c *Corpus) { c.planCache = engine.NewPlanCache(capacity) }
+}
+
+// Configure applies options to an existing corpus. It is not safe to call
+// concurrently with queries.
+func (c *Corpus) Configure(opts ...Option) {
+	for _, o := range opts {
+		o(c)
+	}
+}
+
+func newCorpus(tc *tree.Corpus, opts ...Option) *Corpus {
+	c := &Corpus{trees: tc, dirty: true, shardsDirty: true}
+	c.Configure(opts...)
+	return c
 }
 
 // NewCorpus creates an empty corpus.
-func NewCorpus() *Corpus {
-	return &Corpus{trees: tree.NewCorpus(), dirty: true}
+func NewCorpus(opts ...Option) *Corpus {
+	return newCorpus(tree.NewCorpus(), opts...)
 }
 
 // LoadCorpus reads bracketed trees from r.
-func LoadCorpus(r io.Reader) (*Corpus, error) {
+func LoadCorpus(r io.Reader, opts ...Option) (*Corpus, error) {
 	tc, err := tree.ReadAll(r)
 	if err != nil {
 		return nil, err
 	}
-	return &Corpus{trees: tc, dirty: true}, nil
+	return newCorpus(tc, opts...), nil
 }
 
 // OpenCorpus reads bracketed trees from a file.
-func OpenCorpus(path string) (*Corpus, error) {
+func OpenCorpus(path string, opts ...Option) (*Corpus, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	c, err := LoadCorpus(f)
+	c, err := LoadCorpus(f, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
@@ -130,19 +185,20 @@ func OpenCorpus(path string) (*Corpus, error) {
 // GenerateCorpus synthesizes a corpus with the named profile ("wsj" or
 // "swb") at the given scale (1.0 ≈ the paper's corpus size; see
 // internal/corpus for the calibration).
-func GenerateCorpus(profile string, scale float64, seed int64) (*Corpus, error) {
+func GenerateCorpus(profile string, scale float64, seed int64, opts ...Option) (*Corpus, error) {
 	p, err := corpus.ParseProfile(profile)
 	if err != nil {
 		return nil, err
 	}
 	tc := corpus.Generate(corpus.Config{Profile: p, Scale: scale, Seed: seed})
-	return &Corpus{trees: tc, dirty: true}, nil
+	return newCorpus(tc, opts...), nil
 }
 
 // Add appends a tree to the corpus.
 func (c *Corpus) Add(t *Tree) {
 	c.trees.Add(t)
 	c.dirty = true
+	c.shardsDirty = true
 }
 
 // AddSentence parses a bracketed tree and appends it.
@@ -180,7 +236,7 @@ func (c *Corpus) SaveStore(w io.Writer) error {
 
 // LoadStore reads a store snapshot written by SaveStore and returns a
 // ready-to-query corpus with its trees reconstructed from the relation.
-func LoadStore(r io.Reader) (*Corpus, error) {
+func LoadStore(r io.Reader, opts ...Option) (*Corpus, error) {
 	store, trees, err := relstore.ReadSnapshot(r)
 	if err != nil {
 		return nil, err
@@ -189,17 +245,19 @@ func LoadStore(r io.Reader) (*Corpus, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Corpus{trees: trees, store: store, eng: eng}, nil
+	c := &Corpus{trees: trees, store: store, eng: eng, shardsDirty: true}
+	c.Configure(opts...)
+	return c, nil
 }
 
 // OpenStore reads a store snapshot from a file.
-func OpenStore(path string) (*Corpus, error) {
+func OpenStore(path string, opts ...Option) (*Corpus, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	c, err := LoadStore(f)
+	c, err := LoadStore(f, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
@@ -238,6 +296,106 @@ func (c *Corpus) Select(q *Query) ([]Match, error) {
 func (c *Corpus) Count(q *Query) (int, error) {
 	ms, err := c.Select(q)
 	return len(ms), err
+}
+
+// numWorkers resolves the configured worker bound.
+func (c *Corpus) numWorkers() int {
+	if c.workers > 0 {
+		return c.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// buildShards constructs the per-shard stores and engines lazily; queries
+// through SelectParallel trigger it automatically.
+func (c *Corpus) buildShards() error {
+	if !c.shardsDirty && c.shards != nil {
+		return nil
+	}
+	k := c.shardCount
+	if k < 1 {
+		k = c.numWorkers()
+	}
+	shards, err := engine.NewSharded(relstore.BuildShards(c.trees, relstore.SchemeInterval, k))
+	if err != nil {
+		return err
+	}
+	c.shards = shards
+	c.shardsDirty = false
+	return nil
+}
+
+// SelectParallel evaluates the query over tree-ID shards with a bounded
+// worker pool (see WithWorkers and WithShards) and returns exactly the
+// matches Select returns, in the same (tree, document) order — the result
+// is deterministic and independent of the worker count. The shard index is
+// built lazily on first use, like Select's.
+func (c *Corpus) SelectParallel(q *Query) ([]Match, error) {
+	return c.SelectParallelContext(context.Background(), q)
+}
+
+// SelectParallelContext is SelectParallel honoring a context: cancellation
+// abandons shards that have not started and returns the context's error.
+func (c *Corpus) SelectParallelContext(ctx context.Context, q *Query) ([]Match, error) {
+	if err := c.buildShards(); err != nil {
+		return nil, err
+	}
+	return engine.EvalParallel(ctx, c.shards, q.path, engine.WithWorkers(c.numWorkers()))
+}
+
+// CountParallel returns the number of matches, evaluated in parallel.
+func (c *Corpus) CountParallel(q *Query) (int, error) {
+	ms, err := c.SelectParallel(q)
+	return len(ms), err
+}
+
+// CompileCached compiles a query through the corpus's plan cache (see
+// WithPlanCache), so repeated texts skip parsing and validation. Without a
+// configured cache it is plain Compile.
+func (c *Corpus) CompileCached(text string) (*Query, error) {
+	if c.planCache == nil {
+		return Compile(text)
+	}
+	p, err := c.planCache.GetOrCompile(text, func(s string) (*ast.Path, error) {
+		q, err := Compile(s)
+		if err != nil {
+			return nil, err
+		}
+		return q.path, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Query{text: text, path: p}, nil
+}
+
+// SelectText compiles the query text via the plan cache and evaluates it
+// with Select — the repeated-traffic entry point: under a configured plan
+// cache, a hot query pays parse + validate once.
+func (c *Corpus) SelectText(text string) ([]Match, error) {
+	q, err := c.CompileCached(text)
+	if err != nil {
+		return nil, err
+	}
+	return c.Select(q)
+}
+
+// CountText compiles via the plan cache and counts the matches.
+func (c *Corpus) CountText(text string) (int, error) {
+	ms, err := c.SelectText(text)
+	return len(ms), err
+}
+
+// CacheStats reports plan-cache effectiveness; see Corpus.PlanCacheStats.
+type CacheStats = engine.CacheStats
+
+// PlanCacheStats returns the plan cache's hit/miss/eviction counters, or a
+// zero snapshot when no cache is configured.
+func (c *Corpus) PlanCacheStats() CacheStats {
+	if c.planCache == nil {
+		return CacheStats{}
+	}
+	return c.planCache.Stats()
 }
 
 // SelectOracle evaluates the query with the reference tree-walking
