@@ -11,7 +11,9 @@
 // prints the relational translation instead of evaluating. With -count only
 // result sizes are printed; otherwise each match is shown as its tree ID,
 // tag and covered words (capped by -limit). -oracle cross-checks the engine
-// against the reference evaluator and reports any disagreement.
+// against the reference evaluator and reports any disagreement. -explain
+// prints each query's cost-based plan (chosen access paths, predicate order,
+// semijoins) with estimated vs actual cardinalities instead of the matches.
 package main
 
 import (
@@ -33,6 +35,7 @@ func main() {
 		seed       = flag.Int64("seed", 42, "synthetic corpus seed")
 		sqlOnly    = flag.Bool("sql", false, "print the SQL translation and exit")
 		countOnly  = flag.Bool("count", false, "print result sizes only")
+		explain    = flag.Bool("explain", false, "print the cost-based plan with estimated vs actual cardinalities")
 		limit      = flag.Int("limit", 10, "maximum matches to print per query")
 		oracle     = flag.Bool("oracle", false, "cross-check against the reference evaluator")
 	)
@@ -84,6 +87,14 @@ func main() {
 	fmt.Printf("corpus: %d trees, %d nodes, %d words\n\n", st.Sentences, st.TreeNodes, st.Words)
 
 	for _, q := range queries {
+		if *explain {
+			report, err := c.Explain(q)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(report)
+			continue
+		}
 		ms, err := c.Select(q)
 		if err != nil {
 			fatal(err)

@@ -8,8 +8,8 @@
 //
 // Figures: 6a (dataset characteristics), 6b (tag frequencies), 6c (query
 // result sizes), 7 (WSJ query times), 8 (SWB query times), 9 (scalability),
-// 10 (labeling-scheme comparison), ablations, par (parallel sharded
-// execution scaling), or all.
+// 10 (labeling-scheme comparison), ablations, planner (cost-based planner
+// on/off), par (parallel sharded execution scaling), or all.
 //
 // -scale sets the fraction of the paper's corpus size (1.0 ≈ 49k WSJ
 // sentences / 3.5M nodes; the default 0.05 keeps a full run under a couple
@@ -34,7 +34,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "experiment: 6a 6b 6c 7 8 9 10 ablations par all")
+		fig     = flag.String("fig", "all", "experiment: 6a 6b 6c 7 8 9 10 ablations planner par all")
 		scale   = flag.Float64("scale", 0.05, "corpus scale (1.0 = paper size)")
 		seed    = flag.Int64("seed", 42, "corpus seed")
 		csvDir  = flag.String("csv", "", "directory for CSV output (optional)")
@@ -137,6 +137,13 @@ func main() {
 		rows, err := bench.Ablations(buildWSJ())
 		check(err)
 		bench.WriteAblations(os.Stdout, rows)
+		fmt.Println()
+	}
+	if need("planner") {
+		rows, err := bench.PlannerImpact(buildWSJ())
+		check(err)
+		bench.WritePlannerImpact(os.Stdout, rows)
+		writeCSV(*csvDir, "planner_impact.csv", bench.CSVPlannerImpact(rows))
 		fmt.Println()
 	}
 	if need("par") {

@@ -1,0 +1,111 @@
+package lpath
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzEvalOracle is the differential fuzzer over the three evaluators: the
+// engine with the cost-based planner, the engine with planning disabled, and
+// the reference tree-walking oracle. On every (query, treebank) input that
+// compiles and parses, all three must agree exactly — same matches, same
+// order, and the two engine configurations must agree on whether evaluation
+// errors (runtime errors are data-dependent, and the planner must not change
+// which ones surface).
+//
+// The corpus is built once and shared, so Node pointers are comparable with
+// reflect.DeepEqual across all evaluators.
+func FuzzEvalOracle(f *testing.F) {
+	bank := "(S (NP (N I)) (VP (V saw) (NP (D the) (N dog))))\n" +
+		"(S (NP (DT the) (NN cat)) (VP (VB sat) (PP (IN on) (NP (DT a) (NN mat)))))"
+	for _, eq := range EvalQueries() {
+		f.Add(eq.Text, bank)
+	}
+	f.Add(`//VP{/VB-->NN}`, bank)
+	f.Add(`//NP[count(//NN)=1]`, bank)
+	f.Add(`//V[@lex=saw][@lex!=sat]`, bank)
+	f.Add(`//S[//^NP]`, "(S (NP (N I)) (VP (V saw)))")
+	f.Add(`//_[position()=2]`, bank)
+	f.Add(`//NP[not(//JJ) and //NN]`, bank)
+	f.Add(`//S{//N$}`, bank)
+
+	f.Fuzz(func(t *testing.T, query, treebank string) {
+		if len(query) > 256 || len(treebank) > 2048 {
+			return
+		}
+		q, err := Compile(query)
+		if err != nil {
+			return // not a valid query; FuzzParse covers the parser
+		}
+		c := NewCorpus(WithShards(2), WithWorkers(2))
+		trees := 0
+		for _, line := range strings.Split(treebank, "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			if err := c.AddSentence(line); err != nil {
+				continue // skip malformed trees, keep the parsable ones
+			}
+			if trees++; trees >= 8 {
+				break
+			}
+		}
+
+		planned, plannedErr := c.Select(q)
+		plannedCount, plannedCountErr := c.Count(q)
+		par, parErr := c.SelectParallel(q)
+		parCount, parCountErr := c.CountParallel(q)
+
+		c.Configure(WithoutPlanner())
+		unplanned, unplannedErr := c.Select(q)
+
+		if (plannedErr != nil) != (unplannedErr != nil) {
+			t.Fatalf("%q: planned err %v, unplanned err %v", query, plannedErr, unplannedErr)
+		}
+		if (plannedErr != nil) != (plannedCountErr != nil) ||
+			(plannedErr != nil) != (parErr != nil) ||
+			(plannedErr != nil) != (parCountErr != nil) {
+			t.Fatalf("%q: select err %v, count err %v, parallel errs %v/%v",
+				query, plannedErr, plannedCountErr, parErr, parCountErr)
+		}
+		if plannedErr != nil {
+			return // all evaluators agree the query errors on this corpus
+		}
+		if !reflect.DeepEqual(planned, unplanned) {
+			t.Fatalf("%q: planned %d matches, unplanned %d — or order differs\nplanned:   %v\nunplanned: %v",
+				query, len(planned), len(unplanned), matchKeys(planned), matchKeys(unplanned))
+		}
+		if !reflect.DeepEqual(planned, par) {
+			t.Fatalf("%q: parallel differs from serial (%d vs %d matches)",
+				query, len(par), len(planned))
+		}
+		if plannedCount != len(planned) || parCount != len(planned) {
+			t.Fatalf("%q: Count=%d CountParallel=%d, want %d",
+				query, plannedCount, parCount, len(planned))
+		}
+
+		oracle, oracleErr := c.SelectOracle(q)
+		if oracleErr != nil {
+			t.Fatalf("%q: engine succeeded but oracle errored: %v", query, oracleErr)
+		}
+		if !reflect.DeepEqual(planned, oracle) {
+			t.Fatalf("%q: engine %d matches, oracle %d — or order differs\nengine: %v\noracle: %v",
+				query, len(planned), len(oracle), matchKeys(planned), matchKeys(oracle))
+		}
+	})
+}
+
+// matchKeys renders matches as pointer-independent (tree, tag, words) keys
+// for failure messages.
+func matchKeys(ms []Match) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.Node.Tag
+		if ws := m.Node.Words(); len(ws) > 0 {
+			out[i] += "[" + strings.Join(ws, " ") + "]"
+		}
+	}
+	return out
+}

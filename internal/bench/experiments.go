@@ -255,6 +255,62 @@ func Ablations(s *Systems) ([]AblationRow, error) {
 	return out, nil
 }
 
+// PlannerRow is one query's before/after measurement of the cost-based
+// planner: identical results, planned vs unplanned evaluation time.
+type PlannerRow struct {
+	ID        int
+	Query     string
+	Planned   time.Duration
+	Unplanned time.Duration
+	N         int // result size (identical by construction; verified)
+}
+
+// Speedup is the unplanned/planned time ratio (>1 = the planner helps).
+func (r PlannerRow) Speedup() float64 {
+	if r.Planned <= 0 {
+		return 0
+	}
+	return float64(r.Unplanned) / float64(r.Planned)
+}
+
+// PlannerImpact measures every evaluation query with the cost-based planner
+// on and off over the same store, verifying result identity as it goes —
+// the optimizer's before/after benchmark.
+func PlannerImpact(s *Systems) ([]PlannerRow, error) {
+	var out []PlannerRow
+	for _, id := range s.QueryIDs() {
+		row := PlannerRow{ID: id, Query: s.QueryText(id)}
+		var nPlanned, nUnplanned int
+		var err error
+		row.Planned = TimeIt(func() {
+			var e error
+			nPlanned, e = s.RunLPath(id)
+			if e != nil {
+				err = e
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("Q%d planned: %w", id, err)
+		}
+		row.Unplanned = TimeIt(func() {
+			var e error
+			nUnplanned, e = s.RunLPathNoPlanner(id)
+			if e != nil {
+				err = e
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("Q%d unplanned: %w", id, err)
+		}
+		if nPlanned != nUnplanned {
+			return nil, fmt.Errorf("Q%d: planner changed the result: %d vs %d", id, nPlanned, nUnplanned)
+		}
+		row.N = nPlanned
+		out = append(out, row)
+	}
+	return out, nil
+}
+
 // ParallelRow is one (query, workers) measurement of the parallel-scaling
 // experiment: the serial engine time against the sharded EvalParallel time
 // at a worker count, with the speedup factor.

@@ -111,6 +111,28 @@ func WriteAblations(w io.Writer, rows []AblationRow) {
 	}
 }
 
+// WritePlannerImpact renders the planner before/after measurements.
+func WritePlannerImpact(w io.Writer, rows []PlannerRow) {
+	fmt.Fprintf(w, "Planner impact: cost-based planner on vs off (s)\n")
+	fmt.Fprintf(w, "%-4s %-44s %10s %10s %9s %9s\n",
+		"Q", "Query", "planned", "unplanned", "speedup", "matches")
+	for _, r := range rows {
+		fmt.Fprintf(w, "Q%-3d %-44s %10s %10s %8.2fx %9d\n",
+			r.ID, r.Query, secs(r.Planned), secs(r.Unplanned), r.Speedup(), r.N)
+	}
+}
+
+// CSVPlannerImpact renders the planner before/after rows as CSV.
+func CSVPlannerImpact(rows []PlannerRow) string {
+	var b strings.Builder
+	b.WriteString("query,planned_s,unplanned_s,speedup,matches\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "Q%d,%f,%f,%f,%d\n",
+			r.ID, r.Planned.Seconds(), r.Unplanned.Seconds(), r.Speedup(), r.N)
+	}
+	return b.String()
+}
+
 // WriteParallel renders the parallel-scaling measurements.
 func WriteParallel(w io.Writer, rows []ParallelRow) {
 	fmt.Fprintf(w, "Parallel scaling: serial engine vs sharded EvalParallel (s)\n")

@@ -26,11 +26,12 @@ import (
 type Systems struct {
 	Trees *tree.Corpus
 
-	LPath      *engine.Engine
-	LPathNoVal *engine.Engine // value-index ablation
-	XPath      *xpath.Engine
-	TGrep      *tgrep.Corpus
-	CS         *corpussearch.Corpus
+	LPath       *engine.Engine
+	LPathNoVal  *engine.Engine // value-index ablation
+	LPathNoPlan *engine.Engine // cost-based-planner ablation
+	XPath       *xpath.Engine
+	TGrep       *tgrep.Corpus
+	CS          *corpussearch.Corpus
 
 	Store *relstore.Store // the interval-label store behind LPath
 
@@ -56,6 +57,9 @@ func BuildSystems(c *tree.Corpus) (*Systems, error) {
 		return nil, err
 	}
 	if s.LPathNoVal, err = engine.New(s.Store, engine.WithoutValueIndex()); err != nil {
+		return nil, err
+	}
+	if s.LPathNoPlan, err = engine.New(s.Store, engine.WithoutPlanner()); err != nil {
 		return nil, err
 	}
 	if s.XPath, err = xpath.New(relstore.Build(c, relstore.SchemeStartEnd)); err != nil {
@@ -124,6 +128,11 @@ func (s *Systems) RunLPath(id int) (int, error) {
 // RunLPathNoValueIndex evaluates query id with the value index disabled.
 func (s *Systems) RunLPathNoValueIndex(id int) (int, error) {
 	return s.LPathNoVal.Count(s.lpathQ[id])
+}
+
+// RunLPathNoPlanner evaluates query id with the cost-based planner disabled.
+func (s *Systems) RunLPathNoPlanner(id int) (int, error) {
+	return s.LPathNoPlan.Count(s.lpathQ[id])
 }
 
 // RunXPath evaluates query id on the XPath (start/end labeling) engine.

@@ -20,6 +20,7 @@ import (
 
 	"lpath/internal/label"
 	"lpath/internal/lpath"
+	"lpath/internal/planner"
 	"lpath/internal/relstore"
 	"lpath/internal/tree"
 )
@@ -27,9 +28,16 @@ import (
 // Engine evaluates LPath queries against an interval-labeled store.
 type Engine struct {
 	s *relstore.Store
+	// pl is the cost-based planner over the store's statistics snapshot;
+	// Eval plans each query through it unless noPlanner is set.
+	pl *planner.Planner
 	// disableValueIndex turns off the value-index access path; used by the
 	// ablation benchmarks.
 	disableValueIndex bool
+	// noPlanner restores the pre-planner evaluation strategy (no predicate
+	// reordering, no semijoins, the hardcoded value-index threshold); the
+	// differential tests hold the two paths result-identical.
+	noPlanner bool
 }
 
 // Option configures an Engine.
@@ -41,6 +49,13 @@ func WithoutValueIndex() Option {
 	return func(e *Engine) { e.disableValueIndex = true }
 }
 
+// WithoutPlanner disables cost-based planning: queries evaluate with the
+// engine's default strategy only. Used by the differential tests and to
+// measure the planner's contribution.
+func WithoutPlanner() Option {
+	return func(e *Engine) { e.noPlanner = true }
+}
+
 // New creates an engine over the store, which must use the interval scheme.
 func New(s *relstore.Store, opts ...Option) (*Engine, error) {
 	if s.Scheme() != relstore.SchemeInterval {
@@ -50,7 +65,23 @@ func New(s *relstore.Store, opts ...Option) (*Engine, error) {
 	for _, o := range opts {
 		o(e)
 	}
+	var popts []planner.Option
+	if e.disableValueIndex {
+		popts = append(popts, planner.WithoutValueIndex())
+	}
+	e.pl = planner.New(s.Statistics(), popts...)
 	return e, nil
+}
+
+// Plan returns the cost-based plan Eval would execute for the query, or nil
+// when planning is disabled. Plans are immutable and may be executed
+// concurrently (and on other shards of the same corpus, whose engines share
+// the corpus-global statistics).
+func (e *Engine) Plan(p *lpath.Path) *planner.Plan {
+	if e.noPlanner {
+		return nil
+	}
+	return e.pl.Plan(p)
 }
 
 // Match is one query result: a node within a tree.
@@ -69,12 +100,35 @@ type bind struct {
 }
 
 // Eval evaluates the query over the whole corpus and returns the distinct
-// matches of the final step in (tree, document) order.
+// matches of the final step in (tree, document) order. Unless the engine
+// was built WithoutPlanner, the query is planned first; the plan never
+// changes the result, only the evaluation strategy.
 func (e *Engine) Eval(p *lpath.Path) ([]Match, error) {
+	return e.EvalPlan(p, e.Plan(p))
+}
+
+// EvalPlan evaluates the query executing the given plan (nil = the default
+// strategy). The plan must have been built for this query's AST.
+func (e *Engine) EvalPlan(p *lpath.Path, plan *planner.Plan) ([]Match, error) {
 	if err := lpath.Validate(p); err != nil {
 		return nil, err
 	}
-	binds, err := e.evalPath(p, []bind{{row: noRow, scope: noRow}})
+	rows, err := e.evalRows(p, newEvalCtx(plan))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Match, 0, len(rows))
+	for _, ri := range rows {
+		r := e.s.Row(ri)
+		out = append(out, Match{TreeID: int(r.TID), Node: e.s.NodeFor(r)})
+	}
+	return out, nil
+}
+
+// evalRows runs the join pipeline and returns the distinct result rows in
+// (tree, document) order.
+func (e *Engine) evalRows(p *lpath.Path, ctx *evalCtx) ([]int32, error) {
+	binds, err := e.evalPath(p, []bind{{row: noRow, scope: noRow}}, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -93,25 +147,60 @@ func (e *Engine) Eval(p *lpath.Path) ([]Match, error) {
 		}
 		return a.ID < b.ID // ids are preorder: document order
 	})
-	out := make([]Match, 0, len(rows))
-	for _, ri := range rows {
-		r := e.s.Row(ri)
-		out = append(out, Match{TreeID: int(r.TID), Node: e.s.NodeFor(r)})
-	}
-	return out, nil
+	return rows, nil
 }
 
-// Count returns the number of distinct matches.
+// Count returns the number of distinct matches without materializing them:
+// the same join pipeline as Eval, skipping the document-order sort and the
+// row → node mapping.
 func (e *Engine) Count(p *lpath.Path) (int, error) {
-	ms, err := e.Eval(p)
-	return len(ms), err
+	return e.CountPlan(p, e.Plan(p))
+}
+
+// CountPlan is Count executing the given plan (nil = default strategy).
+func (e *Engine) CountPlan(p *lpath.Path, plan *planner.Plan) (int, error) {
+	if err := lpath.Validate(p); err != nil {
+		return 0, err
+	}
+	binds, err := e.evalPath(p, []bind{{row: noRow, scope: noRow}}, newEvalCtx(plan))
+	if err != nil {
+		return 0, err
+	}
+	seen := make(map[int32]bool, len(binds))
+	n := 0
+	for _, b := range binds {
+		if b.row != noRow && !seen[b.row] {
+			seen[b.row] = true
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Explain plans the query, executes the plan with cardinality counters, and
+// returns the rendered EXPLAIN report (estimated vs actual rows per step).
+// It always plans, even on a WithoutPlanner engine — EXPLAIN exists to show
+// what the planner would do.
+func (e *Engine) Explain(p *lpath.Path) (string, error) {
+	if err := lpath.Validate(p); err != nil {
+		return "", err
+	}
+	plan := e.pl.Plan(p)
+	ctx := newEvalCtx(plan)
+	ctx.act = &planner.Actuals{}
+	rows, err := e.evalRows(p, ctx)
+	if err != nil {
+		return "", err
+	}
+	ctx.act.Matches = len(rows)
+	return plan.Render(ctx.act), nil
 }
 
 // evalPath runs the join pipeline for one relative path.
-func (e *Engine) evalPath(p *lpath.Path, binds []bind) ([]bind, error) {
+func (e *Engine) evalPath(p *lpath.Path, binds []bind, ctx *evalCtx) ([]bind, error) {
 	var err error
 	for i := range p.Steps {
-		binds, err = e.evalStep(&p.Steps[i], binds)
+		binds, err = e.evalStep(&p.Steps[i], binds, ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -133,7 +222,7 @@ func (e *Engine) evalPath(p *lpath.Path, binds []bind) ([]bind, error) {
 			}
 			scoped = append(scoped, bind{row: row, scope: row})
 		}
-		return e.evalPath(p.Scoped, dedup(scoped))
+		return e.evalPath(p.Scoped, dedup(scoped), ctx)
 	}
 	return binds, nil
 }
@@ -141,7 +230,7 @@ func (e *Engine) evalPath(p *lpath.Path, binds []bind) ([]bind, error) {
 // evalStep performs one join step: for every context binding, probe the
 // store for candidate rows on the axis, then filter by scope, alignment and
 // predicates.
-func (e *Engine) evalStep(step *lpath.Step, binds []bind) ([]bind, error) {
+func (e *Engine) evalStep(step *lpath.Step, binds []bind, ctx *evalCtx) ([]bind, error) {
 	if step.Axis == lpath.AxisAttribute {
 		return nil, lpath.ErrAttrInMainPath
 	}
@@ -154,6 +243,15 @@ func (e *Engine) evalStep(step *lpath.Step, binds []bind) ([]bind, error) {
 	} else {
 		vd = e.valueDriver(step)
 	}
+	// Plan-directed choices: the statistics-derived value-probe threshold
+	// and the cheapest-first predicate order. Neither changes the result —
+	// reordering is restricted to commutative conjuncts, and the value probe
+	// is an access path, not a filter.
+	sp := ctx.stepPlan(step)
+	preds := step.Preds
+	if sp != nil && sp.Reordered {
+		preds = sp.PredExprs()
+	}
 	var out []bind
 	// A single binding's probe already yields distinct rows, so the
 	// cross-binding dedup map is only needed for fan-in — predicates
@@ -164,15 +262,11 @@ func (e *Engine) evalStep(step *lpath.Step, binds []bind) ([]bind, error) {
 	}
 	for _, b := range binds {
 		var cands []int32
-		useValue := vd.ok && e.valueWorthwhile(step, b, vd.postings)
+		useValue := vd.ok && e.valueWorthwhile(step, b, vd.postings, sp)
 		if useValue {
 			cands = e.filterByAxis(vd.candidates(e), step, b)
 		} else {
 			cands = e.axisCandidates(step, b)
-		}
-		skip := ""
-		if useValue {
-			skip = vd.value
 		}
 		// Static filters: subtree scope and edge alignment.
 		filtered := cands[:0:0]
@@ -182,55 +276,87 @@ func (e *Engine) evalStep(step *lpath.Step, binds []bind) ([]bind, error) {
 				filtered = append(filtered, ci)
 			}
 		}
-		// Positional ordering: document order (preorder ids), reversed for
-		// the reverse axes.
-		if positional {
-			sort.Slice(filtered, func(i, j int) bool {
-				return e.s.Row(filtered[i]).ID < e.s.Row(filtered[j]).ID
-			})
-			if lpath.ReverseAxis(step.Axis) {
-				for i, j := 0, len(filtered)-1; i < j; i, j = i+1, j-1 {
-					filtered[i], filtered[j] = filtered[j], filtered[i]
-				}
-			}
+		// position() counts within one context node. The virtual root stands
+		// for every tree root at once, so its candidates are partitioned per
+		// tree before counting — the per-tree semantics the reference oracle
+		// and the sharded parallel path share.
+		groups := [][]int32{filtered}
+		if positional && b.row == noRow {
+			groups = e.groupByTID(filtered)
 		}
-		// Predicate pipeline with positional context.
-		for _, pred := range step.Preds {
-			if skip != "" {
-				if cmp, ok := pred.(*lpath.CmpExpr); ok && isDirectEq(cmp) && cmp.Value == skip {
-					continue // already satisfied by the value-index probe
+		for _, g := range groups {
+			// Positional ordering: document order (preorder ids), reversed
+			// for the reverse axes.
+			if positional {
+				sort.Slice(g, func(i, j int) bool {
+					return e.s.Row(g[i]).ID < e.s.Row(g[j]).ID
+				})
+				if lpath.ReverseAxis(step.Axis) {
+					for i, j := 0, len(g)-1; i < j; i, j = i+1, j-1 {
+						g[i], g[j] = g[j], g[i]
+					}
 				}
 			}
-			var err error
-			filtered, err = e.filterPred(pred, b.scope, filtered)
-			if err != nil {
-				return nil, err
-			}
-			if len(filtered) == 0 {
-				break
-			}
-		}
-		for _, ci := range filtered {
-			nb := bind{row: ci, scope: b.scope}
-			if seen != nil {
-				if seen[nb] {
-					continue
+			// Predicate pipeline with positional context.
+			for _, pred := range preds {
+				if useValue {
+					if cmp, ok := pred.(*lpath.CmpExpr); ok && isDirectEq(cmp) &&
+						cmp.Value == vd.value && "@"+cmp.Path.Steps[0].Test == vd.attrName {
+						continue // already satisfied by the value-index probe
+					}
 				}
-				seen[nb] = true
+				var err error
+				g, err = e.filterPred(pred, b.scope, g, ctx)
+				if err != nil {
+					return nil, err
+				}
+				if len(g) == 0 {
+					break
+				}
 			}
-			out = append(out, nb)
+			for _, ci := range g {
+				nb := bind{row: ci, scope: b.scope}
+				if seen != nil {
+					if seen[nb] {
+						continue
+					}
+					seen[nb] = true
+				}
+				out = append(out, nb)
+			}
 		}
 	}
+	ctx.countStep(sp, len(out))
 	return out, nil
+}
+
+// groupByTID partitions candidate rows per tree, trees in ascending tid
+// order, so position() under the virtual root never counts across trees.
+func (e *Engine) groupByTID(cands []int32) [][]int32 {
+	byTID := make(map[int32][]int32)
+	tids := make([]int32, 0, 4)
+	for _, ci := range cands {
+		tid := e.s.Row(ci).TID
+		if _, ok := byTID[tid]; !ok {
+			tids = append(tids, tid)
+		}
+		byTID[tid] = append(byTID[tid], ci)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	out := make([][]int32, len(tids))
+	for i, tid := range tids {
+		out[i] = byTID[tid]
+	}
+	return out
 }
 
 // filterPred keeps the candidates satisfying one predicate, supplying the
 // positional context.
-func (e *Engine) filterPred(pred lpath.Expr, scope int32, cands []int32) ([]int32, error) {
+func (e *Engine) filterPred(pred lpath.Expr, scope int32, cands []int32, ctx *evalCtx) ([]int32, error) {
 	out := cands[:0:0]
 	size := len(cands)
 	for i, ci := range cands {
-		ok, err := e.evalExpr(pred, bind{row: ci, scope: scope}, i+1, size)
+		ok, err := e.evalExpr(pred, bind{row: ci, scope: scope}, i+1, size, ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -244,17 +370,24 @@ func (e *Engine) filterPred(pred lpath.Expr, scope int32, cands []int32) ([]int3
 // valueWorthwhile decides, per binding, whether driving the step from the
 // value index beats an axis probe: always from the virtual root (the probe
 // would scan the whole name range), and otherwise only when the posting
-// list is smaller than the context's subtree — the cost trade-off the
-// paper's optimizer resolves with relational statistics.
-func (e *Engine) valueWorthwhile(step *lpath.Step, b bind, postings int) bool {
+// list is smaller than the expected cost of scanning the context's subtree
+// — the cost trade-off the paper's optimizer resolves with relational
+// statistics. A planned step carries the statistics-derived crossover
+// density (planner.StepPlan.Bias: expected rows of the step's name per unit
+// of span); without a plan the engine falls back to the treebank-typical
+// nodes-per-span constant 2.
+func (e *Engine) valueWorthwhile(step *lpath.Step, b bind, postings int, sp *planner.StepPlan) bool {
 	if b.row == noRow {
 		return true
 	}
 	switch step.Axis {
 	case lpath.AxisDescendant, lpath.AxisDescendantOrSelf:
 		ctx := e.s.Row(b.row)
-		// A subtree over k terminals has at most ~2k nodes of interest.
-		return postings < 2*int(ctx.Right-ctx.Left)
+		span := ctx.Right - ctx.Left
+		if sp != nil && sp.Bias > 0 {
+			return float64(postings) < sp.Bias*float64(span)
+		}
+		return postings < 2*int(span)
 	default:
 		// Other axes have cheap dedicated probes.
 		return false

@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"lpath/internal/lpath"
+	"lpath/internal/planner"
+)
+
+// Plan-directed execution state. An evalCtx travels through one evaluation
+// (one Eval/Count/Explain call): it carries the cost-based plan the steps
+// consult, the memoized semijoin satisfier sets, and — for EXPLAIN — the
+// actual-cardinality counters. A nil plan (or a nil field lookup) means the
+// engine's default strategy, which is exactly the pre-planner behavior; the
+// differential tests and fuzzers hold the two result-identical.
+
+type satKey struct {
+	expr  lpath.Expr
+	scope int32
+}
+
+type evalCtx struct {
+	plan *planner.Plan
+	// sat memoizes semijoin satisfier sets per (filter expression, scope):
+	// within one evaluation the same filter under the same scope always has
+	// the same satisfiers, however many candidates probe it.
+	sat map[satKey]map[int32]bool
+	// act collects actual cardinalities when EXPLAIN runs the query.
+	act *planner.Actuals
+}
+
+func newEvalCtx(plan *planner.Plan) *evalCtx { return &evalCtx{plan: plan} }
+
+func (c *evalCtx) stepPlan(s *lpath.Step) *planner.StepPlan {
+	if c == nil || c.plan == nil {
+		return nil
+	}
+	return c.plan.Step(s)
+}
+
+func (c *evalCtx) semijoin(x lpath.Expr) *planner.Semijoin {
+	if c == nil || c.plan == nil {
+		return nil
+	}
+	return c.plan.SemijoinFor(x)
+}
+
+func (c *evalCtx) countStep(sp *planner.StepPlan, n int) {
+	if c == nil || c.act == nil || sp == nil {
+		return
+	}
+	if c.act.Steps == nil {
+		c.act.Steps = make(map[*planner.StepPlan]int)
+	}
+	c.act.Steps[sp] += n
+}
+
+func (c *evalCtx) countSemi(x lpath.Expr, seed, set int) {
+	if c == nil || c.act == nil {
+		return
+	}
+	if c.act.SemiSeed == nil {
+		c.act.SemiSeed = make(map[lpath.Expr]int)
+		c.act.SemiSet = make(map[lpath.Expr]int)
+	}
+	c.act.SemiSeed[x] = seed
+	c.act.SemiSet[x] = set
+}

@@ -70,24 +70,83 @@ func EvalParallel(ctx context.Context, shards []*Engine, p *lpath.Path, opts ...
 		}
 		return []Match{}, nil
 	}
-	workers := cfg.workers
-	if workers > len(shards) {
-		workers = len(shards)
+	// Plan once: shard engines share the corpus-global statistics snapshot
+	// (relstore.BuildShards), so one plan is every shard's plan, and the
+	// per-query planning cost does not scale with the shard count.
+	plan := shards[0].Plan(p)
+	results := make([][]Match, len(shards))
+	err := runShards(ctx, len(shards), cfg.workers, func(i int) error {
+		ms, err := shards[i].EvalPlan(p, plan)
+		if err != nil {
+			return err
+		}
+		results[i] = ms
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	return mergeByTree(results), nil
+}
 
+// CountParallel counts the query's matches over every shard concurrently and
+// returns the global count — identical to len(EvalParallel(...)), but each
+// shard uses the count-only pipeline (no sort, no node materialization) and
+// only an integer crosses the merge. Shards hold disjoint trees, so the
+// per-shard distinct counts add exactly.
+func CountParallel(ctx context.Context, shards []*Engine, p *lpath.Path, opts ...ParallelOption) (int, error) {
+	cfg := parallelConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := lpath.Validate(p); err != nil {
+		return 0, err
+	}
+	if len(shards) == 0 {
+		return 0, ctx.Err()
+	}
+	plan := shards[0].Plan(p)
+	counts := make([]int, len(shards))
+	err := runShards(ctx, len(shards), cfg.workers, func(i int) error {
+		n, err := shards[i].CountPlan(p, plan)
+		if err != nil {
+			return err
+		}
+		counts[i] = n
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total, nil
+}
+
+// runShards runs fn(i) for every shard index over a bounded worker pool.
+// The first error cancels the remaining work; cancelling ctx abandons shards
+// that have not started.
+func runShards(ctx context.Context, n, workers int, fn func(int) error) error {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	results := make([][]Match, len(shards))
 	jobs := make(chan int)
 	var (
 		wg      sync.WaitGroup
 		errOnce sync.Once
-		evalErr error
+		runErr  error
 	)
 	fail := func(err error) {
 		errOnce.Do(func() {
-			evalErr = err
+			runErr = err
 			cancel()
 		})
 	}
@@ -99,27 +158,21 @@ func EvalParallel(ctx context.Context, shards []*Engine, p *lpath.Path, opts ...
 				if ctx.Err() != nil {
 					continue // drain: cancelled work is not evaluated
 				}
-				ms, err := shards[i].Eval(p)
-				if err != nil {
+				if err := fn(i); err != nil {
 					fail(err)
-					continue
 				}
-				results[i] = ms
 			}
 		}()
 	}
-	for i := range shards {
+	for i := 0; i < n; i++ {
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
-	if evalErr != nil {
-		return nil, evalErr
+	if runErr != nil {
+		return runErr
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return mergeByTree(results), nil
+	return ctx.Err()
 }
 
 // mergeByTree merges per-shard match lists, each already in (tid, id) order,

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"lpath/internal/lpath"
+	"lpath/internal/planner"
 )
 
 // DefaultPlanCacheSize is the capacity used when none is given.
@@ -33,6 +34,14 @@ type PlanCache struct {
 type planEntry struct {
 	text string
 	plan *lpath.Path
+	// exec is the cost-based executable plan for the AST, valid for the
+	// store generation gen. The AST outlives store rebuilds (parsing is
+	// corpus-independent); the exec plan is re-derived when statistics
+	// change. planned distinguishes a cached nil plan (planning disabled)
+	// from an entry that has not been planned yet.
+	exec    *planner.Plan
+	gen     uint64
+	planned bool
 }
 
 // NewPlanCache creates a cache holding at most capacity plans; a
@@ -69,7 +78,10 @@ func (c *PlanCache) Put(text string, plan *lpath.Path) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[text]; ok {
-		el.Value.(*planEntry).plan = plan
+		ent := el.Value.(*planEntry)
+		ent.plan = plan
+		// A replaced AST invalidates any exec plan keyed to the old one.
+		ent.exec, ent.gen, ent.planned = nil, 0, false
 		c.order.MoveToFront(el)
 		return
 	}
@@ -97,6 +109,64 @@ func (c *PlanCache) GetOrCompile(text string, compile func(string) (*lpath.Path,
 	}
 	c.Put(text, p)
 	return p, nil
+}
+
+// GetOrPlan is GetOrCompile extended with the cost-based executable plan:
+// it returns the cached AST and the exec plan valid for store generation
+// gen, compiling and/or planning on demand. A cached entry from an older
+// generation keeps its AST but is re-planned, so corpus rebuilds invalidate
+// plans without re-parsing. plan may return nil (planning disabled); the
+// nil is cached like any other plan.
+func (c *PlanCache) GetOrPlan(text string, gen uint64, compile func(string) (*lpath.Path, error), plan func(*lpath.Path) *planner.Plan) (*lpath.Path, *planner.Plan, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[text]; ok {
+		ent := el.Value.(*planEntry)
+		c.order.MoveToFront(el)
+		if ent.planned && ent.gen == gen {
+			c.hits++
+			ast, exec := ent.plan, ent.exec
+			c.mu.Unlock()
+			return ast, exec, nil
+		}
+		// AST hit, stale (or absent) exec plan: re-plan outside the lock.
+		c.hits++
+		ast := ent.plan
+		c.mu.Unlock()
+		exec := plan(ast)
+		c.putExec(text, ast, exec, gen)
+		return ast, exec, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	ast, err := compile(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	exec := plan(ast)
+	c.putExec(text, ast, exec, gen)
+	return ast, exec, nil
+}
+
+// putExec inserts or refreshes an entry carrying an exec plan.
+func (c *PlanCache) putExec(text string, ast *lpath.Path, exec *planner.Plan, gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[text]; ok {
+		ent := el.Value.(*planEntry)
+		ent.plan, ent.exec, ent.gen, ent.planned = ast, exec, gen, true
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*planEntry).text)
+		c.evictions++
+	}
+	c.entries[text] = c.order.PushFront(&planEntry{
+		text: text, plan: ast, exec: exec, gen: gen, planned: true,
+	})
 }
 
 // Len returns the number of cached plans.

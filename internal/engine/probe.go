@@ -303,27 +303,33 @@ func (e *Engine) siblingCandidates(step *lpath.Step, ctx *relstore.Row, rel func
 
 // --- predicate evaluation ------------------------------------------------
 
-func (e *Engine) evalExpr(x lpath.Expr, b bind, pos, size int) (bool, error) {
+func (e *Engine) evalExpr(x lpath.Expr, b bind, pos, size int, ctx *evalCtx) (bool, error) {
 	switch ex := x.(type) {
 	case *lpath.AndExpr:
-		ok, err := e.evalExpr(ex.L, b, pos, size)
+		ok, err := e.evalExpr(ex.L, b, pos, size, ctx)
 		if err != nil || !ok {
 			return false, err
 		}
-		return e.evalExpr(ex.R, b, pos, size)
+		return e.evalExpr(ex.R, b, pos, size, ctx)
 	case *lpath.OrExpr:
-		ok, err := e.evalExpr(ex.L, b, pos, size)
+		ok, err := e.evalExpr(ex.L, b, pos, size, ctx)
 		if err != nil || ok {
 			return ok, err
 		}
-		return e.evalExpr(ex.R, b, pos, size)
+		return e.evalExpr(ex.R, b, pos, size, ctx)
 	case *lpath.NotExpr:
-		ok, err := e.evalExpr(ex.X, b, pos, size)
+		ok, err := e.evalExpr(ex.X, b, pos, size, ctx)
 		return !ok, err
 	case *lpath.PathExpr:
-		return e.evalExistential(ex.Path, b, "", "")
+		if sj := ctx.semijoin(x); sj != nil && b.row != noRow {
+			return e.semiHolds(sj, x, b, ctx)
+		}
+		return e.evalExistential(ex.Path, b, "", "", ctx)
 	case *lpath.CmpExpr:
-		return e.evalExistential(ex.Path, b, ex.Op, ex.Value)
+		if sj := ctx.semijoin(x); sj != nil && b.row != noRow {
+			return e.semiHolds(sj, x, b, ctx)
+		}
+		return e.evalExistential(ex.Path, b, ex.Op, ex.Value, ctx)
 	case *lpath.PositionExpr:
 		rhs := ex.Value
 		if ex.Last {
@@ -333,20 +339,20 @@ func (e *Engine) evalExpr(x lpath.Expr, b bind, pos, size int) (bool, error) {
 	case *lpath.LastExpr:
 		return pos == size, nil
 	case *lpath.CountExpr:
-		matches, err := e.evalPath(ex.Path, []bind{b})
+		matches, err := e.evalPath(ex.Path, []bind{b}, ctx)
 		if err != nil {
 			return false, err
 		}
 		return lpath.CompareInts(len(matches), ex.Op, ex.Value), nil
 	case *lpath.StrFnExpr:
-		return e.evalStrFn(ex, b)
+		return e.evalStrFn(ex, b, ctx)
 	}
 	return false, nil
 }
 
 // evalStrFn evaluates contains/starts-with/ends-with over the attribute
 // values reached by the path.
-func (e *Engine) evalStrFn(x *lpath.StrFnExpr, b bind) (bool, error) {
+func (e *Engine) evalStrFn(x *lpath.StrFnExpr, b bind, ctx *evalCtx) (bool, error) {
 	head, attr, err := lpath.SplitAttr(x.Path)
 	if err != nil {
 		return false, err
@@ -358,7 +364,7 @@ func (e *Engine) evalStrFn(x *lpath.StrFnExpr, b bind) (bool, error) {
 	if head == nil {
 		elems = []bind{b}
 	} else {
-		elems, err = e.evalPath(head, []bind{b})
+		elems, err = e.evalPath(head, []bind{b}, ctx)
 		if err != nil {
 			return false, err
 		}
@@ -380,7 +386,7 @@ func (e *Engine) evalStrFn(x *lpath.StrFnExpr, b bind) (bool, error) {
 // comparisons: it evaluates the path from the binding and checks whether any
 // reached element (and, for comparisons, its attribute value) satisfies the
 // test.
-func (e *Engine) evalExistential(p *lpath.Path, b bind, op, value string) (bool, error) {
+func (e *Engine) evalExistential(p *lpath.Path, b bind, op, value string, ctx *evalCtx) (bool, error) {
 	head, attr, err := lpath.SplitAttr(p)
 	if err != nil {
 		return false, err
@@ -392,7 +398,7 @@ func (e *Engine) evalExistential(p *lpath.Path, b bind, op, value string) (bool,
 	if head == nil {
 		elems = []bind{b}
 	} else {
-		elems, err = e.evalPath(head, []bind{b})
+		elems, err = e.evalPath(head, []bind{b}, ctx)
 		if err != nil {
 			return false, err
 		}

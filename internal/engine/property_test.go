@@ -13,9 +13,9 @@ import (
 // language definition implies, independent of any particular evaluation
 // strategy.
 
-func buildEngine(t *testing.T, c *tree.Corpus) *Engine {
+func buildEngine(t *testing.T, c *tree.Corpus, opts ...Option) *Engine {
 	t.Helper()
-	e, err := New(relstore.Build(c, relstore.SchemeInterval))
+	e, err := New(relstore.Build(c, relstore.SchemeInterval), opts...)
 	if err != nil {
 		t.Fatal(err)
 	}

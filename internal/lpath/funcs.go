@@ -14,6 +14,55 @@ func ReverseAxis(a Axis) bool {
 	return false
 }
 
+// InverseAxis returns the axis b such that x is reachable from c along a
+// exactly when c is reachable from x along b — the Table 2 label predicates
+// are symmetric under this pairing, which is what lets the planner evaluate
+// an existential filter in reverse (from the filter's matches back to the
+// candidates). The attribute axis has no inverse.
+func InverseAxis(a Axis) (Axis, bool) {
+	switch a {
+	case AxisSelf:
+		return AxisSelf, true
+	case AxisChild:
+		return AxisParent, true
+	case AxisParent:
+		return AxisChild, true
+	case AxisDescendant:
+		return AxisAncestor, true
+	case AxisAncestor:
+		return AxisDescendant, true
+	case AxisDescendantOrSelf:
+		return AxisAncestorOrSelf, true
+	case AxisAncestorOrSelf:
+		return AxisDescendantOrSelf, true
+	case AxisImmediateFollowing:
+		return AxisImmediatePreceding, true
+	case AxisImmediatePreceding:
+		return AxisImmediateFollowing, true
+	case AxisFollowing:
+		return AxisPreceding, true
+	case AxisPreceding:
+		return AxisFollowing, true
+	case AxisFollowingOrSelf:
+		return AxisPrecedingOrSelf, true
+	case AxisPrecedingOrSelf:
+		return AxisFollowingOrSelf, true
+	case AxisImmediateFollowingSibling:
+		return AxisImmediatePrecedingSibling, true
+	case AxisImmediatePrecedingSibling:
+		return AxisImmediateFollowingSibling, true
+	case AxisFollowingSibling:
+		return AxisPrecedingSibling, true
+	case AxisPrecedingSibling:
+		return AxisFollowingSibling, true
+	case AxisFollowingSiblingOrSelf:
+		return AxisPrecedingSiblingOrSelf, true
+	case AxisPrecedingSiblingOrSelf:
+		return AxisFollowingSiblingOrSelf, true
+	}
+	return a, false
+}
+
 // CompareInts applies a comparison operator from the function library.
 func CompareInts(a int, op string, b int) bool {
 	switch op {

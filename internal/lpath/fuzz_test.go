@@ -1,0 +1,42 @@
+package lpath
+
+import "testing"
+
+// FuzzParse checks the parser/printer round trip: any string the parser
+// accepts must pretty-print to a canonical form that (a) reparses, (b) is a
+// fixpoint of printing, and (c) agrees with the original on validation.
+// Parsing must never panic, accepted or not.
+func FuzzParse(f *testing.F) {
+	for _, eq := range EvalQueries {
+		f.Add(eq.Text)
+	}
+	for _, s := range []string{
+		`//A{//B{//C}}`, `//A[@x=y][@x!=z]`, `//A[not(//B or //C) and @f]`,
+		`//^A->B$`, `//A[count(/B)=2]`, `//A[position()=1]`, `//A[last()=1]`,
+		`//A[contains(@lex, 'x')]`, `//A[starts-with(@lex, "y")]`,
+		`/A/^_$`, `//_`, `//A<==B`, `//A<--B`, `@lex`, `//A[`, `{}`, `]`,
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1024 {
+			return
+		}
+		p1, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		s1 := p1.String()
+		p2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", s1, src, err)
+		}
+		if s2 := p2.String(); s2 != s1 {
+			t.Fatalf("printing is not a fixpoint: %q -> %q -> %q", src, s1, s2)
+		}
+		if (Validate(p1) == nil) != (Validate(p2) == nil) {
+			t.Fatalf("validation disagrees across round trip of %q (canonical %q): %v vs %v",
+				src, s1, Validate(p1), Validate(p2))
+		}
+	})
+}

@@ -26,9 +26,22 @@ func writePath(b *strings.Builder, p *Path) {
 	}
 }
 
+// writeGlueSafe writes tok, inserting a space first when the builder's last
+// byte and tok's first byte would otherwise fuse into an arrow token: a name
+// may end in '-' (e.g. -NONE-) and an axis may start with one, and the lexer
+// splits names at '-' only before "->"/"-->", so "/-" + "->0" would re-lex as
+// the --> axis. Whitespace between tokens is always legal.
+func writeGlueSafe(b *strings.Builder, tok string) {
+	cur := b.String()
+	if len(cur) > 0 && cur[len(cur)-1] == '-' && tok[0] == '-' {
+		b.WriteByte(' ')
+	}
+	b.WriteString(tok)
+}
+
 func writeStep(b *strings.Builder, s *Step) {
 	if abbr := s.Axis.Abbrev(); abbr != "" {
-		b.WriteString(abbr)
+		writeGlueSafe(b, abbr)
 	} else {
 		// Long-form-only axes (the or-self closures).
 		b.WriteByte('/')
@@ -60,7 +73,7 @@ func writeStep(b *strings.Builder, s *Step) {
 // re-lex as a single name token.
 func writeName(b *strings.Builder, name string) {
 	if lexesAsName(name) {
-		b.WriteString(name)
+		writeGlueSafe(b, name)
 		return
 	}
 	b.WriteByte('\'')

@@ -1,0 +1,52 @@
+// Golden EXPLAIN snapshots for the 23-query evaluation matrix: the chosen
+// access paths, predicate order, semijoins and cardinality estimates over the
+// deterministic wsj corpus (scale 0.01, seed 42) are pinned byte-for-byte, so
+// any cost-model or estimator change shows up as a reviewed diff. Refresh
+// with:
+//
+//	go test ./internal/planner -run TestGoldenPlans -update
+
+package planner_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lpath"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden EXPLAIN snapshots")
+
+func TestGoldenPlans(t *testing.T) {
+	c, err := lpath.GenerateCorpus("wsj", 0.01, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eq := range lpath.EvalQueries() {
+		name := fmt.Sprintf("q%02d", eq.ID)
+		t.Run(name, func(t *testing.T) {
+			got, err := c.ExplainText(eq.Text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got += "\n"
+			path := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if got != string(want) {
+				t.Errorf("EXPLAIN drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}

@@ -85,6 +85,10 @@ type Store struct {
 
 	elemsByLeft  []int32 // all element rows sorted by (tid, left, depth)
 	elemsByRight []int32 // all element rows sorted by (tid, right, left)
+
+	// stats is the build-time statistics snapshot (see stats.go). For
+	// shards it is replaced by the merged corpus-global snapshot.
+	stats *Statistics
 }
 
 // Build labels every tree of the corpus under the scheme and constructs the
@@ -288,6 +292,7 @@ func (s *Store) buildIndexes() {
 		}
 		return ra.Left < rb.Left
 	})
+	s.computeStats()
 }
 
 // ElementsByLeft returns every element row index ordered by (tid, left,

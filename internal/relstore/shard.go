@@ -53,11 +53,21 @@ func SplitByTID(c *tree.Corpus, k int) []*tree.Corpus {
 // Store per shard under the scheme. Each shard is a complete store over its
 // trees — same clustering, same secondary indexes — so any engine that runs
 // over a Store runs unchanged over a shard.
+// Each shard's Statistics() snapshot is the corpus-global merge of the
+// per-shard statistics, so planning decisions are identical on every shard.
 func BuildShards(c *tree.Corpus, scheme Scheme, k int) []*Store {
 	parts := SplitByTID(c, k)
 	out := make([]*Store, len(parts))
+	stats := make([]*Statistics, len(parts))
 	for i, p := range parts {
 		out[i] = Build(p, scheme)
+		stats[i] = out[i].stats
+	}
+	if len(out) > 0 {
+		merged := mergeStatistics(stats)
+		for _, s := range out {
+			s.stats = merged
+		}
 	}
 	return out
 }

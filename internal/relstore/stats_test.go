@@ -1,0 +1,158 @@
+package relstore
+
+import (
+	"math"
+	"testing"
+
+	"lpath/internal/tree"
+)
+
+func TestStatisticsFigure1(t *testing.T) {
+	s := figureStore(t, SchemeInterval)
+	st := s.Statistics()
+	if st == nil {
+		t.Fatal("Statistics() = nil")
+	}
+	if st.Trees != 1 {
+		t.Errorf("Trees = %d, want 1", st.Trees)
+	}
+	if st.Elements != 15 {
+		t.Errorf("Elements = %d, want 15", st.Elements)
+	}
+	if st.AttrRows != 9 {
+		t.Errorf("AttrRows = %d, want 9 (@lex per preterminal)", st.AttrRows)
+	}
+	if st.Leaves != 9 {
+		t.Errorf("Leaves = %d, want 9", st.Leaves)
+	}
+	if st.TotalSpan != 9 {
+		t.Errorf("TotalSpan = %d, want 9 (one unit per word)", st.TotalSpan)
+	}
+	if got := st.NameCount("NP"); got != 4 {
+		t.Errorf("NameCount(NP) = %d, want 4", got)
+	}
+	if got := st.NameCount("ZZZ"); got != 0 {
+		t.Errorf("NameCount(ZZZ) = %d, want 0", got)
+	}
+	if got := st.AttrNames["@lex"]; got != 9 {
+		t.Errorf("AttrNames[@lex] = %d, want 9", got)
+	}
+	if got := st.PostingCount("saw"); got != 1 {
+		t.Errorf("PostingCount(saw) = %d, want 1", got)
+	}
+	if got := st.PostingCount("no-such-word"); got != 0 {
+		t.Errorf("PostingCount(no-such-word) = %d, want 0", got)
+	}
+	if got := st.NodesPerSpan(); math.Abs(got-15.0/9.0) > 1e-9 {
+		t.Errorf("NodesPerSpan = %g, want %g", got, 15.0/9.0)
+	}
+	if got := st.AvgTreeSpan(); got != 9 {
+		t.Errorf("AvgTreeSpan = %g, want 9", got)
+	}
+	// 15 elements, 9 leaves, 6 internal; every non-root element is someone's
+	// child, so AvgFanout = (15-1)/6.
+	if got := st.AvgFanout(); math.Abs(got-14.0/6.0) > 1e-9 {
+		t.Errorf("AvgFanout = %g, want %g", got, 14.0/6.0)
+	}
+	if st.MaxDepth < 2 || len(st.DepthHist) != st.MaxDepth+1 {
+		t.Errorf("MaxDepth = %d, DepthHist len = %d", st.MaxDepth, len(st.DepthHist))
+	}
+	sum := 0
+	for _, n := range st.DepthHist {
+		sum += n
+	}
+	if sum != st.Elements {
+		t.Errorf("DepthHist sums to %d, want %d", sum, st.Elements)
+	}
+	if st.Values.Rows != 9 {
+		t.Errorf("Values.Rows = %d, want 9", st.Values.Rows)
+	}
+	if st.Values.Distinct == 0 || st.Values.Max < 1 {
+		t.Errorf("Values = %+v", st.Values)
+	}
+}
+
+func TestStatisticsEmptyStore(t *testing.T) {
+	s := Build(tree.NewCorpus(), SchemeInterval)
+	st := s.Statistics()
+	if st.Elements != 0 || st.Trees != 0 {
+		t.Fatalf("empty store stats: %+v", st)
+	}
+	if got := st.NodesPerSpan(); got != 2 {
+		t.Errorf("empty NodesPerSpan = %g, want the default 2", got)
+	}
+	if got := st.AvgFanout(); got != 0 {
+		t.Errorf("empty AvgFanout = %g, want 0", got)
+	}
+}
+
+// TestShardStatisticsMerged checks that every shard carries the identical
+// corpus-global snapshot, equal to what an unsharded build computes.
+func TestShardStatisticsMerged(t *testing.T) {
+	c := randomShardCorpus(99, 23)
+	whole := Build(c, SchemeInterval).Statistics()
+	shards := BuildShards(c, SchemeInterval, 4)
+	if len(shards) != 4 {
+		t.Fatalf("BuildShards returned %d shards", len(shards))
+	}
+	for i, sh := range shards {
+		st := sh.Statistics()
+		if st.Trees != whole.Trees || st.Elements != whole.Elements ||
+			st.AttrRows != whole.AttrRows || st.Leaves != whole.Leaves ||
+			st.TotalSpan != whole.TotalSpan || st.MaxDepth != whole.MaxDepth {
+			t.Fatalf("shard %d counts differ from unsharded: %+v vs %+v", i, st, whole)
+		}
+		if math.Abs(st.AvgDepth-whole.AvgDepth) > 1e-9 {
+			t.Errorf("shard %d AvgDepth = %g, want %g", i, st.AvgDepth, whole.AvgDepth)
+		}
+		if len(st.Names) != len(whole.Names) {
+			t.Fatalf("shard %d has %d names, want %d", i, len(st.Names), len(whole.Names))
+		}
+		for name, ns := range whole.Names {
+			got := st.Names[name]
+			if got.Count != ns.Count {
+				t.Errorf("shard %d NameCount(%s) = %d, want %d", i, name, got.Count, ns.Count)
+			}
+			if math.Abs(got.Fanout-ns.Fanout) > 1e-9 || math.Abs(got.Span-ns.Span) > 1e-9 {
+				t.Errorf("shard %d %s stat %+v, want %+v", i, name, got, ns)
+			}
+		}
+		for name, n := range whole.AttrNames {
+			if st.AttrNames[name] != n {
+				t.Errorf("shard %d AttrNames[%s] = %d, want %d", i, name, st.AttrNames[name], n)
+			}
+		}
+		if st.Values.Distinct != whole.Values.Distinct || st.Values.Rows != whole.Values.Rows ||
+			st.Values.Max != whole.Values.Max {
+			t.Errorf("shard %d Values = %+v, want %+v", i, st.Values, whole.Values)
+		}
+		for v, n := range whole.valueCard {
+			if st.PostingCount(v) != n {
+				t.Errorf("shard %d PostingCount(%s) = %d, want %d", i, v, st.PostingCount(v), n)
+			}
+		}
+	}
+	// Shards 1..k share the exact snapshot pointer with shard 0 — planning
+	// once per query is sound because the statistics are one object.
+	for i := 1; i < len(shards); i++ {
+		if shards[i].Statistics() != shards[0].Statistics() {
+			t.Errorf("shard %d has a distinct Statistics pointer", i)
+		}
+	}
+}
+
+func TestNamesBySize(t *testing.T) {
+	s := figureStore(t, SchemeInterval)
+	names := s.Statistics().NamesBySize()
+	if len(names) == 0 {
+		t.Fatal("no names")
+	}
+	st := s.Statistics()
+	for i := 1; i < len(names); i++ {
+		a, b := st.Names[names[i-1]].Count, st.Names[names[i]].Count
+		if a < b {
+			t.Fatalf("NamesBySize out of order at %d: %s(%d) before %s(%d)",
+				i, names[i-1], a, names[i], b)
+		}
+	}
+}

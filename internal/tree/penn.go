@@ -160,6 +160,12 @@ func (rd *Reader) parseNode() (*Node, error) {
 // consumed: either a single word (preterminal) or one or more child nodes,
 // followed by ")".
 func (rd *Reader) parseBody(tag string, line int) (*Node, error) {
+	if strings.HasPrefix(tag, "@") {
+		// '@'-prefixed names are reserved for attribute rows in the
+		// relational store; a constituent tagged that way would collide
+		// with the attribute encoding.
+		return nil, &ParseError{line, fmt.Sprintf("tag %q: '@' names are reserved for attributes", tag)}
+	}
 	n := &Node{Tag: tag}
 	for {
 		t, err := rd.lx.next()

@@ -66,6 +66,8 @@ func TestParseErrors(t *testing.T) {
 		{"bad wrapper", "( (S (NP I)) extra )"},
 		{"empty input", ""},
 		{"missing tag", "((I))"},
+		{"reserved attribute tag", "(S (@ 0))"},
+		{"reserved attribute root", "(@lex (N 0))"},
 	}
 	for _, tc := range cases {
 		if _, err := ParseTree(tc.input); err == nil {

@@ -29,6 +29,7 @@ import (
 	"lpath/internal/corpus"
 	"lpath/internal/engine"
 	ast "lpath/internal/lpath"
+	"lpath/internal/planner"
 	"lpath/internal/relstore"
 	"lpath/internal/sqlgen"
 	"lpath/internal/tree"
@@ -110,6 +111,13 @@ type Corpus struct {
 
 	// planCache memoizes query text → compiled plan for SelectText.
 	planCache *engine.PlanCache
+
+	// gen counts store rebuilds; cached executable plans are keyed to it so
+	// a rebuilt corpus (new statistics) invalidates plans but not ASTs.
+	gen uint64
+	// noPlanner disables cost-based planning on every engine this corpus
+	// builds (see WithoutPlanner).
+	noPlanner bool
 }
 
 // Option configures query execution on a Corpus; pass options to a
@@ -129,6 +137,19 @@ func WithWorkers(n int) Option {
 func WithShards(k int) Option {
 	return func(c *Corpus) {
 		c.shardCount = k
+		c.shardsDirty = true
+	}
+}
+
+// WithoutPlanner disables the statistics-driven cost-based planner, so every
+// query evaluates with the engine's default strategy. The planner never
+// changes results — only evaluation order and access paths — which the
+// differential tests enforce; this option exists for those tests and for
+// measuring the planner's contribution.
+func WithoutPlanner() Option {
+	return func(c *Corpus) {
+		c.noPlanner = true
+		c.dirty = true
 		c.shardsDirty = true
 	}
 }
@@ -272,7 +293,7 @@ func (c *Corpus) Build() error {
 		return nil
 	}
 	store := relstore.Build(c.trees, relstore.SchemeInterval)
-	eng, err := engine.New(store)
+	eng, err := engine.New(store, c.engineOpts()...)
 	if err != nil {
 		return err
 	}
@@ -280,7 +301,17 @@ func (c *Corpus) Build() error {
 	c.eng = eng
 	c.oracle = nil
 	c.dirty = false
+	c.gen++ // new statistics: cached executable plans are stale
 	return nil
+}
+
+// engineOpts translates corpus options into engine options.
+func (c *Corpus) engineOpts() []engine.Option {
+	var opts []engine.Option
+	if c.noPlanner {
+		opts = append(opts, engine.WithoutPlanner())
+	}
+	return opts
 }
 
 // Select evaluates the query with the label-based engine and returns the
@@ -292,10 +323,34 @@ func (c *Corpus) Select(q *Query) ([]Match, error) {
 	return c.eng.Eval(q.path)
 }
 
-// Count returns the number of matches of the query.
+// Count returns the number of matches of the query, using the engine's
+// count-only pipeline: the same joins as Select, but without the final sort
+// and node materialization. Count always equals len(Select(q)).
 func (c *Corpus) Count(q *Query) (int, error) {
-	ms, err := c.Select(q)
-	return len(ms), err
+	if err := c.Build(); err != nil {
+		return 0, err
+	}
+	return c.eng.Count(q.path)
+}
+
+// Explain plans the query against the corpus statistics, executes the plan
+// with cardinality counters, and returns the EXPLAIN report: per step, the
+// chosen access path and the estimated vs actual rows (see docs/PLANNER.md
+// for the format).
+func (c *Corpus) Explain(q *Query) (string, error) {
+	if err := c.Build(); err != nil {
+		return "", err
+	}
+	return c.eng.Explain(q.path)
+}
+
+// ExplainText is Explain on raw query text.
+func (c *Corpus) ExplainText(text string) (string, error) {
+	q, err := c.CompileCached(text)
+	if err != nil {
+		return "", err
+	}
+	return c.Explain(q)
 }
 
 // numWorkers resolves the configured worker bound.
@@ -316,7 +371,7 @@ func (c *Corpus) buildShards() error {
 	if k < 1 {
 		k = c.numWorkers()
 	}
-	shards, err := engine.NewSharded(relstore.BuildShards(c.trees, relstore.SchemeInterval, k))
+	shards, err := engine.NewSharded(relstore.BuildShards(c.trees, relstore.SchemeInterval, k), c.engineOpts()...)
 	if err != nil {
 		return err
 	}
@@ -343,10 +398,15 @@ func (c *Corpus) SelectParallelContext(ctx context.Context, q *Query) ([]Match, 
 	return engine.EvalParallel(ctx, c.shards, q.path, engine.WithWorkers(c.numWorkers()))
 }
 
-// CountParallel returns the number of matches, evaluated in parallel.
+// CountParallel returns the number of matches, evaluated in parallel with
+// the count-only pipeline: each shard counts its distinct matches (no sort,
+// no node materialization) and the disjoint per-shard counts are summed.
+// CountParallel always equals len(SelectParallel(q)).
 func (c *Corpus) CountParallel(q *Query) (int, error) {
-	ms, err := c.SelectParallel(q)
-	return len(ms), err
+	if err := c.buildShards(); err != nil {
+		return 0, err
+	}
+	return engine.CountParallel(context.Background(), c.shards, q.path, engine.WithWorkers(c.numWorkers()))
 }
 
 // CompileCached compiles a query through the corpus's plan cache (see
@@ -369,21 +429,60 @@ func (c *Corpus) CompileCached(text string) (*Query, error) {
 	return &Query{text: text, path: p}, nil
 }
 
-// SelectText compiles the query text via the plan cache and evaluates it
-// with Select — the repeated-traffic entry point: under a configured plan
-// cache, a hot query pays parse + validate once.
+// SelectText compiles the query text via the plan cache and evaluates it —
+// the repeated-traffic entry point: under a configured plan cache, a hot
+// query pays parse + validate + cost-based planning once per store build,
+// and each repeat executes the cached plan directly.
 func (c *Corpus) SelectText(text string) ([]Match, error) {
-	q, err := c.CompileCached(text)
+	if c.planCache == nil {
+		q, err := Compile(text)
+		if err != nil {
+			return nil, err
+		}
+		return c.Select(q)
+	}
+	if err := c.Build(); err != nil {
+		return nil, err
+	}
+	ast, exec, err := c.cachedPlan(text)
 	if err != nil {
 		return nil, err
 	}
-	return c.Select(q)
+	return c.eng.EvalPlan(ast, exec)
 }
 
-// CountText compiles via the plan cache and counts the matches.
+// CountText compiles via the plan cache and counts the matches with the
+// count-only pipeline.
 func (c *Corpus) CountText(text string) (int, error) {
-	ms, err := c.SelectText(text)
-	return len(ms), err
+	if c.planCache == nil {
+		q, err := Compile(text)
+		if err != nil {
+			return 0, err
+		}
+		return c.Count(q)
+	}
+	if err := c.Build(); err != nil {
+		return 0, err
+	}
+	ast, exec, err := c.cachedPlan(text)
+	if err != nil {
+		return 0, err
+	}
+	return c.eng.CountPlan(ast, exec)
+}
+
+// cachedPlan resolves text → (AST, executable plan) through the plan cache
+// at the current store generation. The corpus must be built.
+func (c *Corpus) cachedPlan(text string) (*ast.Path, *planner.Plan, error) {
+	return c.planCache.GetOrPlan(text, c.gen,
+		func(s string) (*ast.Path, error) {
+			q, err := Compile(s)
+			if err != nil {
+				return nil, err
+			}
+			return q.path, nil
+		},
+		c.eng.Plan)
 }
 
 // CacheStats reports plan-cache effectiveness; see Corpus.PlanCacheStats.

@@ -1,0 +1,117 @@
+package lpath
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestPlannerResultIdentity is the optimizer's acceptance property: over the
+// full 23-query evaluation matrix, the cost-based planner changes evaluation
+// strategy only — results are byte-identical with the planner on and off,
+// serially and sharded, and the count pipelines agree with materialization.
+func TestPlannerResultIdentity(t *testing.T) {
+	planned, err := GenerateCorpus("wsj", 0.005, 11, WithShards(4), WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unplanned, err := GenerateCorpus("wsj", 0.005, 11, WithShards(4), WithWorkers(3), WithoutPlanner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eq := range EvalQueries() {
+		q := MustCompile(eq.Text)
+		want, err := unplanned.Select(q)
+		if err != nil {
+			t.Fatalf("Q%d unplanned: %v", eq.ID, err)
+		}
+		got, err := planned.Select(q)
+		if err != nil {
+			t.Fatalf("Q%d planned: %v", eq.ID, err)
+		}
+		if !matchesEqual(got, want) {
+			t.Errorf("Q%d: planned %d matches, unplanned %d — or a match differs",
+				eq.ID, len(got), len(want))
+		}
+		gotPar, err := planned.SelectParallel(q)
+		if err != nil {
+			t.Fatalf("Q%d planned parallel: %v", eq.ID, err)
+		}
+		wantPar, err := unplanned.SelectParallel(q)
+		if err != nil {
+			t.Fatalf("Q%d unplanned parallel: %v", eq.ID, err)
+		}
+		if !reflect.DeepEqual(got, gotPar) || !matchesEqual(gotPar, wantPar) {
+			t.Errorf("Q%d: parallel results diverge (planned %d / unplanned %d)",
+				eq.ID, len(gotPar), len(wantPar))
+		}
+		for name, pair := range map[string][2]int{
+			"Count":         {mustCount(t, planned.Count, q), mustCount(t, unplanned.Count, q)},
+			"CountParallel": {mustCount(t, planned.CountParallel, q), mustCount(t, unplanned.CountParallel, q)},
+		} {
+			if pair[0] != len(want) || pair[1] != len(want) {
+				t.Errorf("Q%d %s: planned %d, unplanned %d, want %d",
+					eq.ID, name, pair[0], pair[1], len(want))
+			}
+		}
+	}
+}
+
+func mustCount(t *testing.T, count func(*Query) (int, error), q *Query) int {
+	t.Helper()
+	n, err := count(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// matchesEqual compares match lists across two corpora built from the same
+// trees: Node pointers differ, so compare (tree, tag, words) in order.
+func matchesEqual(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].TreeID != b[i].TreeID || a[i].Node.Tag != b[i].Node.Tag ||
+			strings.Join(a[i].Node.Words(), " ") != strings.Join(b[i].Node.Words(), " ") {
+			return false
+		}
+	}
+	return true
+}
+
+// TestExplainOnEvalMatrix checks Corpus.Explain renders a plan with actual
+// cardinalities for every matrix query, and that explaining never perturbs
+// subsequent evaluation.
+func TestExplainOnEvalMatrix(t *testing.T) {
+	c, err := GenerateCorpus("wsj", 0.002, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eq := range EvalQueries() {
+		q := MustCompile(eq.Text)
+		report, err := c.Explain(q)
+		if err != nil {
+			t.Fatalf("Q%d explain: %v", eq.ID, err)
+		}
+		if !strings.Contains(report, "query: "+eq.Text) ||
+			!strings.Contains(report, "estimated matches:") ||
+			!strings.Contains(report, "actual:") {
+			t.Errorf("Q%d: malformed report:\n%s", eq.ID, report)
+		}
+		ms, err := c.Select(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := c.Count(q)
+		if err != nil || n != len(ms) {
+			t.Errorf("Q%d after explain: Count = %d, len(Select) = %d, %v", eq.ID, n, len(ms), err)
+		}
+	}
+	// Explain works on a planner-disabled corpus too (it plans on demand).
+	c.Configure(WithoutPlanner())
+	if _, err := c.Explain(MustCompile(`//NP`)); err != nil {
+		t.Errorf("explain without planner: %v", err)
+	}
+}
