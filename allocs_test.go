@@ -1,0 +1,37 @@
+package lpath
+
+import "testing"
+
+// TestStepEvaluationAllocBudget pins the steady-state allocation behavior of
+// the set-at-a-time executor: with a warm plan cache and grown scratch
+// arenas, evaluating Q10 — the most allocation-heavy query of the evaluation
+// matrix — must stay well under the per-binding executor's historical cost.
+// Before the columnar merge executor and the arena-pooled evaluation context,
+// one warm CountText of Q10 at scale 0.05 allocated ~58k objects; the
+// acceptance bar for this executor is a ≥5x reduction (≤11.6k). The budget
+// below is checked at a smaller scale so the test stays fast, with the same
+// shape of query plan; the measured steady state is single-digit allocations
+// per evaluation, and the budget leaves headroom only for incidental
+// per-group sorting.
+func TestStepEvaluationAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation budget needs a non-trivial corpus")
+	}
+	c, err := GenerateCorpus("wsj", 0.01, 42, WithPlanCache(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q10 = `//NP[->PP[//IN[@lex=of]]=>VP]`
+	if _, err := c.CountText(q10); err != nil { // warm: compile, cache, size arenas
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := c.CountText(q10); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 64
+	if allocs > budget {
+		t.Errorf("warm CountText(Q10) = %.0f allocs/op, budget %d", allocs, budget)
+	}
+}

@@ -9,11 +9,14 @@
 // Figures: 6a (dataset characteristics), 6b (tag frequencies), 6c (query
 // result sizes), 7 (WSJ query times), 8 (SWB query times), 9 (scalability),
 // 10 (labeling-scheme comparison), ablations, planner (cost-based planner
-// on/off), par (parallel sharded execution scaling), or all.
+// on/off), exec (set-at-a-time merge executor on/off with allocation
+// counts), par (parallel sharded execution scaling), or all.
 //
 // -scale sets the fraction of the paper's corpus size (1.0 ≈ 49k WSJ
 // sentences / 3.5M nodes; the default 0.05 keeps a full run under a couple
 // of minutes). With -csv DIR each timing figure is also written as CSV.
+// With -json DIR the exec experiment additionally writes the
+// machine-readable BENCH_executor.json (the CI bench artifact).
 // -workers caps the worker sweep of the parallel experiment (default:
 // GOMAXPROCS); the sweep measures 1, 2, 4, ... up to the cap.
 package main
@@ -34,10 +37,11 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "experiment: 6a 6b 6c 7 8 9 10 ablations planner par all")
+		fig     = flag.String("fig", "all", "experiment: 6a 6b 6c 7 8 9 10 ablations planner exec par all")
 		scale   = flag.Float64("scale", 0.05, "corpus scale (1.0 = paper size)")
 		seed    = flag.Int64("seed", 42, "corpus seed")
 		csvDir  = flag.String("csv", "", "directory for CSV output (optional)")
+		jsonDir = flag.String("json", "", "directory for BENCH_executor.json (exec experiment only)")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "max workers for the parallel experiment")
 	)
 	flag.Parse()
@@ -144,6 +148,18 @@ func main() {
 		check(err)
 		bench.WritePlannerImpact(os.Stdout, rows)
 		writeCSV(*csvDir, "planner_impact.csv", bench.CSVPlannerImpact(rows))
+		fmt.Println()
+	}
+	if need("exec") {
+		rows, err := bench.ExecutorImpact(buildWSJ())
+		check(err)
+		bench.WriteExecutorImpact(os.Stdout, rows)
+		writeCSV(*csvDir, "executor_impact.csv", bench.CSVExecutorImpact(rows))
+		if *jsonDir != "" {
+			data, err := bench.JSONExecutorImpact(rows)
+			check(err)
+			writeCSV(*jsonDir, "BENCH_executor.json", string(data))
+		}
 		fmt.Println()
 	}
 	if need("par") {

@@ -58,6 +58,14 @@ func FuzzEvalOracle(f *testing.F) {
 		par, parErr := c.SelectParallel(q)
 		parCount, parCountErr := c.CountParallel(q)
 
+		// Executor rotation: force the set-at-a-time merge executor on every
+		// eligible step, then disable it entirely — both must agree with the
+		// planner-chosen mix.
+		c.Configure(withMergeAlways())
+		merged, mergedErr := c.Select(q)
+		c.Configure(WithoutMergeExecutor())
+		probed, probedErr := c.Select(q)
+
 		c.Configure(WithoutPlanner())
 		unplanned, unplannedErr := c.Select(q)
 
@@ -70,12 +78,24 @@ func FuzzEvalOracle(f *testing.F) {
 			t.Fatalf("%q: select err %v, count err %v, parallel errs %v/%v",
 				query, plannedErr, plannedCountErr, parErr, parCountErr)
 		}
+		if (plannedErr != nil) != (mergedErr != nil) || (plannedErr != nil) != (probedErr != nil) {
+			t.Fatalf("%q: planned err %v, merge-always err %v, probe-only err %v",
+				query, plannedErr, mergedErr, probedErr)
+		}
 		if plannedErr != nil {
 			return // all evaluators agree the query errors on this corpus
 		}
 		if !reflect.DeepEqual(planned, unplanned) {
 			t.Fatalf("%q: planned %d matches, unplanned %d — or order differs\nplanned:   %v\nunplanned: %v",
 				query, len(planned), len(unplanned), matchKeys(planned), matchKeys(unplanned))
+		}
+		if !reflect.DeepEqual(planned, merged) {
+			t.Fatalf("%q: merge-always differs from planned (%d vs %d matches)\nmerged: %v\nplanned: %v",
+				query, len(merged), len(planned), matchKeys(merged), matchKeys(planned))
+		}
+		if !reflect.DeepEqual(planned, probed) {
+			t.Fatalf("%q: probe-only differs from planned (%d vs %d matches)\nprobed: %v\nplanned: %v",
+				query, len(probed), len(planned), matchKeys(probed), matchKeys(planned))
 		}
 		if !reflect.DeepEqual(planned, par) {
 			t.Fatalf("%q: parallel differs from serial (%d vs %d matches)",

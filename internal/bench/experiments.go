@@ -3,11 +3,13 @@ package bench
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
 	"lpath/internal/corpus"
 	"lpath/internal/engine"
+	"lpath/internal/planner"
 	"lpath/internal/relstore"
 	"lpath/internal/tree"
 )
@@ -306,6 +308,118 @@ func PlannerImpact(s *Systems) ([]PlannerRow, error) {
 			return nil, fmt.Errorf("Q%d: planner changed the result: %d vs %d", id, nPlanned, nUnplanned)
 		}
 		row.N = nPlanned
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// ExecRow is one query's measurement of the set-at-a-time merge executor:
+// the full engine (the planner picks probe or merge per step) against the
+// probe-only ablation, plus the steady-state heap allocations of one warm
+// evaluation under each executor.
+type ExecRow struct {
+	ID          int
+	Query       string
+	Merge       time.Duration // full engine, merge executor available
+	Probe       time.Duration // probe-only ablation
+	AllocsMerge float64       // allocations per warm evaluation, full engine
+	AllocsProbe float64       // allocations per warm evaluation, probe-only
+	N           int           // result size (identical by construction; verified)
+	Strategy    string        // per-step strategy counts from the plan
+}
+
+// Speedup is the probe/merge time ratio (>1 = the merge executor helps).
+func (r ExecRow) Speedup() float64 {
+	if r.Merge <= 0 {
+		return 0
+	}
+	return float64(r.Probe) / float64(r.Merge)
+}
+
+// allocsPerRun reports the steady-state heap allocations of one call to f,
+// averaged over several runs after a warm-up call (which populates the plan
+// cache and grows the evaluator's scratch arenas to their working size).
+func allocsPerRun(f func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	f() // warm up: compile, cache the plan, size the arenas
+	const runs = 10
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / runs
+}
+
+// planStrategies summarizes the executor strategies the planner chose across
+// every step of the plan, including scoped closures and nested predicate
+// paths.
+func planStrategies(pl *planner.Plan) string {
+	if pl == nil || pl.Root == nil {
+		return "probe:all"
+	}
+	var merge, probe int
+	var walk func(pp *planner.PathPlan)
+	walk = func(pp *planner.PathPlan) {
+		if pp == nil {
+			return
+		}
+		for _, sp := range pp.Steps {
+			if sp.Strategy == planner.StrategyMerge {
+				merge++
+			} else {
+				probe++
+			}
+			for _, pred := range sp.Preds {
+				for _, sub := range pred.Paths {
+					walk(sub)
+				}
+			}
+		}
+		walk(pp.Scoped)
+	}
+	walk(pl.Root)
+	return fmt.Sprintf("merge:%d probe:%d", merge, probe)
+}
+
+// ExecutorImpact measures every evaluation query with the merge executor on
+// and off over the same store, verifying result identity as it goes, and
+// records steady-state allocations per evaluation under both executors —
+// the set-at-a-time executor's before/after benchmark.
+func ExecutorImpact(s *Systems) ([]ExecRow, error) {
+	var out []ExecRow
+	for _, id := range s.QueryIDs() {
+		row := ExecRow{ID: id, Query: s.QueryText(id)}
+		var nMerge, nProbe int
+		var err error
+		row.Merge = TimeIt(func() {
+			var e error
+			nMerge, e = s.RunLPath(id)
+			if e != nil {
+				err = e
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("Q%d merge: %w", id, err)
+		}
+		row.Probe = TimeIt(func() {
+			var e error
+			nProbe, e = s.RunLPathNoMerge(id)
+			if e != nil {
+				err = e
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("Q%d probe: %w", id, err)
+		}
+		if nMerge != nProbe {
+			return nil, fmt.Errorf("Q%d: merge executor changed the result: %d vs %d", id, nMerge, nProbe)
+		}
+		row.N = nMerge
+		row.AllocsMerge = allocsPerRun(func() { _, _ = s.RunLPath(id) })
+		row.AllocsProbe = allocsPerRun(func() { _, _ = s.RunLPathNoMerge(id) })
+		row.Strategy = planStrategies(s.LPath.Plan(s.lpathQ[id]))
 		out = append(out, row)
 	}
 	return out, nil

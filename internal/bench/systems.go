@@ -26,12 +26,13 @@ import (
 type Systems struct {
 	Trees *tree.Corpus
 
-	LPath       *engine.Engine
-	LPathNoVal  *engine.Engine // value-index ablation
-	LPathNoPlan *engine.Engine // cost-based-planner ablation
-	XPath       *xpath.Engine
-	TGrep       *tgrep.Corpus
-	CS          *corpussearch.Corpus
+	LPath        *engine.Engine
+	LPathNoVal   *engine.Engine // value-index ablation
+	LPathNoPlan  *engine.Engine // cost-based-planner ablation
+	LPathNoMerge *engine.Engine // merge-executor ablation (probe-only)
+	XPath        *xpath.Engine
+	TGrep        *tgrep.Corpus
+	CS           *corpussearch.Corpus
 
 	Store *relstore.Store // the interval-label store behind LPath
 
@@ -60,6 +61,9 @@ func BuildSystems(c *tree.Corpus) (*Systems, error) {
 		return nil, err
 	}
 	if s.LPathNoPlan, err = engine.New(s.Store, engine.WithoutPlanner()); err != nil {
+		return nil, err
+	}
+	if s.LPathNoMerge, err = engine.New(s.Store, engine.WithoutMerge()); err != nil {
 		return nil, err
 	}
 	if s.XPath, err = xpath.New(relstore.Build(c, relstore.SchemeStartEnd)); err != nil {
@@ -133,6 +137,12 @@ func (s *Systems) RunLPathNoValueIndex(id int) (int, error) {
 // RunLPathNoPlanner evaluates query id with the cost-based planner disabled.
 func (s *Systems) RunLPathNoPlanner(id int) (int, error) {
 	return s.LPathNoPlan.Count(s.lpathQ[id])
+}
+
+// RunLPathNoMerge evaluates query id with the merge executor disabled
+// (every step falls back to per-binding probes).
+func (s *Systems) RunLPathNoMerge(id int) (int, error) {
+	return s.LPathNoMerge.Count(s.lpathQ[id])
 }
 
 // RunXPath evaluates query id on the XPath (start/end labeling) engine.

@@ -1,0 +1,100 @@
+package engine
+
+// arena is an evalCtx-owned pool of scratch buffers, so steady-state
+// evaluation of a compiled plan allocates near zero: every intermediate
+// candidate list, binding frontier and dedup set is drawn from freelists
+// that survive across evaluations (the evalCtx itself is pooled on the
+// Engine).
+//
+// Ownership protocol:
+//   - get* hands out an empty buffer the caller owns; the caller returns it
+//     with the matching put* exactly once, after its last use.
+//   - Store-owned slices (name ranges via RowSeq, ElementsByLeft, child
+//     lists, ...) are "borrowed": they must never be mutated or put back.
+//     Call sites track borrowed-ness explicitly and materialize into an
+//     arena buffer before any in-place filtering or sorting.
+//   - A filtered view v := compact-in-place(buf) shares buf's backing array;
+//     only the original buf is ever put back, once.
+//
+// maxPooledSet bounds the entry count of maps returned to the pool. Go maps
+// never shrink and clear() costs O(capacity), so pooling a set that once held
+// thousands of entries would tax every later borrower with the peak query's
+// clear cost — a cheap query running after a heavy one would pay the heavy
+// query's bill on every get/put cycle. Oversized sets go to the GC instead;
+// the rare evaluations that need them re-grow fresh ones, paying their own
+// way (a handful of allocations against a runtime already proportional to
+// the set size).
+const maxPooledSet = 256
+
+type arena struct {
+	ints     [][]int32
+	binds    [][]bind
+	rowSets  []map[int32]bool
+	bindSets []map[bind]bool
+}
+
+func (a *arena) getInts() []int32 {
+	if n := len(a.ints); n > 0 {
+		s := a.ints[n-1]
+		a.ints = a.ints[:n-1]
+		return s
+	}
+	return make([]int32, 0, 64)
+}
+
+func (a *arena) putInts(s []int32) {
+	if cap(s) == 0 {
+		return
+	}
+	a.ints = append(a.ints, s[:0])
+}
+
+func (a *arena) getBinds() []bind {
+	if n := len(a.binds); n > 0 {
+		s := a.binds[n-1]
+		a.binds = a.binds[:n-1]
+		return s
+	}
+	return make([]bind, 0, 64)
+}
+
+func (a *arena) putBinds(s []bind) {
+	if cap(s) == 0 {
+		return
+	}
+	a.binds = append(a.binds, s[:0])
+}
+
+func (a *arena) getRowSet() map[int32]bool {
+	if n := len(a.rowSets); n > 0 {
+		m := a.rowSets[n-1]
+		a.rowSets = a.rowSets[:n-1]
+		return m
+	}
+	return make(map[int32]bool, 64)
+}
+
+func (a *arena) putRowSet(m map[int32]bool) {
+	if len(m) > maxPooledSet {
+		return
+	}
+	clear(m)
+	a.rowSets = append(a.rowSets, m)
+}
+
+func (a *arena) getBindSet() map[bind]bool {
+	if n := len(a.bindSets); n > 0 {
+		m := a.bindSets[n-1]
+		a.bindSets = a.bindSets[:n-1]
+		return m
+	}
+	return make(map[bind]bool, 64)
+}
+
+func (a *arena) putBindSet(m map[bind]bool) {
+	if len(m) > maxPooledSet {
+		return
+	}
+	clear(m)
+	a.bindSets = append(a.bindSets, m)
+}

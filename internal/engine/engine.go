@@ -17,12 +17,27 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"lpath/internal/label"
 	"lpath/internal/lpath"
 	"lpath/internal/planner"
 	"lpath/internal/relstore"
 	"lpath/internal/tree"
+)
+
+// execMode selects how axis steps are executed (docs/EXECUTION.md).
+type execMode int
+
+const (
+	// execAuto follows the plan's per-step strategy (probe without a plan).
+	execAuto execMode = iota
+	// execProbe forces per-binding probes everywhere (merge ablation).
+	execProbe
+	// execAlways forces the merge executor on every eligible step,
+	// bypassing the cost decision; differential tests and fuzzers use it to
+	// keep the merge path under continuous cross-checking.
+	execAlways
 )
 
 // Engine evaluates LPath queries against an interval-labeled store.
@@ -38,6 +53,13 @@ type Engine struct {
 	// reordering, no semijoins, the hardcoded value-index threshold); the
 	// differential tests hold the two paths result-identical.
 	noPlanner bool
+	// exec selects the step execution strategy (probe vs merge).
+	exec execMode
+
+	// ctxPool recycles evalCtx values (and their scratch arenas) across
+	// evaluations, so a hot compiled query runs without steady-state
+	// allocation. Safe for concurrent evaluations: each takes its own ctx.
+	ctxPool sync.Pool
 }
 
 // Option configures an Engine.
@@ -56,12 +78,29 @@ func WithoutPlanner() Option {
 	return func(e *Engine) { e.noPlanner = true }
 }
 
+// WithoutMerge disables the set-at-a-time merge executor, so every step runs
+// per-binding probes regardless of the plan. Used by the executor ablation
+// benchmarks and differential tests.
+func WithoutMerge() Option {
+	return func(e *Engine) { e.exec = execProbe }
+}
+
+// WithMergeAlways forces the merge executor on every eligible step,
+// bypassing the planner's cost decision. The merge and probe executors are
+// result-identical by construction; this option keeps the merge path under
+// continuous differential testing even on inputs where the planner would
+// choose probes.
+func WithMergeAlways() Option {
+	return func(e *Engine) { e.exec = execAlways }
+}
+
 // New creates an engine over the store, which must use the interval scheme.
 func New(s *relstore.Store, opts ...Option) (*Engine, error) {
 	if s.Scheme() != relstore.SchemeInterval {
 		return nil, fmt.Errorf("engine: store uses %v labels; the LPath engine requires the interval scheme", s.Scheme())
 	}
 	e := &Engine{s: s}
+	e.ctxPool.New = func() any { return &evalCtx{ar: &arena{}} }
 	for _, o := range opts {
 		o(e)
 	}
@@ -113,7 +152,9 @@ func (e *Engine) EvalPlan(p *lpath.Path, plan *planner.Plan) ([]Match, error) {
 	if err := lpath.Validate(p); err != nil {
 		return nil, err
 	}
-	rows, err := e.evalRows(p, newEvalCtx(plan))
+	ctx := e.newEvalCtx(plan)
+	defer e.releaseCtx(ctx)
+	rows, err := e.evalRows(p, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -122,30 +163,35 @@ func (e *Engine) EvalPlan(p *lpath.Path, plan *planner.Plan) ([]Match, error) {
 		r := e.s.Row(ri)
 		out = append(out, Match{TreeID: int(r.TID), Node: e.s.NodeFor(r)})
 	}
+	ctx.ar.putInts(rows)
 	return out, nil
 }
 
 // evalRows runs the join pipeline and returns the distinct result rows in
-// (tree, document) order.
+// (tree, document) order. The returned slice is owned by ctx's arena.
 func (e *Engine) evalRows(p *lpath.Path, ctx *evalCtx) ([]int32, error) {
-	binds, err := e.evalPath(p, []bind{{row: noRow, scope: noRow}}, ctx)
+	start := [1]bind{{row: noRow, scope: noRow}}
+	binds, err := e.evalPath(p, start[:], ctx)
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]int32, 0, len(binds))
-	seen := make(map[int32]bool, len(binds))
+	rows := ctx.ar.getInts()
+	seen := ctx.ar.getRowSet()
 	for _, b := range binds {
 		if b.row != noRow && !seen[b.row] {
 			seen[b.row] = true
 			rows = append(rows, b.row)
 		}
 	}
+	ctx.ar.putRowSet(seen)
+	ctx.ar.putBinds(binds)
+	ids := e.s.Cols().ID
+	tids := e.s.Cols().TID
 	sort.Slice(rows, func(i, j int) bool {
-		a, b := e.s.Row(rows[i]), e.s.Row(rows[j])
-		if a.TID != b.TID {
-			return a.TID < b.TID
+		if tids[rows[i]] != tids[rows[j]] {
+			return tids[rows[i]] < tids[rows[j]]
 		}
-		return a.ID < b.ID // ids are preorder: document order
+		return ids[rows[i]] < ids[rows[j]] // ids are preorder: document order
 	})
 	return rows, nil
 }
@@ -162,11 +208,14 @@ func (e *Engine) CountPlan(p *lpath.Path, plan *planner.Plan) (int, error) {
 	if err := lpath.Validate(p); err != nil {
 		return 0, err
 	}
-	binds, err := e.evalPath(p, []bind{{row: noRow, scope: noRow}}, newEvalCtx(plan))
+	ctx := e.newEvalCtx(plan)
+	defer e.releaseCtx(ctx)
+	start := [1]bind{{row: noRow, scope: noRow}}
+	binds, err := e.evalPath(p, start[:], ctx)
 	if err != nil {
 		return 0, err
 	}
-	seen := make(map[int32]bool, len(binds))
+	seen := ctx.ar.getRowSet()
 	n := 0
 	for _, b := range binds {
 		if b.row != noRow && !seen[b.row] {
@@ -174,6 +223,8 @@ func (e *Engine) CountPlan(p *lpath.Path, plan *planner.Plan) (int, error) {
 			n++
 		}
 	}
+	ctx.ar.putRowSet(seen)
+	ctx.ar.putBinds(binds)
 	return n, nil
 }
 
@@ -186,32 +237,41 @@ func (e *Engine) Explain(p *lpath.Path) (string, error) {
 		return "", err
 	}
 	plan := e.pl.Plan(p)
-	ctx := newEvalCtx(plan)
+	ctx := e.newEvalCtx(plan)
+	defer e.releaseCtx(ctx)
 	ctx.act = &planner.Actuals{}
 	rows, err := e.evalRows(p, ctx)
 	if err != nil {
 		return "", err
 	}
 	ctx.act.Matches = len(rows)
+	ctx.ar.putInts(rows)
 	return plan.Render(ctx.act), nil
 }
 
-// evalPath runs the join pipeline for one relative path.
+// evalPath runs the join pipeline for one relative path. The input binds are
+// owned by the caller and never released here; the returned slice is owned
+// by ctx's arena and must be released by the caller with ctx.ar.putBinds.
 func (e *Engine) evalPath(p *lpath.Path, binds []bind, ctx *evalCtx) ([]bind, error) {
-	var err error
+	cur, owned := binds, false
 	for i := range p.Steps {
-		binds, err = e.evalStep(&p.Steps[i], binds, ctx)
+		next, err := e.evalStep(&p.Steps[i], cur, ctx)
+		if owned {
+			ctx.ar.putBinds(cur)
+		}
 		if err != nil {
 			return nil, err
 		}
-		if len(binds) == 0 {
+		cur, owned = next, true
+		if len(cur) == 0 {
+			ctx.ar.putBinds(cur)
 			return nil, nil
 		}
 	}
 	if p.Scoped != nil {
 		// Open a subtree scope at each current node and evaluate the tail.
-		scoped := make([]bind, 0, len(binds))
-		for _, b := range binds {
+		scoped := ctx.ar.getBinds()
+		for _, b := range cur {
 			row := b.row
 			if row == noRow {
 				// Scope on the virtual root: evaluate per tree root.
@@ -222,27 +282,31 @@ func (e *Engine) evalPath(p *lpath.Path, binds []bind, ctx *evalCtx) ([]bind, er
 			}
 			scoped = append(scoped, bind{row: row, scope: row})
 		}
-		return e.evalPath(p.Scoped, dedup(scoped), ctx)
+		if owned {
+			ctx.ar.putBinds(cur)
+		}
+		scoped = dedupBinds(scoped, ctx)
+		res, err := e.evalPath(p.Scoped, scoped, ctx)
+		ctx.ar.putBinds(scoped)
+		return res, err
 	}
-	return binds, nil
+	if !owned {
+		// Zero-step path: hand back an arena-owned copy so the release
+		// protocol stays uniform.
+		out := append(ctx.ar.getBinds(), cur...)
+		return out, nil
+	}
+	return cur, nil
 }
 
-// evalStep performs one join step: for every context binding, probe the
-// store for candidate rows on the axis, then filter by scope, alignment and
-// predicates.
+// evalStep performs one join step, dispatching between the per-binding
+// probe executor and the set-at-a-time merge executor (merge.go) according
+// to the plan's strategy (or the engine's forced execution mode).
 func (e *Engine) evalStep(step *lpath.Step, binds []bind, ctx *evalCtx) ([]bind, error) {
 	if step.Axis == lpath.AxisAttribute {
 		return nil, lpath.ErrAttrInMainPath
 	}
 	positional := step.HasPositional()
-	var vd *valueDriver
-	if positional {
-		// The value-index shortcut would reorder the predicate pipeline
-		// and corrupt position(); fall back to axis probes.
-		vd = &valueDriver{}
-	} else {
-		vd = e.valueDriver(step)
-	}
 	// Plan-directed choices: the statistics-derived value-probe threshold
 	// and the cheapest-first predicate order. Neither changes the result —
 	// reordering is restricted to commutative conjuncts, and the value probe
@@ -252,44 +316,117 @@ func (e *Engine) evalStep(step *lpath.Step, binds []bind, ctx *evalCtx) ([]bind,
 	if sp != nil && sp.Reordered {
 		preds = sp.PredExprs()
 	}
-	var out []bind
+	if e.mergeStep(step, sp, positional, binds) {
+		return e.evalStepMerge(step, sp, preds, binds, ctx)
+	}
+	return e.evalStepProbe(step, sp, preds, positional, binds, ctx)
+}
+
+// mergeStep decides whether the step runs set-at-a-time: the axis must have
+// a merge implementation, the candidate set must be a pure function of
+// (context, scope) — no positional predicates, no edge alignment — and the
+// frontier must hold real rows (the virtual root's probe is already a single
+// range handover). Under execAuto the plan's cost-based choice decides;
+// execAlways forces merge for differential coverage.
+func (e *Engine) mergeStep(step *lpath.Step, sp *planner.StepPlan, positional bool, binds []bind) bool {
+	if e.exec == execProbe || positional || step.LeftAlign || step.RightAlign {
+		return false
+	}
+	if !planner.MergeableAxis(step.Axis) {
+		return false
+	}
+	if len(binds) == 1 && binds[0].row == noRow {
+		return false
+	}
+	if e.exec == execAlways {
+		return true
+	}
+	// A one-binding frontier gains nothing from set-at-a-time execution (and
+	// a child merge would walk the whole posting list for it): nested
+	// predicate paths evaluate from one binding at a time, whatever the
+	// planner estimated for the enclosing pipeline.
+	if len(binds) < 2 {
+		return false
+	}
+	return sp != nil && sp.Strategy == planner.StrategyMerge
+}
+
+// evalStepProbe is the per-binding executor: for every context binding,
+// probe the store for candidate rows on the axis, then filter by scope,
+// alignment and predicates.
+func (e *Engine) evalStepProbe(step *lpath.Step, sp *planner.StepPlan, preds []lpath.Expr, positional bool, binds []bind, ctx *evalCtx) ([]bind, error) {
+	var vd valueDriver
+	if !positional {
+		// The value-index shortcut would reorder the predicate pipeline
+		// and corrupt position(); positional steps keep axis probes.
+		e.initValueDriver(&vd, step)
+	}
+	out := ctx.ar.getBinds()
 	// A single binding's probe already yields distinct rows, so the
 	// cross-binding dedup map is only needed for fan-in — predicates
 	// evaluate paths from one binding at a time and skip it entirely.
 	var seen map[bind]bool
 	if len(binds) > 1 {
-		seen = make(map[bind]bool)
+		seen = ctx.ar.getBindSet()
 	}
 	for _, b := range binds {
 		var cands []int32
+		var borrowed bool
+		var scratch []int32 // arena buffer to release, if one was drawn
 		useValue := vd.ok && e.valueWorthwhile(step, b, vd.postings, sp)
 		if useValue {
-			cands = e.filterByAxis(vd.candidates(e), step, b)
+			scratch = e.filterByAxis(vd.candidates(e, ctx), step, b, ctx.ar.getInts())
+			cands = scratch
 		} else {
-			cands = e.axisCandidates(step, b)
-		}
-		// Static filters: subtree scope and edge alignment.
-		filtered := cands[:0:0]
-		for _, ci := range cands {
-			ok := e.staticAccept(step, b, ci)
-			if ok {
-				filtered = append(filtered, ci)
+			cands, borrowed = e.axisCandidates(step, b, ctx)
+			if !borrowed {
+				scratch = cands
 			}
+		}
+		// Static filters: subtree scope and edge alignment. Skipped entirely
+		// when no constraint applies; an owned buffer compacts in place, a
+		// borrowed slice is never mutated — filtering copies into an arena
+		// buffer instead.
+		if b.scope != noRow || step.LeftAlign || step.RightAlign {
+			var filtered []int32
+			if borrowed {
+				filtered = ctx.ar.getInts()
+				borrowed = false
+			} else {
+				filtered = cands[:0]
+			}
+			for _, ci := range cands {
+				if e.staticAccept(step, b, ci) {
+					filtered = append(filtered, ci)
+				}
+			}
+			if scratch == nil {
+				scratch = filtered
+			}
+			cands = filtered
+		}
+		// The predicate pipeline filters in place; a borrowed slice must be
+		// materialized first. Positional sorting mutates too.
+		if borrowed && (len(preds) > 0 || positional) {
+			scratch = append(ctx.ar.getInts(), cands...)
+			cands = scratch
+			borrowed = false
 		}
 		// position() counts within one context node. The virtual root stands
 		// for every tree root at once, so its candidates are partitioned per
 		// tree before counting — the per-tree semantics the reference oracle
 		// and the sharded parallel path share.
-		groups := [][]int32{filtered}
+		groups := [][]int32{cands}
 		if positional && b.row == noRow {
-			groups = e.groupByTID(filtered)
+			groups = e.groupByTID(cands)
 		}
 		for _, g := range groups {
 			// Positional ordering: document order (preorder ids), reversed
 			// for the reverse axes.
 			if positional {
+				ids := e.s.Cols().ID
 				sort.Slice(g, func(i, j int) bool {
-					return e.s.Row(g[i]).ID < e.s.Row(g[j]).ID
+					return ids[g[i]] < ids[g[j]]
 				})
 				if lpath.ReverseAxis(step.Axis) {
 					for i, j := 0, len(g)-1; i < j; i, j = i+1, j-1 {
@@ -301,7 +438,7 @@ func (e *Engine) evalStep(step *lpath.Step, binds []bind, ctx *evalCtx) ([]bind,
 			for _, pred := range preds {
 				if useValue {
 					if cmp, ok := pred.(*lpath.CmpExpr); ok && isDirectEq(cmp) &&
-						cmp.Value == vd.value && "@"+cmp.Path.Steps[0].Test == vd.attrName {
+						cmp.Value == vd.value && cmp.Path.Steps[0].Test == vd.attr {
 						continue // already satisfied by the value-index probe
 					}
 				}
@@ -325,6 +462,15 @@ func (e *Engine) evalStep(step *lpath.Step, binds []bind, ctx *evalCtx) ([]bind,
 				out = append(out, nb)
 			}
 		}
+		if scratch != nil {
+			ctx.ar.putInts(scratch)
+		}
+	}
+	if seen != nil {
+		ctx.ar.putBindSet(seen)
+	}
+	if vd.rowsSet {
+		ctx.ar.putInts(vd.rows)
 	}
 	ctx.countStep(sp, len(out))
 	return out, nil
@@ -351,9 +497,10 @@ func (e *Engine) groupByTID(cands []int32) [][]int32 {
 }
 
 // filterPred keeps the candidates satisfying one predicate, supplying the
-// positional context.
+// positional context. The filter compacts in place: the caller must own the
+// slice (both executors materialize borrowed slices before the pipeline).
 func (e *Engine) filterPred(pred lpath.Expr, scope int32, cands []int32, ctx *evalCtx) ([]int32, error) {
-	out := cands[:0:0]
+	out := cands[:0]
 	size := len(cands)
 	for i, ci := range cands {
 		ok, err := e.evalExpr(pred, bind{row: ci, scope: scope}, i+1, size, ctx)
@@ -463,19 +610,20 @@ func isDirectEq(c *lpath.CmpExpr) bool {
 type valueDriver struct {
 	ok       bool
 	value    string
-	attrName string
+	attr     string // attribute name without the '@' prefix
 	postings int
 	step     *lpath.Step
 	rows     []int32
 	rowsSet  bool
 }
 
-// valueDriver inspects the step's predicates for a usable value-index
-// access path.
-func (e *Engine) valueDriver(step *lpath.Step) *valueDriver {
-	vd := &valueDriver{step: step}
+// initValueDriver inspects the step's predicates for a usable value-index
+// access path. The driver lives on the caller's stack; its memoized row
+// buffer is arena-owned and released by the caller after the step.
+func (e *Engine) initValueDriver(vd *valueDriver, step *lpath.Step) {
+	vd.step = step
 	if e.disableValueIndex {
-		return vd
+		return
 	}
 	for _, pred := range step.Preds {
 		cmp, ok := pred.(*lpath.CmpExpr)
@@ -492,25 +640,24 @@ func (e *Engine) valueDriver(step *lpath.Step) *valueDriver {
 		}
 		vd.ok = true
 		vd.value = cmp.Value
-		vd.attrName = "@" + cmp.Path.Steps[0].Test
+		vd.attr = cmp.Path.Steps[0].Test
 		vd.postings = len(postings)
-		return vd
+		return
 	}
-	return vd
 }
 
 // candidates materializes (once) the element rows carrying the driving
 // attribute value and satisfying the node test.
-func (vd *valueDriver) candidates(e *Engine) []int32 {
+func (vd *valueDriver) candidates(e *Engine, ctx *evalCtx) []int32 {
 	if vd.rowsSet {
 		return vd.rows
 	}
 	vd.rowsSet = true
 	postings := e.s.ByValue(vd.value)
-	cands := make([]int32, 0, len(postings))
+	cands := ctx.ar.getInts()
 	for _, pi := range postings {
 		ar := e.s.Row(pi)
-		if ar.Name != vd.attrName {
+		if n := ar.Name; len(n) < 2 || n[0] != '@' || n[1:] != vd.attr {
 			continue
 		}
 		ei, ok := e.s.ElementByID(ar.TID, ar.ID)
@@ -526,38 +673,37 @@ func (vd *valueDriver) candidates(e *Engine) []int32 {
 	return cands
 }
 
-// filterByAxis filters a precomputed candidate list by the axis relation to
-// the context binding.
-func (e *Engine) filterByAxis(cands []int32, step *lpath.Step, b bind) []int32 {
+// filterByAxis appends to dst the candidates satisfying the axis relation to
+// the context binding, and returns dst. cands is read-only.
+func (e *Engine) filterByAxis(cands []int32, step *lpath.Step, b bind, dst []int32) []int32 {
 	if b.row == noRow {
 		switch step.Axis {
 		case lpath.AxisDescendant, lpath.AxisDescendantOrSelf:
-			return cands
+			return append(dst, cands...)
 		case lpath.AxisChild:
-			out := cands[:0:0]
+			pids := e.s.Cols().PID
 			for _, ci := range cands {
-				if e.s.Row(ci).PID == 0 {
-					out = append(out, ci)
+				if pids[ci] == 0 {
+					dst = append(dst, ci)
 				}
 			}
-			return out
+			return dst
 		default:
-			return nil
+			return dst
 		}
 	}
 	ctx := e.s.Row(b.row)
 	cl := rowLabel(ctx)
-	out := cands[:0:0]
+	tids := e.s.Cols().TID
 	for _, ci := range cands {
-		r := e.s.Row(ci)
-		if r.TID != ctx.TID {
+		if tids[ci] != ctx.TID {
 			continue
 		}
-		if axisHolds(step.Axis, rowLabel(r), cl) {
-			out = append(out, ci)
+		if axisHolds(step.Axis, rowLabel(e.s.Row(ci)), cl) {
+			dst = append(dst, ci)
 		}
 	}
-	return out
+	return dst
 }
 
 // axisHolds evaluates the Table 2 label predicate for the axis.
@@ -605,14 +751,20 @@ func axisHolds(axis lpath.Axis, x, c label.Label) bool {
 	return false
 }
 
-func dedup(binds []bind) []bind {
-	seen := make(map[bind]bool, len(binds))
-	out := binds[:0:0]
+// dedupBinds compacts the bindings in place (the caller must own the slice),
+// keeping the first occurrence of each (row, scope) pair.
+func dedupBinds(binds []bind, ctx *evalCtx) []bind {
+	if len(binds) <= 1 {
+		return binds
+	}
+	seen := ctx.ar.getBindSet()
+	out := binds[:0]
 	for _, b := range binds {
 		if !seen[b] {
 			seen[b] = true
 			out = append(out, b)
 		}
 	}
+	ctx.ar.putBindSet(seen)
 	return out
 }

@@ -25,9 +25,34 @@ type evalCtx struct {
 	sat map[satKey]map[int32]bool
 	// act collects actual cardinalities when EXPLAIN runs the query.
 	act *planner.Actuals
+	// ar is the evaluation's scratch arena (see arena.go); it survives
+	// across evaluations via the Engine's evalCtx pool.
+	ar *arena
 }
 
-func newEvalCtx(plan *planner.Plan) *evalCtx { return &evalCtx{plan: plan} }
+// newEvalCtx takes a pooled context for one evaluation; releaseCtx returns
+// it. The arena's buffers are retained across evaluations — that retention
+// is what makes steady-state execution of a compiled plan allocation-free.
+func (e *Engine) newEvalCtx(plan *planner.Plan) *evalCtx {
+	ctx := e.ctxPool.Get().(*evalCtx)
+	ctx.plan = plan
+	return ctx
+}
+
+func (e *Engine) releaseCtx(ctx *evalCtx) {
+	ctx.plan = nil
+	ctx.act = nil
+	// Satisfier sets are valid only for the evaluation's plan identity; the
+	// outer map is kept, the per-expression sets are dropped. A map that grew
+	// large is released entirely — clear() costs O(capacity) and maps never
+	// shrink, so retaining it would tax every later evaluation.
+	if len(ctx.sat) > 64 {
+		ctx.sat = nil
+	} else {
+		clear(ctx.sat)
+	}
+	e.ctxPool.Put(ctx)
+}
 
 func (c *evalCtx) stepPlan(s *lpath.Step) *planner.StepPlan {
 	if c == nil || c.plan == nil {

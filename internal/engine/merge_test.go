@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"lpath/internal/lpath"
+	"lpath/internal/relstore"
+	"lpath/internal/tree"
+	"lpath/internal/treeval"
+)
+
+// Differential tests for the set-at-a-time merge executor: with the executor
+// pinned on (every eligible step merges) and pinned off (every step probes),
+// results must agree with the tree-walking oracle and with each other,
+// including order.
+
+func TestCrossValidateMergeAlways(t *testing.T) {
+	fig := tree.NewCorpus()
+	fig.Add(tree.Figure1())
+	crossValidate(t, fig, queryCorpus, WithMergeAlways())
+	for seed := int64(21); seed <= 26; seed++ {
+		crossValidate(t, randomCorpus(seed, 3), queryCorpus, WithMergeAlways())
+	}
+}
+
+func TestCrossValidateMergeOff(t *testing.T) {
+	fig := tree.NewCorpus()
+	fig.Add(tree.Figure1())
+	crossValidate(t, fig, queryCorpus, WithoutMerge())
+	for seed := int64(41); seed <= 44; seed++ {
+		crossValidate(t, randomCorpus(seed, 3), queryCorpus, WithoutMerge())
+	}
+}
+
+// TestMergeEqualsProbeOrdered builds three engines over one shared store —
+// planner-driven, merge-forced, probe-only — and requires byte-identical
+// ordered results on every query of the corpus. This is stricter than the
+// oracle cross-validation (which compares multisets): the executors must
+// agree on result order too.
+func TestMergeEqualsProbeOrdered(t *testing.T) {
+	for seed := int64(31); seed <= 36; seed++ {
+		c := randomCorpus(seed, 4)
+		s := relstore.Build(c, relstore.SchemeInterval)
+		probe, err := New(s, WithoutMerge())
+		if err != nil {
+			t.Fatal(err)
+		}
+		variants := map[string]*Engine{}
+		if variants["auto"], err = New(s); err != nil {
+			t.Fatal(err)
+		}
+		if variants["merge-always"], err = New(s, WithMergeAlways()); err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queryCorpus {
+			p := lpath.MustParse(q)
+			want, err := probe.Eval(p)
+			if err != nil {
+				t.Fatalf("seed %d probe %q: %v", seed, q, err)
+			}
+			for name, e := range variants {
+				got, err := e.Eval(p)
+				if err != nil {
+					t.Fatalf("seed %d %s %q: %v", seed, name, q, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("seed %d: %s and probe-only disagree on %q (%d vs %d matches, or order)",
+						seed, name, q, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestOrSelfAxisOrder pins the result order of every or-self long-form axis:
+// matches come back sorted by (tree, document order) with no duplicates,
+// under all three executor configurations, and agree with the oracle as a
+// multiset. (The grammar defines six or-self axes: descendant-, ancestor-,
+// following-, preceding-, following-sibling- and preceding-sibling-or-self.)
+func TestOrSelfAxisOrder(t *testing.T) {
+	queries := []string{
+		`//NP/descendant-or-self::_`,
+		`//Adj\ancestor-or-self::_`,
+		`//N/following-or-self::_`,
+		`//N/preceding-or-self::_`,
+		`//V/following-sibling-or-self::_`,
+		`//V/preceding-sibling-or-self::_`,
+		// Scoped forms: the self row must still land in document order.
+		`//VP{/V/following-sibling-or-self::_}`,
+		`//VP{//N/preceding-or-self::_}`,
+	}
+	for seed := int64(51); seed <= 56; seed++ {
+		c := randomCorpus(seed, 3)
+		s := relstore.Build(c, relstore.SchemeInterval)
+		docIdx := documentOrder(c)
+		oracle := treeval.NewCorpus(c)
+		for name, opts := range map[string][]Option{
+			"auto": nil, "merge-always": {WithMergeAlways()}, "probe-only": {WithoutMerge()},
+		} {
+			e, err := New(s, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range queries {
+				p := lpath.MustParse(q)
+				got, err := e.Eval(p)
+				if err != nil {
+					t.Fatalf("seed %d %s %q: %v", seed, name, q, err)
+				}
+				for i := 1; i < len(got); i++ {
+					a, b := got[i-1], got[i]
+					if a.TreeID > b.TreeID ||
+						(a.TreeID == b.TreeID && docIdx[a.Node] >= docIdx[b.Node]) {
+						t.Errorf("seed %d %s: %q out of document order (or duplicate) at %d: %s then %s",
+							seed, name, q, i, sig(a.Node), sig(b.Node))
+						break
+					}
+				}
+				want, err := oracle.Eval(p)
+				if err != nil {
+					t.Fatalf("seed %d oracle %q: %v", seed, q, err)
+				}
+				if !sameMatches(got, want) {
+					t.Errorf("seed %d %s: %q disagrees with oracle (%d vs %d)",
+						seed, name, q, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+// documentOrder maps every node of the corpus to its preorder index within
+// its tree.
+func documentOrder(c *tree.Corpus) map[*tree.Node]int {
+	idx := map[*tree.Node]int{}
+	for _, tr := range c.Trees {
+		i := 0
+		var walk func(n *tree.Node)
+		walk = func(n *tree.Node) {
+			idx[n] = i
+			i++
+			for _, k := range n.Children {
+				walk(k)
+			}
+		}
+		walk(tr.Root)
+	}
+	return idx
+}

@@ -4,152 +4,157 @@ import (
 	"sort"
 
 	"lpath/internal/lpath"
-	"lpath/internal/relstore"
 )
 
 // This file implements the index probes: for each axis, how candidate rows
 // are retrieved from the clustered relation using sargable ranges, per the
 // Table 2 label comparisons.
+//
+// The probes are columnar and allocation-free: comparisons read the store's
+// parallel label arrays (relstore.Cols) instead of materializing Row values,
+// and every result list is either borrowed straight from a store index
+// (returned with borrowed=true, never to be mutated) or appended into a
+// buffer drawn from the evaluation's arena (see arena.go). Because the
+// relation is clustered by name, the node test is a row-index range check —
+// ri ∈ [nlo, nhi) — not a string comparison.
 
 // axisCandidates returns the rows reachable from the binding's context along
 // the step's axis that satisfy the node test. Scope, alignment and
-// predicates are applied later.
-func (e *Engine) axisCandidates(step *lpath.Step, b bind) []int32 {
+// predicates are applied later. borrowed=true means the slice aliases a
+// store index: the caller must not mutate it and must not release it.
+func (e *Engine) axisCandidates(step *lpath.Step, b bind, ctx *evalCtx) (cands []int32, borrowed bool) {
 	if b.row == noRow {
-		return e.virtualRootCandidates(step)
+		return e.virtualRootCandidates(step, ctx)
 	}
-	ctx := e.s.Row(b.row)
+	wild := step.Wildcard()
+	var nlo, nhi int32
+	if !wild {
+		var ok bool
+		nlo, nhi, ok = e.s.NameRange(step.Test)
+		if !ok {
+			return nil, false
+		}
+	}
+	cols := e.s.Cols()
+	row := b.row
+	ctxTID, ctxLeft, ctxRight := cols.TID[row], cols.Left[row], cols.Right[row]
+	ctxDepth, ctxID, ctxPID := cols.Depth[row], cols.ID[row], cols.PID[row]
 	// Subtree scoping is a sargable conjunct (Section 2.2.2): clamp the
 	// horizontal range probes to the scope's span instead of filtering
 	// afterwards.
 	clampL, clampR := int32(0), maxInt32
 	if b.scope != noRow {
-		sc := e.s.Row(b.scope)
-		clampL, clampR = sc.Left, sc.Right
+		clampL, clampR = cols.Left[b.scope], cols.Right[b.scope]
 	}
 	maxLeft := clampR - 1 // a scoped node's left is at most scope.right-1
 	switch step.Axis {
 	case lpath.AxisSelf:
-		if step.Wildcard() || ctx.Name == step.Test {
-			return []int32{b.row}
+		if wild || (row >= nlo && row < nhi) {
+			return append(ctx.ar.getInts(), row), false
 		}
-		return nil
+		return nil, false
 
 	case lpath.AxisChild:
-		return e.filterName(e.s.Children(ctx.TID, ctx.ID), step)
+		kids := e.s.Children(ctxTID, ctxID)
+		if wild {
+			return kids, true
+		}
+		out := ctx.ar.getInts()
+		for _, si := range kids {
+			if si >= nlo && si < nhi {
+				out = append(out, si)
+			}
+		}
+		return out, false
 
 	case lpath.AxisParent:
-		if ctx.PID == 0 {
-			return nil
+		if ctxPID == 0 {
+			return nil, false
 		}
-		pi, ok := e.s.ElementByID(ctx.TID, ctx.PID)
-		if !ok {
-			return nil
+		pi, ok := e.s.ElementByID(ctxTID, ctxPID)
+		if !ok || !(wild || (pi >= nlo && pi < nhi)) {
+			return nil, false
 		}
-		return e.filterName([]int32{pi}, step)
+		return append(ctx.ar.getInts(), pi), false
 
 	case lpath.AxisAncestor, lpath.AxisAncestorOrSelf:
 		// Walk the pid chain; depth is bounded by the tree height.
-		var out []int32
-		cur := b.row
+		out := ctx.ar.getInts()
+		cur := row
 		if step.Axis == lpath.AxisAncestor {
-			r := e.s.Row(cur)
-			if r.PID == 0 {
-				return nil
+			if ctxPID == 0 {
+				return out, false
 			}
-			next, ok := e.s.ElementByID(r.TID, r.PID)
+			next, ok := e.s.ElementByID(ctxTID, ctxPID)
 			if !ok {
-				return nil
+				return out, false
 			}
 			cur = next
 		}
 		for {
-			r := e.s.Row(cur)
-			if step.Wildcard() || r.Name == step.Test {
+			if wild || (cur >= nlo && cur < nhi) {
 				out = append(out, cur)
 			}
-			if r.PID == 0 {
+			pid := cols.PID[cur]
+			if pid == 0 {
 				break
 			}
-			next, ok := e.s.ElementByID(r.TID, r.PID)
+			next, ok := e.s.ElementByID(ctxTID, pid)
 			if !ok {
 				break
 			}
 			cur = next
 		}
-		return out
+		return out, false
 
 	case lpath.AxisDescendant, lpath.AxisDescendantOrSelf:
 		// left ∈ [c.left, c.right) over the (tid, left)-ordered scan,
 		// filtered by right ≤ c.right and the depth comparison.
-		orSelf := step.Axis == lpath.AxisDescendantOrSelf
-		return e.scanLeftRange(step, ctx.TID, ctx.Left, ctx.Right-1, func(r *relstore.Row) bool {
-			if r.Right > ctx.Right {
-				return false
-			}
-			if orSelf {
-				return r.Depth >= ctx.Depth
-			}
-			return r.Depth > ctx.Depth
-		})
+		minDepth := ctxDepth + 1
+		if step.Axis == lpath.AxisDescendantOrSelf {
+			minDepth = ctxDepth
+		}
+		return e.scanLeftRange(step, ctxTID, ctxLeft, ctxRight-1, ctxRight, minDepth, ctx.ar.getInts()), false
 
 	case lpath.AxisImmediateFollowing:
 		// left = c.right.
-		return e.scanLeftRange(step, ctx.TID, ctx.Right, minInt32Of(ctx.Right, maxLeft), nil)
+		return e.scanLeftRange(step, ctxTID, ctxRight, minInt32Of(ctxRight, maxLeft), maxInt32, 0, ctx.ar.getInts()), false
 
 	case lpath.AxisFollowing:
 		// left ≥ c.right (clamped to the scope's span).
-		return e.scanLeftRange(step, ctx.TID, ctx.Right, maxLeft, nil)
+		return e.scanLeftRange(step, ctxTID, ctxRight, maxLeft, maxInt32, 0, ctx.ar.getInts()), false
 
 	case lpath.AxisFollowingOrSelf:
-		out := e.scanLeftRange(step, ctx.TID, ctx.Right, maxLeft, nil)
-		if step.Wildcard() || ctx.Name == step.Test {
-			out = append(out, b.row)
+		out := e.scanLeftRange(step, ctxTID, ctxRight, maxLeft, maxInt32, 0, ctx.ar.getInts())
+		if wild || (row >= nlo && row < nhi) {
+			// Self precedes every following node in document order; insert
+			// it in front so the step's output stays (tid, left)-sorted.
+			out = append(out, 0)
+			copy(out[1:], out)
+			out[0] = row
 		}
-		return out
+		return out, false
 
 	case lpath.AxisImmediatePreceding:
 		// right = c.left.
-		return e.scanRightRange(step, ctx.TID, ctx.Left, ctx.Left, nil)
+		return e.scanRightRange(step, ctxTID, ctxLeft, ctxLeft, ctx.ar.getInts()), false
 
 	case lpath.AxisPreceding:
 		// right ≤ c.left; a scoped node's right is at least scope.left+1.
-		return e.scanRightRange(step, ctx.TID, clampL+1, ctx.Left, nil)
+		return e.scanRightRange(step, ctxTID, clampL+1, ctxLeft, ctx.ar.getInts()), false
 
 	case lpath.AxisPrecedingOrSelf:
-		out := e.scanRightRange(step, ctx.TID, clampL+1, ctx.Left, nil)
-		if step.Wildcard() || ctx.Name == step.Test {
-			out = append(out, b.row)
+		out := e.scanRightRange(step, ctxTID, clampL+1, ctxLeft, ctx.ar.getInts())
+		if wild || (row >= nlo && row < nhi) {
+			out = append(out, row) // self follows every preceding node
 		}
-		return out
+		return out, false
 
-	case lpath.AxisImmediateFollowingSibling:
-		return e.siblingCandidates(step, ctx, func(r *relstore.Row) bool { return r.Left == ctx.Right })
-
-	case lpath.AxisFollowingSibling:
-		return e.siblingCandidates(step, ctx, func(r *relstore.Row) bool { return r.Left >= ctx.Right })
-
-	case lpath.AxisFollowingSiblingOrSelf:
-		out := e.siblingCandidates(step, ctx, func(r *relstore.Row) bool { return r.Left >= ctx.Right })
-		if step.Wildcard() || ctx.Name == step.Test {
-			out = append(out, b.row)
-		}
-		return out
-
-	case lpath.AxisImmediatePrecedingSibling:
-		return e.siblingCandidates(step, ctx, func(r *relstore.Row) bool { return r.Right == ctx.Left })
-
-	case lpath.AxisPrecedingSibling:
-		return e.siblingCandidates(step, ctx, func(r *relstore.Row) bool { return r.Right <= ctx.Left })
-
-	case lpath.AxisPrecedingSiblingOrSelf:
-		out := e.siblingCandidates(step, ctx, func(r *relstore.Row) bool { return r.Right <= ctx.Left })
-		if step.Wildcard() || ctx.Name == step.Test {
-			out = append(out, b.row)
-		}
-		return out
+	case lpath.AxisFollowingSibling, lpath.AxisImmediateFollowingSibling, lpath.AxisFollowingSiblingOrSelf,
+		lpath.AxisPrecedingSibling, lpath.AxisImmediatePrecedingSibling, lpath.AxisPrecedingSiblingOrSelf:
+		return e.siblingCandidates(step.Axis, row, ctxTID, ctxPID, ctxLeft, ctxRight, wild, nlo, nhi, ctx), false
 	}
-	return nil
+	return nil, false
 }
 
 const maxInt32 = int32(1<<31 - 1)
@@ -162,97 +167,95 @@ func minInt32Of(a, b int32) int32 {
 }
 
 // virtualRootCandidates handles the first step of a query, whose context is
-// the virtual super-root above every tree root.
-func (e *Engine) virtualRootCandidates(step *lpath.Step) []int32 {
+// the virtual super-root above every tree root. The descendant probes hand
+// back store indexes zero-copy: the wildcard case is the document-order
+// index, and a named range is the matching slice of the identity row
+// sequence — the clustered layout makes "all rows named X" a contiguous
+// interval, so nothing is materialized.
+func (e *Engine) virtualRootCandidates(step *lpath.Step, ctx *evalCtx) ([]int32, bool) {
 	switch step.Axis {
 	case lpath.AxisChild:
-		return e.filterName(e.s.Roots(), step)
+		roots := e.s.Roots()
+		if step.Wildcard() {
+			return roots, true
+		}
+		nlo, nhi, ok := e.s.NameRange(step.Test)
+		if !ok {
+			return nil, false
+		}
+		out := ctx.ar.getInts()
+		for _, ri := range roots {
+			if ri >= nlo && ri < nhi {
+				out = append(out, ri)
+			}
+		}
+		return out, false
 	case lpath.AxisDescendant, lpath.AxisDescendantOrSelf:
 		if step.Wildcard() {
-			return e.s.ElementsByLeft()
+			return e.s.ElementsByLeft(), true
 		}
-		lo, hi, ok := e.s.NameRange(step.Test)
+		nlo, nhi, ok := e.s.NameRange(step.Test)
 		if !ok {
-			return nil
+			return nil, false
 		}
-		out := make([]int32, 0, hi-lo)
-		for i := lo; i < hi; i++ {
-			out = append(out, i)
-		}
-		return out
+		return e.s.RowSeq()[nlo:nhi], true
 	default:
-		return nil
+		return nil, false
 	}
 }
 
-// filterName filters a row-index list by the step's node test.
-func (e *Engine) filterName(rows []int32, step *lpath.Step) []int32 {
-	if step.Wildcard() {
-		return rows
-	}
-	out := rows[:0:0]
-	for _, ri := range rows {
-		if e.s.Row(ri).Name == step.Test {
-			out = append(out, ri)
-		}
-	}
-	return out
-}
-
-// scanLeftRange returns rows with the step's name whose left ∈ [lo, hi]
-// within tid, additionally filtered by keep (may be nil). It binary-searches
-// the clustered name range (or the whole-relation document order for
-// wildcards), so the probe costs O(log n + results).
-func (e *Engine) scanLeftRange(step *lpath.Step, tid, lo, hi int32, keep func(*relstore.Row) bool) []int32 {
+// scanLeftRange appends to dst the rows with the step's name whose left ∈
+// [lo, hi] within tid, additionally filtered by right ≤ maxRight and
+// depth ≥ minDepth (pass maxInt32 / 0 to disable). It binary-searches the
+// clustered name range (or the whole-relation document order for wildcards),
+// so the probe costs O(log n + results).
+func (e *Engine) scanLeftRange(step *lpath.Step, tid, lo, hi, maxRight, minDepth int32, dst []int32) []int32 {
 	if hi < lo {
-		return nil
+		return dst
 	}
+	cols := e.s.Cols()
+	tids, lefts, rights, depths := cols.TID, cols.Left, cols.Right, cols.Depth
 	if step.Wildcard() {
 		idxs := e.s.ElementsByLeft()
 		start := sort.Search(len(idxs), func(i int) bool {
-			r := e.s.Row(idxs[i])
-			return r.TID > tid || (r.TID == tid && r.Left >= lo)
+			ri := idxs[i]
+			return tids[ri] > tid || (tids[ri] == tid && lefts[ri] >= lo)
 		})
-		var out []int32
 		for i := start; i < len(idxs); i++ {
-			r := e.s.Row(idxs[i])
-			if r.TID != tid || r.Left > hi {
+			ri := idxs[i]
+			if tids[ri] != tid || lefts[ri] > hi {
 				break
 			}
-			if keep == nil || keep(r) {
-				out = append(out, idxs[i])
+			if rights[ri] <= maxRight && depths[ri] >= minDepth {
+				dst = append(dst, ri)
 			}
 		}
-		return out
+		return dst
 	}
 	rlo, rhi, ok := e.s.NameRange(step.Test)
 	if !ok {
-		return nil
+		return dst
 	}
-	n := int(rhi - rlo)
-	start := sort.Search(n, func(i int) bool {
-		r := e.s.Row(rlo + int32(i))
-		return r.TID > tid || (r.TID == tid && r.Left >= lo)
-	})
-	var out []int32
-	for i := start; i < n; i++ {
+	start := sort.Search(int(rhi-rlo), func(i int) bool {
 		ri := rlo + int32(i)
-		r := e.s.Row(ri)
-		if r.TID != tid || r.Left > hi {
+		return tids[ri] > tid || (tids[ri] == tid && lefts[ri] >= lo)
+	})
+	for ri := rlo + int32(start); ri < rhi; ri++ {
+		if tids[ri] != tid || lefts[ri] > hi {
 			break
 		}
-		if keep == nil || keep(r) {
-			out = append(out, ri)
+		if rights[ri] <= maxRight && depths[ri] >= minDepth {
+			dst = append(dst, ri)
 		}
 	}
-	return out
+	return dst
 }
 
-// scanRightRange returns rows with the step's name whose right ∈ [lo, hi]
-// within tid, using the (tid, right)-ordered secondary ordering.
-func (e *Engine) scanRightRange(step *lpath.Step, tid, lo, hi int32, keep func(*relstore.Row) bool) []int32 {
+// scanRightRange appends to dst the rows with the step's name whose right ∈
+// [lo, hi] within tid, using the (tid, right)-ordered secondary ordering.
+func (e *Engine) scanRightRange(step *lpath.Step, tid, lo, hi int32, dst []int32) []int32 {
 	if hi < lo {
-		return nil
+		return dst
 	}
 	var idxs []int32
 	if step.Wildcard() {
@@ -260,43 +263,73 @@ func (e *Engine) scanRightRange(step *lpath.Step, tid, lo, hi int32, keep func(*
 	} else {
 		idxs = e.s.NameByRight(step.Test)
 	}
+	cols := e.s.Cols()
+	tids, rights := cols.TID, cols.Right
 	start := sort.Search(len(idxs), func(i int) bool {
-		r := e.s.Row(idxs[i])
-		return r.TID > tid || (r.TID == tid && r.Right >= lo)
+		ri := idxs[i]
+		return tids[ri] > tid || (tids[ri] == tid && rights[ri] >= lo)
 	})
-	var out []int32
 	for i := start; i < len(idxs); i++ {
-		r := e.s.Row(idxs[i])
-		if r.TID != tid || r.Right > hi {
+		ri := idxs[i]
+		if tids[ri] != tid || rights[ri] > hi {
 			break
 		}
-		if keep == nil || keep(r) {
-			out = append(out, idxs[i])
-		}
+		dst = append(dst, ri)
 	}
-	return out
+	return dst
 }
 
-// siblingCandidates probes the {tid, pid} index and filters by the given
-// span relation and the node test.
-func (e *Engine) siblingCandidates(step *lpath.Step, ctx *relstore.Row, rel func(*relstore.Row) bool) []int32 {
-	sibs := e.s.Children(ctx.TID, ctx.PID)
-	var out []int32
-	for _, si := range sibs {
-		if si == noRow {
-			continue
+// siblingCandidates probes the {tid, pid} child list. Siblings' spans are
+// disjoint and the list is left-sorted, so both left and right increase
+// monotonically along it — the span boundary of each sibling axis is found
+// by binary search and only the matching run is visited, instead of scanning
+// every sibling and testing the Table 2 relation one by one.
+func (e *Engine) siblingCandidates(axis lpath.Axis, row, tid, pid, left, right int32, wild bool, nlo, nhi int32, ctx *evalCtx) []int32 {
+	sibs := e.s.Children(tid, pid)
+	out := ctx.ar.getInts()
+	cols := e.s.Cols()
+	lefts, rights := cols.Left, cols.Right
+	switch axis {
+	case lpath.AxisFollowingSibling, lpath.AxisImmediateFollowingSibling, lpath.AxisFollowingSiblingOrSelf:
+		if axis == lpath.AxisFollowingSiblingOrSelf && (wild || (row >= nlo && row < nhi)) {
+			out = append(out, row) // self precedes its following siblings
 		}
-		r := e.s.Row(si)
-		if r.ID == ctx.ID {
-			continue
+		// First sibling with left ≥ c.right; the run is immediate when it
+		// must equal c.right, otherwise the whole tail qualifies.
+		start := sort.Search(len(sibs), func(i int) bool { return lefts[sibs[i]] >= right })
+		for i := start; i < len(sibs); i++ {
+			si := sibs[i]
+			if axis == lpath.AxisImmediateFollowingSibling && lefts[si] > right {
+				break
+			}
+			if si == row {
+				continue
+			}
+			if wild || (si >= nlo && si < nhi) {
+				out = append(out, si)
+			}
 		}
-		if !rel(r) {
-			continue
+	default:
+		// Siblings left of the context (left < c.left) all have
+		// right ≤ c.left — exactly the preceding-sibling set; the immediate
+		// variant narrows to the run with right = c.left.
+		end := sort.Search(len(sibs), func(i int) bool { return lefts[sibs[i]] >= left })
+		i := 0
+		if axis == lpath.AxisImmediatePrecedingSibling {
+			i = sort.Search(end, func(i int) bool { return rights[sibs[i]] >= left })
 		}
-		if !step.Wildcard() && r.Name != step.Test {
-			continue
+		for ; i < end; i++ {
+			si := sibs[i]
+			if si == row || rights[si] > left {
+				continue
+			}
+			if wild || (si >= nlo && si < nhi) {
+				out = append(out, si)
+			}
 		}
-		out = append(out, si)
+		if axis == lpath.AxisPrecedingSiblingOrSelf && (wild || (row >= nlo && row < nhi)) {
+			out = append(out, row) // self follows its preceding siblings
+		}
 	}
 	return out
 }
@@ -339,15 +372,29 @@ func (e *Engine) evalExpr(x lpath.Expr, b bind, pos, size int, ctx *evalCtx) (bo
 	case *lpath.LastExpr:
 		return pos == size, nil
 	case *lpath.CountExpr:
-		matches, err := e.evalPath(ex.Path, []bind{b}, ctx)
+		matches, err := e.evalSubPath(ex.Path, b, ctx)
 		if err != nil {
 			return false, err
 		}
-		return lpath.CompareInts(len(matches), ex.Op, ex.Value), nil
+		n := len(matches)
+		ctx.ar.putBinds(matches)
+		return lpath.CompareInts(n, ex.Op, ex.Value), nil
 	case *lpath.StrFnExpr:
 		return e.evalStrFn(ex, b, ctx)
 	}
 	return false, nil
+}
+
+// evalSubPath evaluates a nested path from one binding; the returned slice is
+// arena-owned and must be released by the caller. The one-element start
+// frontier comes from the arena too — a stack array would be forced to the
+// heap on every call, because evalPath's input may alias buffers that reach
+// the arena's free lists.
+func (e *Engine) evalSubPath(p *lpath.Path, b bind, ctx *evalCtx) ([]bind, error) {
+	start := append(ctx.ar.getBinds(), b)
+	out, err := e.evalPath(p, start, ctx)
+	ctx.ar.putBinds(start)
+	return out, err
 }
 
 // evalStrFn evaluates contains/starts-with/ends-with over the attribute
@@ -360,26 +407,33 @@ func (e *Engine) evalStrFn(x *lpath.StrFnExpr, b bind, ctx *evalCtx) (bool, erro
 	if attr == "" {
 		return false, lpath.ErrCmpNeedsAttr
 	}
-	var elems []bind
 	if head == nil {
-		elems = []bind{b}
-	} else {
-		elems, err = e.evalPath(head, []bind{b}, ctx)
-		if err != nil {
-			return false, err
-		}
+		// Self only: keep the one-element frontier on the stack. It must not
+		// share a code path with the arena-owned slice below, or escape
+		// analysis would heap-allocate it.
+		self := [1]bind{b}
+		return e.strFnHit(self[:], x, attr), nil
 	}
-	attrName := "@" + attr
+	elems, err := e.evalSubPath(head, b, ctx)
+	if err != nil {
+		return false, err
+	}
+	hit := e.strFnHit(elems, x, attr)
+	ctx.ar.putBinds(elems)
+	return hit, nil
+}
+
+func (e *Engine) strFnHit(elems []bind, x *lpath.StrFnExpr, attr string) bool {
 	for _, eb := range elems {
 		if eb.row == noRow {
 			continue
 		}
 		r := e.s.Row(eb.row)
-		if v, ok := e.s.AttrValue(r.TID, r.ID, attrName); ok && lpath.StrFn(x.Fn, v, x.Arg) {
-			return true, nil
+		if v, ok := e.s.AttrValueBare(r.TID, r.ID, attr); ok && lpath.StrFn(x.Fn, v, x.Arg) {
+			return true
 		}
 	}
-	return false, nil
+	return false
 }
 
 // evalExistential implements existence predicates and attribute
@@ -394,40 +448,44 @@ func (e *Engine) evalExistential(p *lpath.Path, b bind, op, value string, ctx *e
 	if op != "" && attr == "" {
 		return false, lpath.ErrCmpNeedsAttr
 	}
-	var elems []bind
 	if head == nil {
-		elems = []bind{b}
-	} else {
-		elems, err = e.evalPath(head, []bind{b}, ctx)
-		if err != nil {
-			return false, err
-		}
+		self := [1]bind{b}
+		return e.existHit(self[:], attr, op, value), nil
 	}
+	elems, err := e.evalSubPath(head, b, ctx)
+	if err != nil {
+		return false, err
+	}
+	hit := e.existHit(elems, attr, op, value)
+	ctx.ar.putBinds(elems)
+	return hit, nil
+}
+
+func (e *Engine) existHit(elems []bind, attr, op, value string) bool {
 	if attr == "" {
-		return len(elems) > 0, nil
+		return len(elems) > 0
 	}
-	attrName := "@" + attr
 	for _, eb := range elems {
 		if eb.row == noRow {
 			continue
 		}
 		r := e.s.Row(eb.row)
-		v, ok := e.s.AttrValue(r.TID, r.ID, attrName)
+		v, ok := e.s.AttrValueBare(r.TID, r.ID, attr)
 		if !ok {
 			continue
 		}
 		switch op {
 		case "":
-			return true, nil
+			return true
 		case "=":
 			if v == value {
-				return true, nil
+				return true
 			}
 		case "!=":
 			if v != value {
-				return true, nil
+				return true
 			}
 		}
 	}
-	return false, nil
+	return false
 }

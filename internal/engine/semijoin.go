@@ -57,7 +57,8 @@ func (e *Engine) satisfiers(sj *planner.Semijoin, x lpath.Expr, scope int32, ctx
 		next := cur[:0:0]
 		seen := make(map[int32]bool)
 		for _, ri := range cur {
-			for _, ci := range e.axisCandidates(&synth, bind{row: ri, scope: scope}) {
+			cands, borrowed := e.axisCandidates(&synth, bind{row: ri, scope: scope}, ctx)
+			for _, ci := range cands {
 				if seen[ci] {
 					continue
 				}
@@ -67,11 +68,17 @@ func (e *Engine) satisfiers(sj *planner.Semijoin, x lpath.Expr, scope int32, ctx
 				}
 				ok, err := e.semiPredsHold(prev.Preds, ci, scope, "", "", ctx)
 				if err != nil {
+					if !borrowed {
+						ctx.ar.putInts(cands)
+					}
 					return nil, err
 				}
 				if ok {
 					next = append(next, ci)
 				}
+			}
+			if !borrowed {
+				ctx.ar.putInts(cands)
 			}
 		}
 		cur = next
@@ -85,8 +92,12 @@ func (e *Engine) satisfiers(sj *planner.Semijoin, x lpath.Expr, scope int32, ctx
 	inv0, _ := lpath.InverseAxis(steps[0].Axis)
 	synth := lpath.Step{Axis: inv0, Test: "_"}
 	for _, ri := range cur {
-		for _, ci := range e.axisCandidates(&synth, bind{row: ri, scope: scope}) {
+		cands, borrowed := e.axisCandidates(&synth, bind{row: ri, scope: scope}, ctx)
+		for _, ci := range cands {
 			out[ci] = true
+		}
+		if !borrowed {
+			ctx.ar.putInts(cands)
 		}
 	}
 	ctx.countSemi(x, nSeeds, len(out))
@@ -122,9 +133,8 @@ func (e *Engine) semiSeeds(sj *planner.Semijoin, scope int32, ctx *evalCtx) ([]i
 	} else if last.Wildcard() {
 		cands = e.s.ElementsByLeft()
 	} else if lo, hi, ok := e.s.NameRange(last.Test); ok {
-		for ri := lo; ri < hi; ri++ {
-			cands = append(cands, ri)
-		}
+		// The clustered name range, zero-copy via the identity row sequence.
+		cands = e.s.RowSeq()[lo:hi]
 	}
 
 	out := cands[:0:0]
@@ -151,7 +161,7 @@ func (e *Engine) semiPredsHold(preds []lpath.Expr, ri, scope int32, skipValue, s
 	for _, pred := range preds {
 		if skipValue != "" {
 			if cmp, ok := pred.(*lpath.CmpExpr); ok && isDirectEq(cmp) &&
-				cmp.Value == skipValue && "@"+cmp.Path.Steps[0].Test == skipAttr {
+				cmp.Value == skipValue && len(skipAttr) > 1 && cmp.Path.Steps[0].Test == skipAttr[1:] {
 				continue
 			}
 		}

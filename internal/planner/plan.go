@@ -63,6 +63,26 @@ func (a Access) String() string {
 	return fmt.Sprintf("access(%d)", int(a))
 }
 
+// Strategy enumerates how a step's axis join is executed.
+type Strategy int
+
+const (
+	// StrategyProbe evaluates the step binding-at-a-time: one index probe
+	// per context row.
+	StrategyProbe Strategy = iota
+	// StrategyMerge evaluates the whole frontier against the step's posting
+	// list in one forward sweep — the set-at-a-time structural join the
+	// interval labeling enables (docs/EXECUTION.md).
+	StrategyMerge
+)
+
+func (st Strategy) String() string {
+	if st == StrategyMerge {
+		return "merge"
+	}
+	return "probe"
+}
+
 // SeedKind says how a semijoin's seed set (the matches of the filter path's
 // final step) is materialized.
 type SeedKind int
@@ -122,6 +142,9 @@ type PathPlan struct {
 type StepPlan struct {
 	Step   *lpath.Step
 	Access Access
+	// Strategy says whether the engine executes the step as per-binding
+	// probes or as one set-at-a-time merge over the sorted frontier.
+	Strategy Strategy
 	// Value/Attr/Postings describe the value-index drive when Access is
 	// AccessValueIndex: the literal, the attribute name (with '@'), and
 	// the statistics-time posting count.
@@ -286,9 +309,9 @@ func (p *Plan) semisUnder(x lpath.Expr) *Semijoin {
 
 func accessText(sp *StepPlan) string {
 	if sp.Access == AccessValueIndex {
-		return fmt.Sprintf("value-index %s=%s ~%d postings", sp.Attr, sp.Value, sp.Postings)
+		return fmt.Sprintf("value-index %s=%s ~%d postings exec=%s", sp.Attr, sp.Value, sp.Postings, sp.Strategy)
 	}
-	return sp.Access.String()
+	return fmt.Sprintf("%s exec=%s", sp.Access, sp.Strategy)
 }
 
 func stepText(s *lpath.Step) string {

@@ -67,10 +67,27 @@ func (r *Row) IsAttr() bool { return len(r.Name) > 0 && r.Name[0] == '@' }
 // Key packs (tid, id) into a single map key.
 func Key(tid, id int32) int64 { return int64(tid)<<32 | int64(uint32(id)) }
 
+// Cols exposes the hot label fields of the clustered relation as parallel
+// column arrays, index-aligned with Row(i): Cols().Left[i] == Row(i).Left and
+// so on. The set-at-a-time executor's inner comparison loops (the Table 2
+// label predicates) run over these flat arrays instead of chasing Row
+// structs, so a sweep over a name posting touches cache lines carrying
+// nothing but the field it compares. The arrays are rebuilt with the indexes
+// and must never be mutated by callers.
+type Cols struct {
+	TID, Left, Right, Depth, ID, PID []int32
+}
+
 // Store is the node relation plus its indexes.
 type Store struct {
 	scheme Scheme
 	rows   []Row // clustered by (name, tid, left, right, depth, id)
+	cols   Cols  // hot fields of rows as parallel columns (same order)
+
+	// rowSeq is the identity permutation 0..len(rows)-1, so a clustered
+	// range [lo, hi) can be handed out as the row-index slice rowSeq[lo:hi]
+	// without materializing a copy.
+	rowSeq []int32
 
 	nameIdx  map[string][2]int32 // name → [lo, hi) range in rows
 	rightIdx map[string][]int32  // name → element row indexes sorted by (tid, right)
@@ -190,6 +207,21 @@ func (s *Store) buildIndexes() {
 		}
 		return a.ID < b.ID
 	})
+	s.cols = Cols{
+		TID:   make([]int32, len(rows)),
+		Left:  make([]int32, len(rows)),
+		Right: make([]int32, len(rows)),
+		Depth: make([]int32, len(rows)),
+		ID:    make([]int32, len(rows)),
+		PID:   make([]int32, len(rows)),
+	}
+	s.rowSeq = make([]int32, len(rows))
+	for i := range rows {
+		r := &rows[i]
+		s.cols.TID[i], s.cols.Left[i], s.cols.Right[i] = r.TID, r.Left, r.Right
+		s.cols.Depth[i], s.cols.ID[i], s.cols.PID[i] = r.Depth, r.ID, r.PID
+		s.rowSeq[i] = int32(i)
+	}
 	var curName string
 	var lo int32
 	flush := func(hi int32) {
@@ -314,6 +346,15 @@ func (s *Store) TreeCount() int { return s.treeCount }
 // Row returns the i-th row of the clustered relation.
 func (s *Store) Row(i int32) *Row { return &s.rows[i] }
 
+// Cols returns the columnar view of the clustered relation's hot label
+// fields. The arrays are index-aligned with Row and read-only.
+func (s *Store) Cols() *Cols { return &s.cols }
+
+// RowSeq returns the identity permutation over row indexes, so the clustered
+// name range [lo, hi) can be used as the row-index slice RowSeq()[lo:hi]
+// without copying. Read-only.
+func (s *Store) RowSeq() []int32 { return s.rowSeq }
+
 // Name returns the clustered range of rows with the given name (a tag, or an
 // attribute name with leading '@') as a subslice view, sorted by
 // (tid, left, right, depth, id).
@@ -379,6 +420,18 @@ func (s *Store) Attrs(tid, id int32) []int32 { return s.attrIdx[Key(tid, id)] }
 func (s *Store) AttrValue(tid, id int32, name string) (string, bool) {
 	for _, i := range s.attrIdx[Key(tid, id)] {
 		if s.rows[i].Name == name {
+			return s.rows[i].Value, true
+		}
+	}
+	return "", false
+}
+
+// AttrValueBare is AttrValue for an attribute name given without the '@'
+// prefix; it avoids the per-call string concatenation a "@"+attr lookup
+// would cost in the evaluator's hot predicate loops.
+func (s *Store) AttrValueBare(tid, id int32, attr string) (string, bool) {
+	for _, i := range s.attrIdx[Key(tid, id)] {
+		if n := s.rows[i].Name; len(n) > 1 && n[0] == '@' && n[1:] == attr {
 			return s.rows[i].Value, true
 		}
 	}

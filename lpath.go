@@ -118,6 +118,10 @@ type Corpus struct {
 	// noPlanner disables cost-based planning on every engine this corpus
 	// builds (see WithoutPlanner).
 	noPlanner bool
+	// mergeOff / mergeAlways pin the step execution strategy on every engine
+	// this corpus builds (see WithoutMergeExecutor and withMergeAlways).
+	mergeOff    bool
+	mergeAlways bool
 }
 
 // Option configures query execution on a Corpus; pass options to a
@@ -149,6 +153,32 @@ func WithShards(k int) Option {
 func WithoutPlanner() Option {
 	return func(c *Corpus) {
 		c.noPlanner = true
+		c.dirty = true
+		c.shardsDirty = true
+	}
+}
+
+// WithoutMergeExecutor disables the set-at-a-time merge executor, so every
+// location step runs per-binding index probes regardless of the plan's
+// strategy. The two executors are result-identical (the differential tests
+// enforce it); this option exists for those tests and for measuring the merge
+// executor's contribution (docs/EXECUTION.md).
+func WithoutMergeExecutor() Option {
+	return func(c *Corpus) {
+		c.mergeOff = true
+		c.mergeAlways = false
+		c.dirty = true
+		c.shardsDirty = true
+	}
+}
+
+// withMergeAlways forces the merge executor on every eligible step, bypassing
+// the planner's cost decision; the differential tests and fuzzers use it to
+// keep the merge path under continuous cross-checking.
+func withMergeAlways() Option {
+	return func(c *Corpus) {
+		c.mergeAlways = true
+		c.mergeOff = false
 		c.dirty = true
 		c.shardsDirty = true
 	}
@@ -310,6 +340,12 @@ func (c *Corpus) engineOpts() []engine.Option {
 	var opts []engine.Option
 	if c.noPlanner {
 		opts = append(opts, engine.WithoutPlanner())
+	}
+	if c.mergeOff {
+		opts = append(opts, engine.WithoutMerge())
+	}
+	if c.mergeAlways {
+		opts = append(opts, engine.WithMergeAlways())
 	}
 	return opts
 }

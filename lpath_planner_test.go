@@ -19,6 +19,16 @@ func TestPlannerResultIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Executor rotation: the merge executor forced on every eligible step,
+	// and disabled entirely — both must match the planner-chosen mix.
+	forcedMerge, err := GenerateCorpus("wsj", 0.005, 11, WithShards(4), WithWorkers(3), withMergeAlways())
+	if err != nil {
+		t.Fatal(err)
+	}
+	probeOnly, err := GenerateCorpus("wsj", 0.005, 11, WithShards(4), WithWorkers(3), WithoutMergeExecutor())
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, eq := range EvalQueries() {
 		q := MustCompile(eq.Text)
 		want, err := unplanned.Select(q)
@@ -32,6 +42,22 @@ func TestPlannerResultIdentity(t *testing.T) {
 		if !matchesEqual(got, want) {
 			t.Errorf("Q%d: planned %d matches, unplanned %d — or a match differs",
 				eq.ID, len(got), len(want))
+		}
+		gotMerge, err := forcedMerge.Select(q)
+		if err != nil {
+			t.Fatalf("Q%d forced-merge: %v", eq.ID, err)
+		}
+		if !matchesEqual(gotMerge, want) {
+			t.Errorf("Q%d: forced-merge %d matches, unplanned %d — or a match differs",
+				eq.ID, len(gotMerge), len(want))
+		}
+		gotProbe, err := probeOnly.Select(q)
+		if err != nil {
+			t.Fatalf("Q%d probe-only: %v", eq.ID, err)
+		}
+		if !matchesEqual(gotProbe, want) {
+			t.Errorf("Q%d: probe-only %d matches, unplanned %d — or a match differs",
+				eq.ID, len(gotProbe), len(want))
 		}
 		gotPar, err := planned.SelectParallel(q)
 		if err != nil {
