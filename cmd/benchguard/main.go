@@ -1,0 +1,124 @@
+// Command benchguard compares two machine-readable benchmark artifacts
+// (BENCH_*.json, as written by lpathbench -json) and fails when the current
+// run regresses past a threshold.
+//
+//	benchguard -baseline results/ci_baseline/BENCH_twig.json \
+//	           -current bench-out/BENCH_twig.json [-threshold 0.20]
+//
+// Rows are matched by query id and compared as the ratio current/baseline of
+// ns_per_op. The gate is the geometric mean of the ratios: single-query
+// jitter on a shared CI runner is expected, a geomean drift beyond the
+// threshold (default +20%) is not. Rows faster than -min-ns in both runs are
+// skipped — sub-threshold queries are timer noise at smoke scale — and a
+// matches mismatch on any compared row voids the comparison (the two runs
+// evaluated different corpora) rather than failing it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+type row struct {
+	Query   int    `json:"query"`
+	Text    string `json:"text"`
+	NsPerOp int64  `json:"ns_per_op"`
+	Matches int    `json:"matches"`
+}
+
+func load(path string) (map[int]row, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []row
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[int]row, len(rows))
+	for _, r := range rows {
+		out[r.Query] = r
+	}
+	return out, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "committed baseline BENCH_*.json")
+	current := flag.String("current", "", "freshly measured BENCH_*.json")
+	threshold := flag.Float64("threshold", 0.20, "max tolerated geomean slowdown (0.20 = +20%)")
+	minNs := flag.Int64("min-ns", 50_000, "skip rows faster than this in both runs")
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline and -current are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := load(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fatal(err)
+	}
+
+	type cmpRow struct {
+		row
+		ratio float64
+	}
+	var compared []cmpRow
+	var logSum float64
+	for id, b := range base {
+		c, ok := cur[id]
+		if !ok {
+			fatal(fmt.Errorf("query %d in baseline but not in current run", id))
+		}
+		if b.Matches != c.Matches {
+			fmt.Fprintf(os.Stderr,
+				"benchguard: Q%d matches differ (baseline %d, current %d) — runs are not comparable, skipping gate\n",
+				id, b.Matches, c.Matches)
+			os.Exit(0)
+		}
+		if b.NsPerOp < *minNs && c.NsPerOp < *minNs {
+			continue
+		}
+		if b.NsPerOp <= 0 || c.NsPerOp <= 0 {
+			continue
+		}
+		r := float64(c.NsPerOp) / float64(b.NsPerOp)
+		logSum += math.Log(r)
+		compared = append(compared, cmpRow{row: c, ratio: r})
+	}
+	if len(compared) == 0 {
+		fmt.Println("benchguard: no rows above the noise floor to compare")
+		return
+	}
+	geomean := math.Exp(logSum / float64(len(compared)))
+
+	sort.Slice(compared, func(i, j int) bool { return compared[i].ratio > compared[j].ratio })
+	fmt.Printf("benchguard: %s vs %s — %d queries compared, geomean ratio %.3f (gate %.3f)\n",
+		*current, *baseline, len(compared), geomean, 1+*threshold)
+	for _, c := range compared {
+		mark := " "
+		if c.ratio > 1+*threshold {
+			mark = "!"
+		}
+		fmt.Printf("  %s Q%-3d %-44s %8.3fx  (%d ns/op vs %d)\n",
+			mark, c.Query, c.Text, c.ratio, c.NsPerOp, base[c.Query].NsPerOp)
+	}
+	if geomean > 1+*threshold {
+		fmt.Fprintf(os.Stderr, "benchguard: geomean slowdown %.1f%% exceeds the %.0f%% gate\n",
+			(geomean-1)*100, *threshold*100)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(2)
+}

@@ -10,13 +10,15 @@
 // result sizes), 7 (WSJ query times), 8 (SWB query times), 9 (scalability),
 // 10 (labeling-scheme comparison), ablations, planner (cost-based planner
 // on/off), exec (set-at-a-time merge executor on/off with allocation
-// counts), par (parallel sharded execution scaling), or all.
+// counts), twig (holistic twig executor on/off with allocation counts),
+// par (parallel sharded execution scaling), or all.
 //
 // -scale sets the fraction of the paper's corpus size (1.0 ≈ 49k WSJ
 // sentences / 3.5M nodes; the default 0.05 keeps a full run under a couple
 // of minutes). With -csv DIR each timing figure is also written as CSV.
-// With -json DIR the exec experiment additionally writes the
-// machine-readable BENCH_executor.json (the CI bench artifact).
+// With -json DIR the planner, exec, twig and par experiments additionally
+// write the machine-readable BENCH_planner.json, BENCH_executor.json,
+// BENCH_twig.json and BENCH_parallel.json (the CI bench artifacts).
 // -workers caps the worker sweep of the parallel experiment (default:
 // GOMAXPROCS); the sweep measures 1, 2, 4, ... up to the cap.
 package main
@@ -37,11 +39,11 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "experiment: 6a 6b 6c 7 8 9 10 ablations planner exec par all")
+		fig     = flag.String("fig", "all", "experiment: 6a 6b 6c 7 8 9 10 ablations planner exec twig par all")
 		scale   = flag.Float64("scale", 0.05, "corpus scale (1.0 = paper size)")
 		seed    = flag.Int64("seed", 42, "corpus seed")
 		csvDir  = flag.String("csv", "", "directory for CSV output (optional)")
-		jsonDir = flag.String("json", "", "directory for BENCH_executor.json (exec experiment only)")
+		jsonDir = flag.String("json", "", "directory for BENCH_*.json artifacts (planner, exec, twig, par)")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "max workers for the parallel experiment")
 	)
 	flag.Parse()
@@ -148,6 +150,7 @@ func main() {
 		check(err)
 		bench.WritePlannerImpact(os.Stdout, rows)
 		writeCSV(*csvDir, "planner_impact.csv", bench.CSVPlannerImpact(rows))
+		writeJSON(*jsonDir, "BENCH_planner.json", func() ([]byte, error) { return bench.JSONPlannerImpact(rows) })
 		fmt.Println()
 	}
 	if need("exec") {
@@ -155,11 +158,15 @@ func main() {
 		check(err)
 		bench.WriteExecutorImpact(os.Stdout, rows)
 		writeCSV(*csvDir, "executor_impact.csv", bench.CSVExecutorImpact(rows))
-		if *jsonDir != "" {
-			data, err := bench.JSONExecutorImpact(rows)
-			check(err)
-			writeCSV(*jsonDir, "BENCH_executor.json", string(data))
-		}
+		writeJSON(*jsonDir, "BENCH_executor.json", func() ([]byte, error) { return bench.JSONExecutorImpact(rows) })
+		fmt.Println()
+	}
+	if need("twig") {
+		rows, err := bench.TwigImpact(buildWSJ())
+		check(err)
+		bench.WriteTwigImpact(os.Stdout, rows)
+		writeCSV(*csvDir, "twig_impact.csv", bench.CSVTwigImpact(rows))
+		writeJSON(*jsonDir, "BENCH_twig.json", func() ([]byte, error) { return bench.JSONTwigImpact(rows) })
 		fmt.Println()
 	}
 	if need("par") {
@@ -167,6 +174,7 @@ func main() {
 		check(err)
 		bench.WriteParallel(os.Stdout, rows)
 		writeCSV(*csvDir, "parallel_scaling.csv", bench.CSVParallel(rows))
+		writeJSON(*jsonDir, "BENCH_parallel.json", func() ([]byte, error) { return bench.JSONParallel(rows) })
 		fmt.Println()
 	}
 }
@@ -190,14 +198,31 @@ func timed[T any](what string, f func() T) T {
 	return v
 }
 
-func writeCSV(dir, name, content string) {
+// writeFile writes content under dir, creating dir as needed; a missing dir
+// flag (empty string) disables the output.
+func writeFile(dir, name string, content []byte) {
 	if dir == "" {
 		return
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		check(err)
 	}
-	check(os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644))
+	check(os.WriteFile(filepath.Join(dir, name), content, 0o644))
+}
+
+func writeCSV(dir, name, content string) {
+	writeFile(dir, name, []byte(content))
+}
+
+// writeJSON renders and writes one BENCH_*.json artifact; render only runs
+// when -json was given.
+func writeJSON(dir, name string, render func() ([]byte, error)) {
+	if dir == "" {
+		return
+	}
+	data, err := render()
+	check(err)
+	writeFile(dir, name, append(data, '\n'))
 }
 
 func check(err error) {

@@ -58,9 +58,15 @@ func FuzzEvalOracle(f *testing.F) {
 		par, parErr := c.SelectParallel(q)
 		parCount, parCountErr := c.CountParallel(q)
 
-		// Executor rotation: force the set-at-a-time merge executor on every
-		// eligible step, then disable it entirely — both must agree with the
-		// planner-chosen mix.
+		// Executor rotation: force the holistic twig sweep on every maximal
+		// run, then disable it; then force the set-at-a-time merge executor on
+		// every eligible step, then disable it (the merge rotations run with
+		// the twig executor off, pinning the per-step pipeline on its own).
+		// All must agree with the planner-chosen mix.
+		c.Configure(withTwigAlways())
+		twigged, twiggedErr := c.Select(q)
+		c.Configure(WithoutTwigExecutor())
+		untwigged, untwiggedErr := c.Select(q)
 		c.Configure(withMergeAlways())
 		merged, mergedErr := c.Select(q)
 		c.Configure(WithoutMergeExecutor())
@@ -82,6 +88,10 @@ func FuzzEvalOracle(f *testing.F) {
 			t.Fatalf("%q: planned err %v, merge-always err %v, probe-only err %v",
 				query, plannedErr, mergedErr, probedErr)
 		}
+		if (plannedErr != nil) != (twiggedErr != nil) || (plannedErr != nil) != (untwiggedErr != nil) {
+			t.Fatalf("%q: planned err %v, twig-always err %v, twig-off err %v",
+				query, plannedErr, twiggedErr, untwiggedErr)
+		}
 		if plannedErr != nil {
 			return // all evaluators agree the query errors on this corpus
 		}
@@ -96,6 +106,14 @@ func FuzzEvalOracle(f *testing.F) {
 		if !reflect.DeepEqual(planned, probed) {
 			t.Fatalf("%q: probe-only differs from planned (%d vs %d matches)\nprobed: %v\nplanned: %v",
 				query, len(probed), len(planned), matchKeys(probed), matchKeys(planned))
+		}
+		if !reflect.DeepEqual(planned, twigged) {
+			t.Fatalf("%q: twig-always differs from planned (%d vs %d matches)\ntwigged: %v\nplanned: %v",
+				query, len(twigged), len(planned), matchKeys(twigged), matchKeys(planned))
+		}
+		if !reflect.DeepEqual(planned, untwigged) {
+			t.Fatalf("%q: twig-off differs from planned (%d vs %d matches)\nuntwigged: %v\nplanned: %v",
+				query, len(untwigged), len(planned), matchKeys(untwigged), matchKeys(planned))
 		}
 		if !reflect.DeepEqual(planned, par) {
 			t.Fatalf("%q: parallel differs from serial (%d vs %d matches)",

@@ -359,16 +359,19 @@ func planStrategies(pl *planner.Plan) string {
 	if pl == nil || pl.Root == nil {
 		return "probe:all"
 	}
-	var merge, probe int
+	var twig, merge, probe int
 	var walk func(pp *planner.PathPlan)
 	walk = func(pp *planner.PathPlan) {
 		if pp == nil {
 			return
 		}
 		for _, sp := range pp.Steps {
-			if sp.Strategy == planner.StrategyMerge {
+			switch sp.Strategy {
+			case planner.StrategyTwig:
+				twig++
+			case planner.StrategyMerge:
 				merge++
-			} else {
+			default:
 				probe++
 			}
 			for _, pred := range sp.Preds {
@@ -380,7 +383,7 @@ func planStrategies(pl *planner.Plan) string {
 		walk(pp.Scoped)
 	}
 	walk(pl.Root)
-	return fmt.Sprintf("merge:%d probe:%d", merge, probe)
+	return fmt.Sprintf("twig:%d merge:%d probe:%d", twig, merge, probe)
 }
 
 // ExecutorImpact measures every evaluation query with the merge executor on
@@ -419,6 +422,85 @@ func ExecutorImpact(s *Systems) ([]ExecRow, error) {
 		row.N = nMerge
 		row.AllocsMerge = allocsPerRun(func() { _, _ = s.RunLPath(id) })
 		row.AllocsProbe = allocsPerRun(func() { _, _ = s.RunLPathNoMerge(id) })
+		row.Strategy = planStrategies(s.LPath.Plan(s.lpathQ[id]))
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// TwigRow is one query's measurement of the holistic twig executor: the
+// full engine (the planner folds eligible runs into one synchronized
+// multi-cursor sweep) against the twig-off ablation (the same planner
+// restricted to per-step probe/merge execution), plus the steady-state heap
+// allocations of one warm evaluation under each.
+type TwigRow struct {
+	ID           int
+	Query        string
+	Twig         time.Duration // full engine, twig executor available
+	NoTwig       time.Duration // twig-off ablation (probe/merge per step)
+	AllocsTwig   float64       // allocations per warm evaluation, full engine
+	AllocsNoTwig float64       // allocations per warm evaluation, twig off
+	N            int           // result size (identical by construction; verified)
+	Strategy     string        // per-step strategy counts from the plan
+}
+
+// Speedup is the no-twig/twig time ratio (>1 = the twig executor helps).
+func (r TwigRow) Speedup() float64 {
+	if r.Twig <= 0 {
+		return 0
+	}
+	return float64(r.NoTwig) / float64(r.Twig)
+}
+
+// TwigImpact measures every evaluation query with the holistic twig
+// executor on and off over the same store. Result identity is checked four
+// ways per query — planner-chosen, twig-off, probe-only, twig-forced and
+// merge-forced all have to agree — before the timings are trusted.
+func TwigImpact(s *Systems) ([]TwigRow, error) {
+	var out []TwigRow
+	for _, id := range s.QueryIDs() {
+		row := TwigRow{ID: id, Query: s.QueryText(id)}
+		var nTwig, nNoTwig int
+		var err error
+		row.Twig = TimeIt(func() {
+			var e error
+			nTwig, e = s.RunLPath(id)
+			if e != nil {
+				err = e
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("Q%d twig: %w", id, err)
+		}
+		row.NoTwig = TimeIt(func() {
+			var e error
+			nNoTwig, e = s.RunLPathNoTwig(id)
+			if e != nil {
+				err = e
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("Q%d no-twig: %w", id, err)
+		}
+		if nTwig != nNoTwig {
+			return nil, fmt.Errorf("Q%d: twig executor changed the result: %d vs %d", id, nTwig, nNoTwig)
+		}
+		for name, run := range map[string]func(int) (int, error){
+			"probe-only":   s.RunLPathNoMerge,
+			"twig-forced":  s.RunLPathTwigForced,
+			"merge-forced": s.RunLPathMergeForced,
+		} {
+			n, e := run(id)
+			if e != nil {
+				return nil, fmt.Errorf("Q%d %s: %w", id, name, e)
+			}
+			if n != nTwig {
+				return nil, fmt.Errorf("Q%d: %s changed the result: %d vs %d", id, name, n, nTwig)
+			}
+		}
+		row.N = nTwig
+		row.AllocsTwig = allocsPerRun(func() { _, _ = s.RunLPath(id) })
+		row.AllocsNoTwig = allocsPerRun(func() { _, _ = s.RunLPathNoTwig(id) })
 		row.Strategy = planStrategies(s.LPath.Plan(s.lpathQ[id]))
 		out = append(out, row)
 	}

@@ -192,6 +192,120 @@ func JSONExecutorImpact(rows []ExecRow) ([]byte, error) {
 	return json.MarshalIndent(out, "", "  ")
 }
 
+// WriteTwigImpact renders the twig-executor before/after measurements.
+func WriteTwigImpact(w io.Writer, rows []TwigRow) {
+	fmt.Fprintf(w, "Twig impact: holistic twig sweep vs per-step probe/merge (s)\n")
+	fmt.Fprintf(w, "%-4s %-44s %10s %10s %9s %12s %12s %9s   %s\n",
+		"Q", "Query", "twig", "no-twig", "speedup", "allocs(t)", "allocs(n)", "matches", "strategy")
+	for _, r := range rows {
+		fmt.Fprintf(w, "Q%-3d %-44s %10s %10s %8.2fx %12.0f %12.0f %9d   %s\n",
+			r.ID, r.Query, secs(r.Twig), secs(r.NoTwig), r.Speedup(),
+			r.AllocsTwig, r.AllocsNoTwig, r.N, r.Strategy)
+	}
+}
+
+// CSVTwigImpact renders the twig-executor rows as CSV.
+func CSVTwigImpact(rows []TwigRow) string {
+	var b strings.Builder
+	b.WriteString("query,twig_s,notwig_s,speedup,allocs_twig,allocs_notwig,matches,strategy\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "Q%d,%f,%f,%f,%.0f,%.0f,%d,%s\n",
+			r.ID, r.Twig.Seconds(), r.NoTwig.Seconds(), r.Speedup(),
+			r.AllocsTwig, r.AllocsNoTwig, r.N, r.Strategy)
+	}
+	return b.String()
+}
+
+// twigJSONRow is the machine-readable shape of one TwigRow, mirroring the
+// testing-package convention of ns/op and allocs/op.
+type twigJSONRow struct {
+	Query       int     `json:"query"`
+	Text        string  `json:"text"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	NsPerOpOff  int64   `json:"ns_per_op_notwig"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	AllocsOff   float64 `json:"allocs_per_op_notwig"`
+	Speedup     float64 `json:"speedup"`
+	Matches     int     `json:"matches"`
+	Strategy    string  `json:"strategy"`
+}
+
+// JSONTwigImpact renders the twig-executor rows as indented JSON, the
+// payload of the BENCH_twig.json artifact.
+func JSONTwigImpact(rows []TwigRow) ([]byte, error) {
+	out := make([]twigJSONRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, twigJSONRow{
+			Query:       r.ID,
+			Text:        r.Query,
+			NsPerOp:     r.Twig.Nanoseconds(),
+			NsPerOpOff:  r.NoTwig.Nanoseconds(),
+			AllocsPerOp: r.AllocsTwig,
+			AllocsOff:   r.AllocsNoTwig,
+			Speedup:     r.Speedup(),
+			Matches:     r.N,
+			Strategy:    r.Strategy,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// plannerJSONRow is the machine-readable shape of one PlannerRow.
+type plannerJSONRow struct {
+	Query      int     `json:"query"`
+	Text       string  `json:"text"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	NsPerOpOff int64   `json:"ns_per_op_unplanned"`
+	Speedup    float64 `json:"speedup"`
+	Matches    int     `json:"matches"`
+}
+
+// JSONPlannerImpact renders the planner rows as indented JSON, the payload
+// of the BENCH_planner.json artifact.
+func JSONPlannerImpact(rows []PlannerRow) ([]byte, error) {
+	out := make([]plannerJSONRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, plannerJSONRow{
+			Query:      r.ID,
+			Text:       r.Query,
+			NsPerOp:    r.Planned.Nanoseconds(),
+			NsPerOpOff: r.Unplanned.Nanoseconds(),
+			Speedup:    r.Speedup(),
+			Matches:    r.N,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// parallelJSONRow is the machine-readable shape of one ParallelRow.
+type parallelJSONRow struct {
+	Query      int     `json:"query"`
+	Text       string  `json:"text"`
+	Workers    int     `json:"workers"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	NsPerOpOff int64   `json:"ns_per_op_serial"`
+	Speedup    float64 `json:"speedup"`
+	Matches    int     `json:"matches"`
+}
+
+// JSONParallel renders the parallel-scaling rows as indented JSON, the
+// payload of the BENCH_parallel.json artifact.
+func JSONParallel(rows []ParallelRow) ([]byte, error) {
+	out := make([]parallelJSONRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, parallelJSONRow{
+			Query:      r.ID,
+			Text:       r.Query,
+			Workers:    r.Workers,
+			NsPerOp:    r.Parallel.Nanoseconds(),
+			NsPerOpOff: r.Serial.Nanoseconds(),
+			Speedup:    r.Speedup(),
+			Matches:    r.Matches,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
 // WriteParallel renders the parallel-scaling measurements.
 func WriteParallel(w io.Writer, rows []ParallelRow) {
 	fmt.Fprintf(w, "Parallel scaling: serial engine vs sharded EvalParallel (s)\n")

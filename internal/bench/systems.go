@@ -30,6 +30,9 @@ type Systems struct {
 	LPathNoVal   *engine.Engine // value-index ablation
 	LPathNoPlan  *engine.Engine // cost-based-planner ablation
 	LPathNoMerge *engine.Engine // merge-executor ablation (probe-only)
+	LPathNoTwig  *engine.Engine // twig-executor ablation (probe/merge only)
+	LPathTwig    *engine.Engine // twig forced on every eligible run
+	LPathMerge   *engine.Engine // merge forced on every mergeable step
 	XPath        *xpath.Engine
 	TGrep        *tgrep.Corpus
 	CS           *corpussearch.Corpus
@@ -64,6 +67,15 @@ func BuildSystems(c *tree.Corpus) (*Systems, error) {
 		return nil, err
 	}
 	if s.LPathNoMerge, err = engine.New(s.Store, engine.WithoutMerge()); err != nil {
+		return nil, err
+	}
+	if s.LPathNoTwig, err = engine.New(s.Store, engine.WithoutTwig()); err != nil {
+		return nil, err
+	}
+	if s.LPathTwig, err = engine.New(s.Store, engine.WithTwigAlways()); err != nil {
+		return nil, err
+	}
+	if s.LPathMerge, err = engine.New(s.Store, engine.WithMergeAlways()); err != nil {
 		return nil, err
 	}
 	if s.XPath, err = xpath.New(relstore.Build(c, relstore.SchemeStartEnd)); err != nil {
@@ -143,6 +155,24 @@ func (s *Systems) RunLPathNoPlanner(id int) (int, error) {
 // (every step falls back to per-binding probes).
 func (s *Systems) RunLPathNoMerge(id int) (int, error) {
 	return s.LPathNoMerge.Count(s.lpathQ[id])
+}
+
+// RunLPathNoTwig evaluates query id with the holistic twig executor
+// disabled (steps run per-step under probe or merge).
+func (s *Systems) RunLPathNoTwig(id int) (int, error) {
+	return s.LPathNoTwig.Count(s.lpathQ[id])
+}
+
+// RunLPathTwigForced evaluates query id with the twig executor forced onto
+// every eligible step run, overriding the planner's cost decision.
+func (s *Systems) RunLPathTwigForced(id int) (int, error) {
+	return s.LPathTwig.Count(s.lpathQ[id])
+}
+
+// RunLPathMergeForced evaluates query id with the merge executor forced
+// onto every mergeable step (twig suppressed).
+func (s *Systems) RunLPathMergeForced(id int) (int, error) {
+	return s.LPathMerge.Count(s.lpathQ[id])
 }
 
 // RunXPath evaluates query id on the XPath (start/end labeling) engine.

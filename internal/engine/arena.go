@@ -28,6 +28,7 @@ const maxPooledSet = 256
 
 type arena struct {
 	ints     [][]int32
+	i64s     [][]int64
 	binds    [][]bind
 	rowSets  []map[int32]bool
 	bindSets []map[bind]bool
@@ -47,6 +48,22 @@ func (a *arena) putInts(s []int32) {
 		return
 	}
 	a.ints = append(a.ints, s[:0])
+}
+
+func (a *arena) getI64s() []int64 {
+	if n := len(a.i64s); n > 0 {
+		s := a.i64s[n-1]
+		a.i64s = a.i64s[:n-1]
+		return s
+	}
+	return make([]int64, 0, 32)
+}
+
+func (a *arena) putI64s(s []int64) {
+	if cap(s) == 0 {
+		return
+	}
+	a.i64s = append(a.i64s, s[:0])
 }
 
 func (a *arena) getBinds() []bind {

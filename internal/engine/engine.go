@@ -40,6 +40,22 @@ const (
 	execAlways
 )
 
+// twigMode selects whether runs of consecutive steps may execute as one
+// holistic twig sweep (twig.go); it is orthogonal to execMode, which picks
+// the per-step executor for everything outside a twig run.
+type twigMode int
+
+const (
+	// twigAuto follows the plan's cost-marked runs (no twig without a plan).
+	twigAuto twigMode = iota
+	// twigOff disables the twig executor (ablation).
+	twigOff
+	// twigAlways runs every maximal twig-able run holistically, bypassing
+	// the cost decision; differential tests and fuzzers use it to keep the
+	// sweep under continuous cross-checking.
+	twigAlways
+)
+
 // Engine evaluates LPath queries against an interval-labeled store.
 type Engine struct {
 	s *relstore.Store
@@ -55,6 +71,8 @@ type Engine struct {
 	noPlanner bool
 	// exec selects the step execution strategy (probe vs merge).
 	exec execMode
+	// twig selects whether step runs may execute as holistic twig sweeps.
+	twig twigMode
 
 	// ctxPool recycles evalCtx values (and their scratch arenas) across
 	// evaluations, so a hot compiled query runs without steady-state
@@ -94,6 +112,22 @@ func WithMergeAlways() Option {
 	return func(e *Engine) { e.exec = execAlways }
 }
 
+// WithoutTwig disables the holistic twig executor, so every step runs
+// through the per-step probe/merge dispatch. Used by the executor ablation
+// benchmarks and differential tests.
+func WithoutTwig() Option {
+	return func(e *Engine) { e.twig = twigOff }
+}
+
+// WithTwigAlways runs every maximal twig-able run through the holistic
+// sweep, bypassing the planner's cost decision. The twig executor is
+// result-identical to the per-step executors by construction; this option
+// keeps the sweep under continuous differential testing even on inputs
+// where the planner would never choose it.
+func WithTwigAlways() Option {
+	return func(e *Engine) { e.twig = twigAlways }
+}
+
 // New creates an engine over the store, which must use the interval scheme.
 func New(s *relstore.Store, opts ...Option) (*Engine, error) {
 	if s.Scheme() != relstore.SchemeInterval {
@@ -107,6 +141,13 @@ func New(s *relstore.Store, opts ...Option) (*Engine, error) {
 	var popts []planner.Option
 	if e.disableValueIndex {
 		popts = append(popts, planner.WithoutValueIndex())
+	}
+	if e.twig == twigOff {
+		// The twig ablation must execute the pre-twig plan: without this the
+		// planner would still mark runs whose steps then fall back to probe
+		// (the merge executor only accepts steps marked StrategyMerge),
+		// which is neither the twig engine nor the pre-twig one.
+		popts = append(popts, planner.WithoutTwig())
 	}
 	e.pl = planner.New(s.Statistics(), popts...)
 	return e, nil
@@ -254,8 +295,19 @@ func (e *Engine) Explain(p *lpath.Path) (string, error) {
 // by ctx's arena and must be released by the caller with ctx.ar.putBinds.
 func (e *Engine) evalPath(p *lpath.Path, binds []bind, ctx *evalCtx) ([]bind, error) {
 	cur, owned := binds, false
-	for i := range p.Steps {
-		next, err := e.evalStep(&p.Steps[i], cur, ctx)
+	for i := 0; i < len(p.Steps); {
+		var next []bind
+		var err error
+		// A cost-marked (or, under WithTwigAlways, maximal) run of twig-able
+		// steps evaluates as one holistic sweep; everything else dispatches
+		// per step between the probe and merge executors.
+		if n := e.twigRunLen(p, i, cur, ctx); n > 0 {
+			next = e.evalTwigRun(p.Steps[i:i+n], cur, ctx)
+			i += n
+		} else {
+			next, err = e.evalStep(&p.Steps[i], cur, ctx)
+			i++
+		}
 		if owned {
 			ctx.ar.putBinds(cur)
 		}

@@ -28,6 +28,10 @@ type evalCtx struct {
 	// ar is the evaluation's scratch arena (see arena.go); it survives
 	// across evaluations via the Engine's evalCtx pool.
 	ar *arena
+	// tw is the twig executor's reusable run state (cursors, per-step
+	// stacks/heaps, counters); like the arena it survives across
+	// evaluations, keeping warm twig runs allocation-free.
+	tw twigScratch
 }
 
 // newEvalCtx takes a pooled context for one evaluation; releaseCtx returns

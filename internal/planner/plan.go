@@ -74,11 +74,19 @@ const (
 	// list in one forward sweep — the set-at-a-time structural join the
 	// interval labeling enables (docs/EXECUTION.md).
 	StrategyMerge
+	// StrategyTwig evaluates the step as part of a holistic run: one
+	// synchronized document-order sweep over every step's posting list at
+	// once, with per-step stacks instead of materialized inter-step
+	// frontiers. The run's head step carries TwigRun.
+	StrategyTwig
 )
 
 func (st Strategy) String() string {
-	if st == StrategyMerge {
+	switch st {
+	case StrategyMerge:
 		return "merge"
+	case StrategyTwig:
+		return "twig"
 	}
 	return "probe"
 }
@@ -161,6 +169,11 @@ type StepPlan struct {
 	// the order differs from the written one.
 	Preds     []*PredPlan
 	Reordered bool
+	// TwigRun, on the head step of a holistic run, is the number of
+	// consecutive steps (including this one) the engine evaluates in one
+	// synchronized twig sweep. Zero everywhere else; every member step of
+	// the run has Strategy == StrategyTwig.
+	TwigRun int
 	// EstIn, EstCand and EstOut estimate the bindings entering the step,
 	// the candidates after the node test, and the bindings surviving the
 	// predicates.

@@ -14,6 +14,7 @@ import (
 type Planner struct {
 	st      *relstore.Statistics
 	noValue bool
+	noTwig  bool
 
 	elements   float64 // element rows
 	totalSpan  float64 // summed root spans
@@ -28,6 +29,14 @@ type Option func(*Planner)
 // name so ablation runs plan what they execute.
 func WithoutValueIndex() Option {
 	return func(pl *Planner) { pl.noValue = true }
+}
+
+// WithoutTwig makes the planner never mark holistic twig runs, so every step
+// keeps its per-step probe/merge strategy; it mirrors the engine option of
+// the same name so the twig ablation plans exactly what the pre-twig engine
+// would execute.
+func WithoutTwig() Option {
+	return func(pl *Planner) { pl.noTwig = true }
 }
 
 // New creates a planner over the snapshot (nil is treated as an empty
@@ -80,6 +89,9 @@ func (pl *Planner) Plan(p *lpath.Path) *Plan {
 		semis:     make(map[lpath.Expr]*Semijoin),
 	}
 	plan.Root = pl.planPath(p, ectx{root: true, span: pl.treeSpan()}, 1, plan)
+	if !pl.noTwig {
+		pl.markTwigRuns(plan.Root, true, false)
+	}
 	plan.EstMatches = plan.Root.EstOut
 	return plan
 }
@@ -393,6 +405,138 @@ func MergeableAxis(axis lpath.Axis) bool {
 		return true
 	}
 	return false
+}
+
+// TwigableAxis reports whether the axis can participate in a holistic twig
+// run (internal/engine/twig.go): the forward axes whose supporting context
+// row always arrives no later than the supported row in one document-order
+// (tid, left, depth) sweep, so support can be decided at arrival time from a
+// per-step stack, adjacency heap, or running minimum. The reverse axes would
+// need supporters from the future, and the non-immediate sibling axes a
+// per-parent map, so they stay with probe/merge.
+func TwigableAxis(axis lpath.Axis) bool {
+	switch axis {
+	case lpath.AxisChild,
+		lpath.AxisDescendant, lpath.AxisDescendantOrSelf,
+		lpath.AxisFollowing, lpath.AxisFollowingOrSelf,
+		lpath.AxisImmediateFollowing, lpath.AxisImmediateFollowingSibling:
+		return true
+	}
+	return false
+}
+
+// TwigPushablePred reports whether the predicate can be pushed into the twig
+// sweep as a constant-time per-arrival filter: a comparison on an attribute
+// of the candidate node itself.
+func TwigPushablePred(x lpath.Expr) bool {
+	cmp, ok := x.(*lpath.CmpExpr)
+	if !ok || (cmp.Op != "=" && cmp.Op != "!=") {
+		return false
+	}
+	return cmp.Path.Scoped == nil && len(cmp.Path.Steps) == 1 &&
+		cmp.Path.Steps[0].Axis == lpath.AxisAttribute
+}
+
+// TwigableStep reports whether a step can be a member of a holistic twig
+// run. Positional predicates need the materialized per-context candidate
+// list, and relative-path predicates need per-binding evaluation, so both
+// exclude the step. Edge alignment compares against the enclosing scope,
+// which is only constant across the sweep inside a subtree scope.
+func TwigableStep(step *lpath.Step, inScope bool) bool {
+	if !TwigableAxis(step.Axis) || step.HasPositional() {
+		return false
+	}
+	if (step.LeftAlign || step.RightAlign) && !inScope {
+		return false
+	}
+	for _, p := range step.Preds {
+		if !TwigPushablePred(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// markTwigRuns is a post-pass over the main path chain (the root path and
+// its nested subtree scopes — not predicate paths, which evaluate per
+// binding): it finds maximal runs of twig-able steps and, where the modeled
+// holistic sweep beats the chosen per-step strategies, marks every member
+// StrategyTwig and stamps the run length on the head step.
+func (pl *Planner) markTwigRuns(pp *PathPlan, root, inScope bool) {
+	steps := pp.Steps
+	for i := 0; i < len(steps); {
+		if !pl.twigEligible(steps[i], root && i == 0, inScope) {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(steps) && pl.twigEligible(steps[j], false, inScope) {
+			j++
+		}
+		if j-i >= 2 && pl.twigWins(steps[i:j], root && i == 0) {
+			for _, sp := range steps[i:j] {
+				sp.Strategy = StrategyTwig
+			}
+			steps[i].TwigRun = j - i
+		}
+		i = j
+	}
+	if pp.Scoped != nil {
+		pl.markTwigRuns(pp.Scoped, false, true)
+	}
+}
+
+// twigEligible is TwigableStep plus the planner-side exclusions: the value
+// index is a different access path, and a run headed at the virtual root can
+// only open with an axis the super-root supports.
+func (pl *Planner) twigEligible(sp *StepPlan, fromRoot, inScope bool) bool {
+	if sp.Access == AccessValueIndex {
+		return false
+	}
+	if !TwigableStep(sp.Step, inScope) {
+		return false
+	}
+	if fromRoot {
+		switch sp.Step.Axis {
+		case lpath.AxisChild, lpath.AxisDescendant, lpath.AxisDescendantOrSelf:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// twigTouchCost weights one twig-sweep posting touch (an arrival: a cursor
+// advance, a stack/heap maintenance step and a support test) against one
+// modeled probe row touch. Sequential columnar reads against pointer-chasing
+// probes, so well under 1.
+const twigTouchCost = 0.5
+
+// twigWins compares the modeled cost of evaluating the run holistically —
+// sort the input frontier once, then stream every step's posting window
+// through constant-time per-arrival work — against the per-step strategies,
+// which also pay to materialize and deduplicate every intermediate frontier.
+func (pl *Planner) twigWins(run []*StepPlan, fromRoot bool) bool {
+	stepwise := 0.0
+	for _, sp := range run {
+		stepwise += math.Max(sp.EstIn, 1) * sp.cost
+	}
+	for _, sp := range run[:len(run)-1] {
+		stepwise += 2 * sp.EstOut
+	}
+	f := math.Max(run[0].EstIn, 1)
+	twig := 0.25 * f * math.Log2(f+2)
+	for _, sp := range run {
+		p := math.Max(pl.nameCount(sp.Step.Test), 1)
+		touch := p
+		if !fromRoot {
+			// A bounded frontier opens per-scope posting windows: pay the
+			// seeks plus the expected candidates instead of the whole list.
+			touch = math.Min(p, f*math.Log2(p+2)+sp.EstCand)
+		}
+		twig += twigTouchCost * touch
+	}
+	return twig < stepwise
 }
 
 // predRank orders predicates for execution: pay little, filter much. The

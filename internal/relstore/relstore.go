@@ -91,6 +91,7 @@ type Store struct {
 
 	nameIdx  map[string][2]int32 // name → [lo, hi) range in rows
 	rightIdx map[string][]int32  // name → element row indexes sorted by (tid, right)
+	docIdx   map[string][]int32  // name → element rows in document order, when ≠ clustered order
 	valueIdx map[string][]int32  // value → attribute row indexes sorted by (tid, id)
 	idIdx    map[int64]int32     // (tid,id) → element row index
 	attrIdx  map[int64][]int32   // (tid,id) → attribute row indexes
@@ -102,6 +103,14 @@ type Store struct {
 
 	elemsByLeft  []int32 // all element rows sorted by (tid, left, depth)
 	elemsByRight []int32 // all element rows sorted by (tid, right, left)
+
+	// Packed (tid, left) document-order sort keys (see DocKey): one per row
+	// in clustered order, plus slices parallel to each doc-order
+	// permutation, so stream cursors compare one sequential int64 array
+	// instead of chasing a permutation through two columns.
+	clusterKeys []int64
+	docKeys     map[string][]int64
+	elemKeys    []int64
 
 	// stats is the build-time statistics snapshot (see stats.go). For
 	// shards it is replaced by the merged corpus-global snapshot.
@@ -278,6 +287,45 @@ func (s *Store) buildIndexes() {
 		})
 		s.rightIdx[name] = idxs
 	}
+	// Per-name document-order (tid, left, depth) permutations for the
+	// holistic twig executor's step streams. The clustered order breaks
+	// same-(tid, left) ties by right ascending — innermost first — so a
+	// left-aligned same-name nesting like (NP (NP ...) ...) is stored
+	// deepest-first, the opposite of document order. The permutation is
+	// kept only for names where the two orders actually differ; NameByDoc
+	// returns nil otherwise and callers use the clustered range directly.
+	s.docIdx = make(map[string][]int32)
+	for name, rng := range s.nameIdx {
+		if name != "" && name[0] == '@' {
+			continue
+		}
+		need := false
+		for i := rng[0] + 1; i < rng[1]; i++ {
+			a, b := &rows[i-1], &rows[i]
+			if a.TID == b.TID && a.Left == b.Left && a.Depth > b.Depth {
+				need = true
+				break
+			}
+		}
+		if !need {
+			continue
+		}
+		idxs := make([]int32, 0, rng[1]-rng[0])
+		for i := rng[0]; i < rng[1]; i++ {
+			idxs = append(idxs, i)
+		}
+		sort.Slice(idxs, func(a, b int) bool {
+			ra, rb := &rows[idxs[a]], &rows[idxs[b]]
+			if ra.TID != rb.TID {
+				return ra.TID < rb.TID
+			}
+			if ra.Left != rb.Left {
+				return ra.Left < rb.Left
+			}
+			return ra.Depth < rb.Depth
+		})
+		s.docIdx[name] = idxs
+	}
 	// Value and child index postings sorted for deterministic scans.
 	for v, idxs := range s.valueIdx {
 		sort.Slice(idxs, func(a, b int) bool {
@@ -324,8 +372,43 @@ func (s *Store) buildIndexes() {
 		}
 		return ra.Left < rb.Left
 	})
+	// Packed document-order sort keys: the clustered array first, then a
+	// parallel slice for every kept permutation (built by indirection into
+	// the clustered array, so the packing exists in exactly one place).
+	s.clusterKeys = make([]int64, len(rows))
+	for i := range rows {
+		s.clusterKeys[i] = DocKey(rows[i].TID, rows[i].Left)
+	}
+	s.docKeys = make(map[string][]int64, len(s.docIdx))
+	for name, idxs := range s.docIdx {
+		keys := make([]int64, len(idxs))
+		for i, ri := range idxs {
+			keys[i] = s.clusterKeys[ri]
+		}
+		s.docKeys[name] = keys
+	}
+	s.elemKeys = make([]int64, len(s.elemsByLeft))
+	for i, ri := range s.elemsByLeft {
+		s.elemKeys[i] = s.clusterKeys[ri]
+	}
 	s.computeStats()
 }
+
+// DocKey packs a row's (tid, left) into its int64 document-order sort key —
+// the comparison unit of the twig executor's stream cursors.
+func DocKey(tid, left int32) int64 { return int64(tid)<<32 | int64(uint32(left)) }
+
+// ClusterKeys returns every row's packed (tid, left) key in clustered order;
+// a clustered name range [lo, hi) doubles as its document-order key slice
+// ClusterKeys()[lo:hi].
+func (s *Store) ClusterKeys() []int64 { return s.clusterKeys }
+
+// NameKeysByDoc returns the packed key slice parallel to NameByDoc — nil
+// exactly when NameByDoc is nil.
+func (s *Store) NameKeysByDoc(name string) []int64 { return s.docKeys[name] }
+
+// ElementKeys returns the packed key slice parallel to ElementsByLeft.
+func (s *Store) ElementKeys() []int64 { return s.elemKeys }
 
 // ElementsByLeft returns every element row index ordered by (tid, left,
 // depth) — document order. Used for wildcard node tests.
@@ -365,6 +448,13 @@ func (s *Store) Name(name string) []Row {
 	}
 	return s.rows[rng[0]:rng[1]]
 }
+
+// NameByDoc returns the element row indexes for the name in document order
+// (tid, left, depth), or nil when the clustered range is already
+// document-ordered — callers then use RowSeq()[lo:hi] directly. Built only
+// for names with a left-aligned same-name nesting, so it is nil for most
+// names.
+func (s *Store) NameByDoc(name string) []int32 { return s.docIdx[name] }
 
 // NameRange returns the clustered [lo, hi) row-index range for a name.
 func (s *Store) NameRange(name string) (lo, hi int32, ok bool) {

@@ -122,6 +122,10 @@ type Corpus struct {
 	// this corpus builds (see WithoutMergeExecutor and withMergeAlways).
 	mergeOff    bool
 	mergeAlways bool
+	// twigOff / twigAlways pin the holistic twig executor the same way (see
+	// WithoutTwigExecutor and withTwigAlways).
+	twigOff    bool
+	twigAlways bool
 }
 
 // Option configures query execution on a Corpus; pass options to a
@@ -179,6 +183,33 @@ func withMergeAlways() Option {
 	return func(c *Corpus) {
 		c.mergeAlways = true
 		c.mergeOff = false
+		c.dirty = true
+		c.shardsDirty = true
+	}
+}
+
+// WithoutTwigExecutor disables the holistic twig executor, so every location
+// step runs through the per-step probe/merge dispatch regardless of the
+// plan's run marking. The twig executor is result-identical to the per-step
+// executors (the differential tests enforce it); this option exists for
+// those tests and for measuring the twig executor's contribution
+// (docs/EXECUTION.md).
+func WithoutTwigExecutor() Option {
+	return func(c *Corpus) {
+		c.twigOff = true
+		c.twigAlways = false
+		c.dirty = true
+		c.shardsDirty = true
+	}
+}
+
+// withTwigAlways runs every maximal twig-able run through the holistic sweep,
+// bypassing the planner's cost decision; the differential tests and fuzzers
+// use it to keep the twig path under continuous cross-checking.
+func withTwigAlways() Option {
+	return func(c *Corpus) {
+		c.twigAlways = true
+		c.twigOff = false
 		c.dirty = true
 		c.shardsDirty = true
 	}
@@ -346,6 +377,12 @@ func (c *Corpus) engineOpts() []engine.Option {
 	}
 	if c.mergeAlways {
 		opts = append(opts, engine.WithMergeAlways())
+	}
+	if c.twigOff {
+		opts = append(opts, engine.WithoutTwig())
+	}
+	if c.twigAlways {
+		opts = append(opts, engine.WithTwigAlways())
 	}
 	return opts
 }

@@ -29,6 +29,16 @@ func TestPlannerResultIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Twig rotation: the holistic sweep forced on every maximal run, and
+	// disabled entirely (falling back to the per-step probe/merge pipeline).
+	forcedTwig, err := GenerateCorpus("wsj", 0.005, 11, WithShards(4), WithWorkers(3), withTwigAlways())
+	if err != nil {
+		t.Fatal(err)
+	}
+	twigOff, err := GenerateCorpus("wsj", 0.005, 11, WithShards(4), WithWorkers(3), WithoutTwigExecutor())
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, eq := range EvalQueries() {
 		q := MustCompile(eq.Text)
 		want, err := unplanned.Select(q)
@@ -58,6 +68,22 @@ func TestPlannerResultIdentity(t *testing.T) {
 		if !matchesEqual(gotProbe, want) {
 			t.Errorf("Q%d: probe-only %d matches, unplanned %d — or a match differs",
 				eq.ID, len(gotProbe), len(want))
+		}
+		gotTwig, err := forcedTwig.Select(q)
+		if err != nil {
+			t.Fatalf("Q%d forced-twig: %v", eq.ID, err)
+		}
+		if !matchesEqual(gotTwig, want) {
+			t.Errorf("Q%d: forced-twig %d matches, unplanned %d — or a match differs",
+				eq.ID, len(gotTwig), len(want))
+		}
+		gotNoTwig, err := twigOff.Select(q)
+		if err != nil {
+			t.Fatalf("Q%d twig-off: %v", eq.ID, err)
+		}
+		if !matchesEqual(gotNoTwig, want) {
+			t.Errorf("Q%d: twig-off %d matches, unplanned %d — or a match differs",
+				eq.ID, len(gotNoTwig), len(want))
 		}
 		gotPar, err := planned.SelectParallel(q)
 		if err != nil {

@@ -1,0 +1,35 @@
+package lpath
+
+import (
+	"fmt"
+	"testing"
+
+	"lpath/internal/bench"
+	"lpath/internal/corpus"
+)
+
+// BenchmarkTwigProfile pins the holistic twig sweep's hot loop under the
+// profiler: the twig-marked evaluation queries on the full engine against
+// the twig-off ablation over the same store.
+func BenchmarkTwigProfile(b *testing.B) {
+	s, err := bench.BuildSystems(bench.GenerateTrees(corpus.WSJ, 0.05, 42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, id := range []int{2, 3, 18, 19, 22, 23} {
+		b.Run(fmt.Sprintf("Q%d/twig", id), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.RunLPath(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Q%d/notwig", id), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.RunLPathNoTwig(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
