@@ -1,0 +1,153 @@
+// Command lpathd serves LPath queries over HTTP.
+//
+// Usage:
+//
+//	lpathd -corpus wsj=trees.mrg -addr :8080
+//	lpathd -gen wsj -scale 0.01
+//	lpathd -corpus a=a.mrg -corpus b=b.mrg -index c=c.idx
+//
+// Corpora load at startup (bracketed files with -corpus, store snapshots
+// with -index, synthetic with -gen) and their indexes are built eagerly, so
+// /healthz flips to 200 only once the server can answer queries. Endpoints:
+//
+//	POST /v1/query    {"corpus","query","limit","timeout_ms"} → matches
+//	POST /v1/count    same body → match count only
+//	POST /v1/explain  same body → cost-based plan report
+//	GET  /healthz     readiness + corpus inventory
+//	GET  /metrics     Prometheus text metrics
+//	GET  /debug/pprof profiling
+//
+// Concurrency is bounded (-max-inflight, -max-queue, -queue-wait): excess
+// load sheds fast with 429. Every request runs under a deadline
+// (-default-timeout, clamped by -max-timeout) and client disconnects cancel
+// evaluation cooperatively. Results are cached per corpus generation
+// (-result-cache). See docs/SERVER.md.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"lpath"
+	"lpath/internal/server"
+)
+
+// corpusFlags collects repeatable NAME=PATH flags.
+type corpusFlags []string
+
+func (c *corpusFlags) String() string     { return strings.Join(*c, ",") }
+func (c *corpusFlags) Set(v string) error { *c = append(*c, v); return nil }
+
+func main() {
+	var (
+		corpora corpusFlags
+		indexes corpusFlags
+	)
+	flag.Var(&corpora, "corpus", "load a Penn-bracketed corpus, NAME=FILE (repeatable; bare FILE uses the basename)")
+	flag.Var(&indexes, "index", "load a store snapshot, NAME=FILE (repeatable)")
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		gen         = flag.String("gen", "", "generate a synthetic corpus: wsj or swb")
+		scale       = flag.Float64("scale", 0.01, "synthetic corpus scale (1.0 = paper size)")
+		seed        = flag.Int64("seed", 42, "synthetic corpus seed")
+		maxInFlight = flag.Int("max-inflight", 4, "maximum concurrent query evaluations")
+		maxQueue    = flag.Int("max-queue", 16, "maximum requests queued for an evaluation slot (negative: no queue)")
+		queueWait   = flag.Duration("queue-wait", 100*time.Millisecond, "maximum time a queued request waits before shedding")
+		defTimeout  = flag.Duration("default-timeout", 10*time.Second, "per-request evaluation deadline when the request carries none")
+		maxTimeout  = flag.Duration("max-timeout", 60*time.Second, "upper clamp on request-supplied deadlines")
+		cacheSize   = flag.Int("result-cache", 256, "result cache capacity in entries (negative: disabled)")
+		defLimit    = flag.Int("default-limit", 100, "default /v1/query match-list cap")
+		maxLimit    = flag.Int("max-limit", 10000, "upper clamp on request-supplied limits")
+		planCache   = flag.Int("plan-cache", 128, "per-corpus compiled-plan cache capacity")
+		quiet       = flag.Bool("quiet", false, "disable per-request logging")
+	)
+	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+
+	reg := server.NewRegistry()
+	load := func(spec string, open func(path string) (*lpath.Corpus, error)) {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			path = spec
+			name = strings.TrimSuffix(strings.TrimSuffix(path[strings.LastIndex(path, "/")+1:], ".mrg"), ".idx")
+		}
+		c, err := open(path)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		e, err := reg.Set(name, c)
+		if err != nil {
+			fatal(err)
+		}
+		logger.Info("corpus loaded", "name", name, "path", path,
+			"sentences", e.Stats.Sentences, "nodes", e.Stats.TreeNodes,
+			"build", time.Since(start).Round(time.Millisecond).String())
+	}
+	opts := func() []lpath.Option { return []lpath.Option{lpath.WithPlanCache(*planCache)} }
+	for _, spec := range corpora {
+		load(spec, func(p string) (*lpath.Corpus, error) { return lpath.OpenCorpus(p, opts()...) })
+	}
+	for _, spec := range indexes {
+		load(spec, func(p string) (*lpath.Corpus, error) { return lpath.OpenStore(p, opts()...) })
+	}
+	if *gen != "" {
+		load(*gen, func(string) (*lpath.Corpus, error) {
+			return lpath.GenerateCorpus(*gen, *scale, *seed, opts()...)
+		})
+	}
+	if reg.Len() == 0 {
+		fatal(fmt.Errorf("no corpora: provide -corpus NAME=FILE, -index NAME=FILE or -gen wsj|swb"))
+	}
+
+	reqLogger := logger
+	if *quiet {
+		reqLogger = nil
+	}
+	srv := server.New(reg, server.Config{
+		Addr:           *addr,
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		QueueWait:      *queueWait,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		CacheSize:      *cacheSize,
+		DefaultLimit:   *defLimit,
+		MaxLimit:       *maxLimit,
+		Logger:         reqLogger,
+	})
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Info("listening", "addr", *addr, "corpora", reg.Len())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	case sig := <-sigc:
+		logger.Info("shutting down", "signal", sig.String())
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lpathd:", err)
+	os.Exit(1)
+}

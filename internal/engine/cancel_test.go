@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lpath/internal/corpus"
+	"lpath/internal/lpath"
+	"lpath/internal/relstore"
+	"lpath/internal/tree"
+)
+
+// countdownCtx is a context whose Err() flips to context.Canceled after a
+// fixed number of polls. It makes the cancellation tests deterministic: the
+// entry check and the first strided polls see a live context, and the
+// evaluation is guaranteed to be mid-sweep — not merely at the entry check —
+// when cancellation lands, with no timing involved.
+type countdownCtx struct {
+	context.Context
+	remaining atomic.Int64
+	done      chan struct{}
+}
+
+func newCountdownCtx() *countdownCtx {
+	return &countdownCtx{
+		Context: context.Background(),
+		done:    make(chan struct{}),
+	}
+}
+
+func (c *countdownCtx) setPolls(n int64) { c.remaining.Store(n) }
+
+// Done returns a non-nil (never-closed) channel so the engine registers the
+// context for cooperative polling.
+func (c *countdownCtx) Done() <-chan struct{} { return c.done }
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// cancelCorpus synthesizes a corpus big enough that every executor makes
+// thousands of checkpointed loop iterations for the queries below.
+func cancelCorpus(t testing.TB) *tree.Corpus {
+	t.Helper()
+	return corpus.Generate(corpus.Config{Profile: corpus.WSJ, Scale: 0.02, Seed: 7})
+}
+
+func cancelEngine(t testing.TB, tc *tree.Corpus, opts ...Option) *Engine {
+	t.Helper()
+	e, err := New(relstore.Build(tc, relstore.SchemeInterval), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestCancelMidSweepPerStrategy proves that SelectContext-style evaluation
+// returns promptly with context.Canceled from inside each executor's sweep:
+// the per-binding probe loop, the merge group sweep with its predicate
+// pipeline, and the holistic twig arrival loop.
+func TestCancelMidSweepPerStrategy(t *testing.T) {
+	tc := cancelCorpus(t)
+	cases := []struct {
+		name  string
+		opts  []Option
+		query string
+		// polls the countdown context survives: 1 entry check + the given
+		// number of strided in-sweep polls before flipping to Canceled.
+		sweepPolls int64
+	}{
+		{"probe", []Option{WithoutPlanner()}, `//_[//_[//NP]]`, 1},
+		{"merge", []Option{WithoutPlanner(), WithMergeAlways()}, `//_[//_[//NP]]`, 1},
+		{"twig", []Option{WithoutPlanner(), WithTwigAlways()}, `//_//_//_`, 1},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			e := cancelEngine(t, tc, tt.opts...)
+			p := lpath.MustParse(tt.query)
+
+			cctx := newCountdownCtx()
+			cctx.setPolls(1 + tt.sweepPolls)
+			_, err := e.EvalContext(cctx, p)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("EvalContext: got err %v, want context.Canceled", err)
+			}
+
+			cctx.setPolls(1 + tt.sweepPolls)
+			_, err = e.CountContext(cctx, p)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("CountContext: got err %v, want context.Canceled", err)
+			}
+
+			// A cancelled evaluation must not poison the engine's pooled
+			// state: the same engine answers the same query correctly next.
+			want, err := e.Eval(p)
+			if err != nil {
+				t.Fatalf("post-cancel Eval: %v", err)
+			}
+			fresh := cancelEngine(t, tc, tt.opts...)
+			ref, err := fresh.Eval(p)
+			if err != nil {
+				t.Fatalf("fresh Eval: %v", err)
+			}
+			if !reflect.DeepEqual(want, ref) {
+				t.Fatalf("post-cancel results differ: %d vs %d matches", len(want), len(ref))
+			}
+		})
+	}
+}
+
+// TestCancelParallelMidSweep proves the sharded path is interrupted
+// cooperatively too: the deadline reaches each in-flight shard evaluation
+// (shards evaluate with the derived context), not just the not-yet-started
+// ones. The query's full evaluation takes orders of magnitude longer than
+// the deadline, so the workers are guaranteed to be mid-sweep when it fires.
+func TestCancelParallelMidSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based cancellation test")
+	}
+	tc := cancelCorpus(t)
+	shards, err := NewSharded(relstore.BuildShards(tc, relstore.SchemeInterval, 4), WithoutPlanner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := lpath.MustParse(`//_[//_[//_]]`)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := EvalParallel(ctx, shards, p, WithWorkers(2)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("EvalParallel: got err %v after %v, want context.DeadlineExceeded", err, time.Since(start))
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled parallel evaluation took %v, cancellation is not cooperative", elapsed)
+	}
+
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel2()
+	if _, err := CountParallel(ctx2, shards, p, WithWorkers(2)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("CountParallel: got err %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestDeadlineExceededMidSweep runs an expensive query under a deadline far
+// shorter than its full evaluation time and requires the deadline's error,
+// bounding how long the return may take.
+func TestDeadlineExceededMidSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based cancellation test")
+	}
+	tc := cancelCorpus(t)
+	e := cancelEngine(t, tc, WithoutPlanner())
+	p := lpath.MustParse(`//_[//_[//_]]`)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := e.EvalContext(ctx, p)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got err %v after %v, want context.DeadlineExceeded", err, elapsed)
+	}
+	// The strided poll abandons work within a few thousand loop iterations;
+	// anything near a second means cancellation is not reaching the sweep.
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancelled evaluation took %v, cancellation is not cooperative", elapsed)
+	}
+}
+
+// TestContextPreCancelled pins the entry-check behavior: an already-dead
+// context returns its error without touching the store, identically across
+// serial, parallel, and count entry points.
+func TestContextPreCancelled(t *testing.T) {
+	tc := cancelCorpus(t)
+	e := cancelEngine(t, tc)
+	shards, err := NewSharded(relstore.BuildShards(tc, relstore.SchemeInterval, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := lpath.MustParse(`//NP`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := e.EvalContext(ctx, p); !errors.Is(err, context.Canceled) {
+		t.Errorf("EvalContext: got %v", err)
+	}
+	if _, err := e.CountContext(ctx, p); !errors.Is(err, context.Canceled) {
+		t.Errorf("CountContext: got %v", err)
+	}
+	if _, err := e.ExplainContext(ctx, p); !errors.Is(err, context.Canceled) {
+		t.Errorf("ExplainContext: got %v", err)
+	}
+	if _, err := EvalParallel(ctx, shards, p); !errors.Is(err, context.Canceled) {
+		t.Errorf("EvalParallel: got %v", err)
+	}
+	if _, err := CountParallel(ctx, shards, p); !errors.Is(err, context.Canceled) {
+		t.Errorf("CountParallel: got %v", err)
+	}
+}

@@ -15,6 +15,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -187,13 +188,30 @@ func (e *Engine) Eval(p *lpath.Path) ([]Match, error) {
 	return e.EvalPlan(p, e.Plan(p))
 }
 
+// EvalContext is Eval honoring a context: cancellation (or an expired
+// deadline) interrupts the join pipeline cooperatively — the executors poll
+// the context inside their sweeps, not just between steps — and returns the
+// context's error.
+func (e *Engine) EvalContext(cctx context.Context, p *lpath.Path) ([]Match, error) {
+	return e.EvalPlanContext(cctx, p, e.Plan(p))
+}
+
 // EvalPlan evaluates the query executing the given plan (nil = the default
 // strategy). The plan must have been built for this query's AST.
 func (e *Engine) EvalPlan(p *lpath.Path, plan *planner.Plan) ([]Match, error) {
+	return e.EvalPlanContext(context.Background(), p, plan)
+}
+
+// EvalPlanContext is EvalPlan honoring a context for cooperative
+// cancellation.
+func (e *Engine) EvalPlanContext(cctx context.Context, p *lpath.Path, plan *planner.Plan) ([]Match, error) {
 	if err := lpath.Validate(p); err != nil {
 		return nil, err
 	}
-	ctx := e.newEvalCtx(plan)
+	if err := cctx.Err(); err != nil {
+		return nil, err
+	}
+	ctx := e.newEvalCtx(plan, cctx)
 	defer e.releaseCtx(ctx)
 	rows, err := e.evalRows(p, ctx)
 	if err != nil {
@@ -244,12 +262,27 @@ func (e *Engine) Count(p *lpath.Path) (int, error) {
 	return e.CountPlan(p, e.Plan(p))
 }
 
+// CountContext is Count honoring a context for cooperative cancellation,
+// like EvalContext.
+func (e *Engine) CountContext(cctx context.Context, p *lpath.Path) (int, error) {
+	return e.CountPlanContext(cctx, p, e.Plan(p))
+}
+
 // CountPlan is Count executing the given plan (nil = default strategy).
 func (e *Engine) CountPlan(p *lpath.Path, plan *planner.Plan) (int, error) {
+	return e.CountPlanContext(context.Background(), p, plan)
+}
+
+// CountPlanContext is CountPlan honoring a context for cooperative
+// cancellation.
+func (e *Engine) CountPlanContext(cctx context.Context, p *lpath.Path, plan *planner.Plan) (int, error) {
 	if err := lpath.Validate(p); err != nil {
 		return 0, err
 	}
-	ctx := e.newEvalCtx(plan)
+	if err := cctx.Err(); err != nil {
+		return 0, err
+	}
+	ctx := e.newEvalCtx(plan, cctx)
 	defer e.releaseCtx(ctx)
 	start := [1]bind{{row: noRow, scope: noRow}}
 	binds, err := e.evalPath(p, start[:], ctx)
@@ -274,11 +307,19 @@ func (e *Engine) CountPlan(p *lpath.Path, plan *planner.Plan) (int, error) {
 // It always plans, even on a WithoutPlanner engine — EXPLAIN exists to show
 // what the planner would do.
 func (e *Engine) Explain(p *lpath.Path) (string, error) {
+	return e.ExplainContext(context.Background(), p)
+}
+
+// ExplainContext is Explain honoring a context for cooperative cancellation.
+func (e *Engine) ExplainContext(cctx context.Context, p *lpath.Path) (string, error) {
 	if err := lpath.Validate(p); err != nil {
 		return "", err
 	}
+	if err := cctx.Err(); err != nil {
+		return "", err
+	}
 	plan := e.pl.Plan(p)
-	ctx := e.newEvalCtx(plan)
+	ctx := e.newEvalCtx(plan, cctx)
 	defer e.releaseCtx(ctx)
 	ctx.act = &planner.Actuals{}
 	rows, err := e.evalRows(p, ctx)
@@ -303,6 +344,9 @@ func (e *Engine) evalPath(p *lpath.Path, binds []bind, ctx *evalCtx) ([]bind, er
 		// per step between the probe and merge executors.
 		if n := e.twigRunLen(p, i, cur, ctx); n > 0 {
 			next = e.evalTwigRun(p.Steps[i:i+n], cur, ctx)
+			// The twig sweep's signature carries no error; a cancelled sweep
+			// returns partial results and latches the context error instead.
+			err = ctx.cerr
 			i += n
 		} else {
 			next, err = e.evalStep(&p.Steps[i], cur, ctx)
@@ -422,6 +466,9 @@ func (e *Engine) evalStepProbe(step *lpath.Step, sp *planner.StepPlan, preds []l
 		seen = ctx.ar.getBindSet()
 	}
 	for _, b := range binds {
+		if ctx.interrupted() {
+			return nil, ctx.cerr
+		}
 		var cands []int32
 		var borrowed bool
 		var scratch []int32 // arena buffer to release, if one was drawn
@@ -555,6 +602,9 @@ func (e *Engine) filterPred(pred lpath.Expr, scope int32, cands []int32, ctx *ev
 	out := cands[:0]
 	size := len(cands)
 	for i, ci := range cands {
+		if ctx.interrupted() {
+			return out, ctx.cerr
+		}
 		ok, err := e.evalExpr(pred, bind{row: ci, scope: scope}, i+1, size, ctx)
 		if err != nil {
 			return nil, err

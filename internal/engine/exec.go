@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"lpath/internal/lpath"
 	"lpath/internal/planner"
 )
@@ -32,20 +34,66 @@ type evalCtx struct {
 	// stacks/heaps, counters); like the arena it survives across
 	// evaluations, keeping warm twig runs allocation-free.
 	tw twigScratch
+
+	// Cooperative cancellation. cctx is the evaluation's context — nil when
+	// the caller's context can never be cancelled, so uncancellable
+	// evaluations pay nothing. The executors' hot loops call interrupted(),
+	// which polls cctx.Err() once every cancelStride calls and latches the
+	// result in cerr; evalPath propagates cerr out of executors (like the
+	// twig sweep) whose signatures carry no error.
+	cctx context.Context
+	tick int
+	cerr error
+}
+
+// cancelStride bounds how many interrupted() calls pass between two
+// ctx.Err() polls. Each call between polls is a counter increment, so the
+// hot loops stay cheap while a cancelled evaluation is still abandoned
+// within a few thousand loop iterations — microseconds of work.
+const cancelStride = 4096
+
+// interrupted reports whether the evaluation's context is done. The result
+// is sticky: once the context reports an error the evaluation stays
+// interrupted, whatever loop asks next.
+func (c *evalCtx) interrupted() bool {
+	if c.cctx == nil {
+		return false
+	}
+	if c.cerr != nil {
+		return true
+	}
+	c.tick++
+	if c.tick < cancelStride {
+		return false
+	}
+	c.tick = 0
+	if err := c.cctx.Err(); err != nil {
+		c.cerr = err
+		return true
+	}
+	return false
 }
 
 // newEvalCtx takes a pooled context for one evaluation; releaseCtx returns
 // it. The arena's buffers are retained across evaluations — that retention
 // is what makes steady-state execution of a compiled plan allocation-free.
-func (e *Engine) newEvalCtx(plan *planner.Plan) *evalCtx {
+// cctx is recorded for cooperative cancellation only when it can actually be
+// cancelled (Done() != nil); context.Background() and friends cost nothing.
+func (e *Engine) newEvalCtx(plan *planner.Plan, cctx context.Context) *evalCtx {
 	ctx := e.ctxPool.Get().(*evalCtx)
 	ctx.plan = plan
+	if cctx != nil && cctx.Done() != nil {
+		ctx.cctx = cctx
+	}
 	return ctx
 }
 
 func (e *Engine) releaseCtx(ctx *evalCtx) {
 	ctx.plan = nil
 	ctx.act = nil
+	ctx.cctx = nil
+	ctx.tick = 0
+	ctx.cerr = nil
 	// Satisfier sets are valid only for the evaluation's plan identity; the
 	// outer map is kept, the per-expression sets are dropped. A map that grew
 	// large is released entirely — clear() costs O(capacity) and maps never

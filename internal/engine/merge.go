@@ -42,6 +42,13 @@ func (e *Engine) evalStepMerge(step *lpath.Step, sp *planner.StepPlan, preds []l
 	cands := ctx.ar.getInts()
 	cols := e.s.Cols()
 	for gi := 0; gi < len(work); {
+		if ctx.interrupted() {
+			ctx.ar.putInts(cands)
+			ctx.ar.putInts(ctxRows)
+			ctx.ar.putBinds(work)
+			ctx.ar.putBinds(out)
+			return nil, ctx.cerr
+		}
 		scope := work[gi].scope
 		gj := gi
 		for gj < len(work) && work[gj].scope == scope {

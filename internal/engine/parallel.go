@@ -9,6 +9,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 
@@ -51,8 +52,11 @@ func WithWorkers(n int) ParallelOption {
 // shards partition whole trees.
 //
 // The first shard error cancels the remaining work via the context;
-// cancelling ctx abandons shards that have not started. The result slice is
-// deterministic: it does not depend on the worker count or on scheduling.
+// cancelling ctx abandons shards that have not started and interrupts
+// in-flight shard evaluations cooperatively (each shard evaluates with the
+// context). The result slice is deterministic: it does not depend on the
+// worker count or on scheduling — and so is the error: identical failures
+// yield the identical (lowest-shard) error, whatever order workers ran in.
 func EvalParallel(ctx context.Context, shards []*Engine, p *lpath.Path, opts ...ParallelOption) ([]Match, error) {
 	cfg := parallelConfig{}
 	for _, o := range opts {
@@ -75,8 +79,8 @@ func EvalParallel(ctx context.Context, shards []*Engine, p *lpath.Path, opts ...
 	// per-query planning cost does not scale with the shard count.
 	plan := shards[0].Plan(p)
 	results := make([][]Match, len(shards))
-	err := runShards(ctx, len(shards), cfg.workers, func(i int) error {
-		ms, err := shards[i].EvalPlan(p, plan)
+	err := runShards(ctx, len(shards), cfg.workers, func(ctx context.Context, i int) error {
+		ms, err := shards[i].EvalPlanContext(ctx, p, plan)
 		if err != nil {
 			return err
 		}
@@ -107,8 +111,8 @@ func CountParallel(ctx context.Context, shards []*Engine, p *lpath.Path, opts ..
 	}
 	plan := shards[0].Plan(p)
 	counts := make([]int, len(shards))
-	err := runShards(ctx, len(shards), cfg.workers, func(i int) error {
-		n, err := shards[i].CountPlan(p, plan)
+	err := runShards(ctx, len(shards), cfg.workers, func(ctx context.Context, i int) error {
+		n, err := shards[i].CountPlanContext(ctx, p, plan)
 		if err != nil {
 			return err
 		}
@@ -125,31 +129,28 @@ func CountParallel(ctx context.Context, shards []*Engine, p *lpath.Path, opts ..
 	return total, nil
 }
 
-// runShards runs fn(i) for every shard index over a bounded worker pool.
-// The first error cancels the remaining work; cancelling ctx abandons shards
-// that have not started.
-func runShards(ctx context.Context, n, workers int, fn func(int) error) error {
+// runShards runs fn(ctx, i) for every shard index over a bounded worker
+// pool. The first error cancels the remaining work (abandoning shards that
+// have not started and interrupting in-flight, context-honoring fn calls),
+// but error *propagation* is deterministic: per-shard errors are collected
+// by index, and the lowest-indexed shard's non-cancellation error is
+// returned — so the parallel entry points report the same error as the
+// serial ones for the same failure, independent of worker scheduling.
+// Cancellation of the caller's context surfaces as that context's error.
+func runShards(ctx context.Context, n, workers int, fn func(context.Context, int) error) error {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
+	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	jobs := make(chan int)
-	var (
-		wg      sync.WaitGroup
-		errOnce sync.Once
-		runErr  error
-	)
-	fail := func(err error) {
-		errOnce.Do(func() {
-			runErr = err
-			cancel()
-		})
-	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -158,8 +159,9 @@ func runShards(ctx context.Context, n, workers int, fn func(int) error) error {
 				if ctx.Err() != nil {
 					continue // drain: cancelled work is not evaluated
 				}
-				if err := fn(i); err != nil {
-					fail(err)
+				if err := fn(ctx, i); err != nil {
+					errs[i] = err
+					cancel()
 				}
 			}
 		}()
@@ -169,10 +171,15 @@ func runShards(ctx context.Context, n, workers int, fn func(int) error) error {
 	}
 	close(jobs)
 	wg.Wait()
-	if runErr != nil {
-		return runErr
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
 	}
-	return ctx.Err()
+	// No real failure: any recorded context errors came from the caller's
+	// context (or from our own cancel chasing a failure that then must have
+	// been real — excluded above), so report the caller's state.
+	return parent.Err()
 }
 
 // mergeByTree merges per-shard match lists, each already in (tid, id) order,

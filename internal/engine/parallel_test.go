@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -127,4 +128,72 @@ func TestMergeByTree(t *testing.T) {
 			t.Errorf("empty merge = %#v, want non-nil empty slice", m)
 		}
 	}
+}
+
+// TestRunShardsErrorPropagation pins the worker-pool error contract: a
+// shard's real error is returned verbatim (and deterministically — the
+// lowest recorded shard index wins over scheduling), real errors always win
+// over cancellation noise from the fail-fast cancel, and a cancelled parent
+// context surfaces as the parent's own error.
+func TestRunShardsErrorPropagation(t *testing.T) {
+	boom := errors.New("shard exploded")
+
+	t.Run("single failing shard", func(t *testing.T) {
+		for trial := 0; trial < 25; trial++ {
+			err := runShards(context.Background(), 8, 4, func(ctx context.Context, i int) error {
+				if i == 5 {
+					return boom
+				}
+				return nil
+			})
+			if !errors.Is(err, boom) {
+				t.Fatalf("trial %d: got %v, want %v", trial, err, boom)
+			}
+		}
+	})
+
+	t.Run("identical failure on every shard", func(t *testing.T) {
+		for trial := 0; trial < 25; trial++ {
+			err := runShards(context.Background(), 8, 4, func(ctx context.Context, i int) error {
+				return boom
+			})
+			if !errors.Is(err, boom) {
+				t.Fatalf("trial %d: got %v, want %v", trial, err, boom)
+			}
+		}
+	})
+
+	t.Run("real error beats in-flight cancellation", func(t *testing.T) {
+		// Shards that observe the fail-fast cancel return ctx.Err(); the one
+		// real error must still be the reported one.
+		for trial := 0; trial < 25; trial++ {
+			err := runShards(context.Background(), 8, 4, func(ctx context.Context, i int) error {
+				if i == 2 {
+					return boom
+				}
+				<-ctx.Done()
+				return ctx.Err()
+			})
+			if !errors.Is(err, boom) {
+				t.Fatalf("trial %d: got %v, want %v", trial, err, boom)
+			}
+		}
+	})
+
+	t.Run("parent cancellation surfaces as parent error", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		err := runShards(ctx, 8, 4, func(ctx context.Context, i int) error {
+			return ctx.Err() // shards that started before the flag observed it
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	})
+
+	t.Run("no failure returns nil", func(t *testing.T) {
+		if err := runShards(context.Background(), 8, 4, func(ctx context.Context, i int) error { return nil }); err != nil {
+			t.Fatalf("got %v, want nil", err)
+		}
+	})
 }

@@ -264,6 +264,10 @@ type twigSweep struct {
 	k                                      int
 	tw                                     *twigScratch
 	rootMode                               bool
+	// ec is the evaluation context, polled for cooperative cancellation at
+	// the top of the arrival loop; a cancelled sweep stops and leaves the
+	// context error in ec.cerr for evalPath to propagate.
+	ec *evalCtx
 
 	// depthTie: break exact key ties by depth. Required only when a
 	// vertical axis is in the run — a same-position supporter must be
@@ -292,6 +296,7 @@ func (e *Engine) evalTwigRun(steps []lpath.Step, binds []bind, ctx *evalCtx) []b
 		e: e, steps: steps, k: k, tw: tw,
 		tids: cols.TID, lefts: cols.Left, rights: cols.Right,
 		depths: cols.Depth, ids: cols.ID, pids: cols.PID,
+		ec: ctx,
 	}
 	for i := range steps {
 		switch steps[i].Axis {
@@ -394,6 +399,9 @@ func (sw *twigSweep) group(ctxRows []int32, ctxKeys []int64, scope int32, out []
 	}
 	final := &tw.cur[k]
 	for final.pos < final.hi {
+		if sw.ec.interrupted() {
+			break
+		}
 		// Pick the earliest arrival across all live streams: least cached
 		// (tid, left) key, depth then stream index breaking ties (strict <
 		// keeps the lowest stream, so a supporting occurrence of a row always

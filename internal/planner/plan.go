@@ -131,6 +131,26 @@ type Plan struct {
 // planned (e.g. a trailing attribute step).
 func (p *Plan) Step(s *lpath.Step) *StepPlan { return p.steps[s] }
 
+// StrategyCounts tallies the execution strategies chosen for the main path's
+// steps (including scoped tails): how many run as per-binding probes, as
+// set-at-a-time merges, and as members of holistic twig runs. The serving
+// layer exports these as executor-strategy metrics.
+func (p *Plan) StrategyCounts() (probe, merge, twig int) {
+	for pp := p.Root; pp != nil; pp = pp.Scoped {
+		for _, sp := range pp.Steps {
+			switch sp.Strategy {
+			case StrategyMerge:
+				merge++
+			case StrategyTwig:
+				twig++
+			default:
+				probe++
+			}
+		}
+	}
+	return probe, merge, twig
+}
+
 // SemijoinFor returns the semijoin strategy chosen for a predicate
 // expression, or nil when the predicate runs forward.
 func (p *Plan) SemijoinFor(x lpath.Expr) *Semijoin { return p.semis[x] }

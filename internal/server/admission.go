@@ -1,0 +1,130 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverloaded is returned by Admission.Acquire when the server is at its
+// concurrency limit and the bounded queue is full (or the queue wait timed
+// out). Handlers translate it to HTTP 429.
+var ErrOverloaded = errors.New("server overloaded")
+
+// Admission bounds query concurrency with a token semaphore plus a small
+// bounded waiting room. At most maxInFlight queries evaluate at once; up to
+// maxQueue more may wait up to queueWait for a token; everything beyond that
+// is shed immediately with ErrOverloaded, so overload produces fast 429s
+// instead of a growing goroutine pile-up.
+type Admission struct {
+	tokens    chan struct{}
+	queue     chan struct{}
+	queueWait time.Duration
+
+	admitted atomic.Uint64
+	shed     atomic.Uint64
+	timeouts atomic.Uint64
+}
+
+// NewAdmission creates a controller admitting maxInFlight concurrent
+// queries, queueing at most maxQueue waiters for up to queueWait each.
+// maxInFlight below 1 is clamped to 1; maxQueue below 0 to 0; queueWait at
+// or below 0 disables waiting (queued requests shed immediately unless a
+// token is free).
+func NewAdmission(maxInFlight, maxQueue int, queueWait time.Duration) *Admission {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Admission{
+		tokens:    make(chan struct{}, maxInFlight),
+		queue:     make(chan struct{}, maxQueue),
+		queueWait: queueWait,
+	}
+}
+
+// Acquire admits one query, returning a release function the caller must
+// invoke exactly once when evaluation finishes. It fails fast with
+// ErrOverloaded when the in-flight limit and queue are both saturated, and
+// with ctx.Err() when the caller's context dies while waiting.
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	// Fast path: a token is free, no queueing.
+	select {
+	case a.tokens <- struct{}{}:
+		a.admitted.Add(1)
+		return a.releaseFunc(), nil
+	default:
+	}
+
+	// Reserve a queue slot; a full queue is the shed signal.
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		a.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+	defer func() { <-a.queue }()
+
+	if a.queueWait <= 0 {
+		// One more non-blocking attempt covers the race where a token freed
+		// between the fast path and the queue reservation.
+		select {
+		case a.tokens <- struct{}{}:
+			a.admitted.Add(1)
+			return a.releaseFunc(), nil
+		default:
+			a.shed.Add(1)
+			return nil, ErrOverloaded
+		}
+	}
+
+	timer := time.NewTimer(a.queueWait)
+	defer timer.Stop()
+	select {
+	case a.tokens <- struct{}{}:
+		a.admitted.Add(1)
+		return a.releaseFunc(), nil
+	case <-timer.C:
+		a.timeouts.Add(1)
+		a.shed.Add(1)
+		return nil, ErrOverloaded
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (a *Admission) releaseFunc() func() {
+	var done atomic.Bool
+	return func() {
+		if done.CompareAndSwap(false, true) {
+			<-a.tokens
+		}
+	}
+}
+
+// AdmissionStats is a point-in-time snapshot of the controller.
+type AdmissionStats struct {
+	InFlight int    // queries currently holding a token
+	Queued   int    // requests currently waiting for a token
+	Admitted uint64 // total requests admitted
+	Shed     uint64 // total requests rejected with ErrOverloaded
+	Timeouts uint64 // subset of Shed that waited the full queueWait first
+	Limit    int    // configured in-flight limit
+	QueueCap int    // configured queue capacity
+}
+
+// Stats snapshots the controller's gauges and counters.
+func (a *Admission) Stats() AdmissionStats {
+	return AdmissionStats{
+		InFlight: len(a.tokens),
+		Queued:   len(a.queue),
+		Admitted: a.admitted.Load(),
+		Shed:     a.shed.Load(),
+		Timeouts: a.timeouts.Load(),
+		Limit:    cap(a.tokens),
+		QueueCap: cap(a.queue),
+	}
+}

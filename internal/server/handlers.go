@@ -1,0 +1,334 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// statusClientClosed is the conventional (nginx) code for "client closed
+// request"; it never reaches the disconnected client but keeps the logs and
+// status counters honest.
+const statusClientClosed = 499
+
+// queryRequest is the JSON body of the /v1/query, /v1/count and /v1/explain
+// endpoints.
+type queryRequest struct {
+	// Corpus names the registered corpus; may be empty when exactly one
+	// corpus is loaded.
+	Corpus string `json:"corpus"`
+	// Query is the LPath query text.
+	Query string `json:"query"`
+	// Limit caps the matches returned by /v1/query (0 = server default;
+	// values above the server maximum are clamped). Count is always the
+	// full match count regardless of Limit.
+	Limit int `json:"limit"`
+	// TimeoutMS overrides the server's default per-request deadline, in
+	// milliseconds (0 = default; clamped to the server maximum).
+	TimeoutMS int `json:"timeout_ms"`
+}
+
+// matchJSON is one rendered match.
+type matchJSON struct {
+	Tree int    `json:"tree"`
+	Tag  string `json:"tag"`
+	Text string `json:"text,omitempty"`
+}
+
+// queryResponse is the /v1/query response; /v1/count omits Matches and
+// Truncated; /v1/explain carries Explain instead.
+type queryResponse struct {
+	Corpus    string      `json:"corpus"`
+	Query     string      `json:"query"`
+	Count     int         `json:"count"`
+	Matches   []matchJSON `json:"matches,omitempty"`
+	Truncated bool        `json:"truncated,omitempty"`
+	Explain   string      `json:"explain,omitempty"`
+	Cached    bool        `json:"cached"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeQueryRequest parses and bounds-checks the request body.
+func (s *Server) decodeQueryRequest(w http.ResponseWriter, r *http.Request) (*queryRequest, *Entry, bool) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST with a JSON body")
+		return nil, nil, false
+	}
+	var req queryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return nil, nil, false
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeError(w, http.StatusBadRequest, "missing query")
+		return nil, nil, false
+	}
+	entry, ok := s.registry.Get(req.Corpus)
+	if !ok {
+		if req.Corpus == "" {
+			writeError(w, http.StatusBadRequest, "multiple corpora loaded; specify \"corpus\"")
+		} else {
+			writeError(w, http.StatusNotFound, "unknown corpus %q", req.Corpus)
+		}
+		return nil, nil, false
+	}
+	if req.Limit <= 0 {
+		req.Limit = s.cfg.DefaultLimit
+	}
+	if req.Limit > s.cfg.MaxLimit {
+		req.Limit = s.cfg.MaxLimit
+	}
+	return &req, entry, true
+}
+
+// requestContext derives the evaluation context: the client disconnect (via
+// r.Context()) plus the effective deadline — the request override clamped to
+// the server maximum, or the server default.
+func (s *Server) requestContext(r *http.Request, req *queryRequest) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		d = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if s.cfg.MaxTimeout > 0 && d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	if d <= 0 {
+		return context.WithCancel(r.Context())
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// evalStatus maps an evaluation (or admission) error to its HTTP status.
+func evalStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosed
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// handleEval is the shared core of /v1/query, /v1/count and /v1/explain:
+// decode, admit, consult the result cache, evaluate under the request
+// deadline, cache, respond.
+func (s *Server) handleEval(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		req, entry, ok := s.decodeQueryRequest(w, r)
+		if !ok {
+			return
+		}
+		start := time.Now()
+
+		ctx, cancel := s.requestContext(r, req)
+		defer cancel()
+
+		release, err := s.admission.Acquire(ctx)
+		if err != nil {
+			code := evalStatus(err)
+			if errors.Is(err, ErrOverloaded) {
+				w.Header().Set("Retry-After", "1")
+			}
+			writeError(w, code, "%v", err)
+			s.logRequest(r, kind, req, code, false, time.Since(start), err)
+			return
+		}
+		defer release()
+
+		cacheLimit := req.Limit
+		if kind != "query" {
+			cacheLimit = 0 // count and explain results are limit-independent
+		}
+		key := resultKey{Corpus: entry.Name, Gen: entry.Gen, Kind: kind, Query: req.Query, Limit: cacheLimit}
+		if v, ok := s.cache.Get(key); ok {
+			resp := v.(*queryResponse)
+			out := *resp // shallow copy: per-request fields differ, Matches shared read-only
+			out.Cached = true
+			out.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
+			writeJSON(w, http.StatusOK, &out)
+			s.logRequest(r, kind, req, http.StatusOK, true, time.Since(start), nil)
+			return
+		}
+
+		resp, err := s.evaluate(ctx, kind, entry, req)
+		if err != nil {
+			code := evalStatus(err)
+			writeError(w, code, "%v", err)
+			s.logRequest(r, kind, req, code, false, time.Since(start), err)
+			return
+		}
+		s.cache.Put(key, resp)
+
+		out := *resp
+		out.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
+		writeJSON(w, http.StatusOK, &out)
+		s.logRequest(r, kind, req, http.StatusOK, false, time.Since(start), nil)
+	}
+}
+
+// evaluate runs one uncached evaluation and builds the immutable cacheable
+// response (Cached=false, ElapsedMS unset; the handler stamps both).
+func (s *Server) evaluate(ctx context.Context, kind string, entry *Entry, req *queryRequest) (*queryResponse, error) {
+	resp := &queryResponse{Corpus: entry.Name, Query: req.Query}
+
+	// Count executor strategies once per uncached evaluation, from the same
+	// plan the engine will run; compile errors surface here first.
+	q, err := entry.Corpus.CompileCached(req.Query)
+	if err != nil {
+		return nil, err
+	}
+	if p, m, tw, err := entry.Corpus.Strategies(q); err == nil {
+		s.metrics.AddStrategies(p, m, tw)
+	}
+
+	switch kind {
+	case "query":
+		ms, err := entry.Corpus.SelectTextContext(ctx, req.Query)
+		if err != nil {
+			return nil, err
+		}
+		resp.Count = len(ms)
+		n := len(ms)
+		if n > req.Limit {
+			n = req.Limit
+			resp.Truncated = true
+		}
+		resp.Matches = make([]matchJSON, n)
+		for i := 0; i < n; i++ {
+			resp.Matches[i] = matchJSON{
+				Tree: ms[i].TreeID,
+				Tag:  ms[i].Node.Tag,
+				Text: strings.Join(ms[i].Node.Words(), " "),
+			}
+		}
+	case "count":
+		n, err := entry.Corpus.CountTextContext(ctx, req.Query)
+		if err != nil {
+			return nil, err
+		}
+		resp.Count = n
+	case "explain":
+		report, err := entry.Corpus.ExplainContext(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		resp.Explain = report
+	default:
+		return nil, fmt.Errorf("unknown evaluation kind %q", kind)
+	}
+	return resp, nil
+}
+
+// handleHealthz reports readiness: 200 with the corpus inventory once at
+// least one corpus is registered, 503 before that.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type corpusJSON struct {
+		Name      string `json:"name"`
+		Gen       uint64 `json:"generation"`
+		Sentences int    `json:"sentences"`
+		Nodes     int    `json:"nodes"`
+	}
+	entries := s.registry.Entries()
+	if len(entries) == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "loading", "corpora": []corpusJSON{}})
+		return
+	}
+	out := make([]corpusJSON, len(entries))
+	for i, e := range entries {
+		out[i] = corpusJSON{Name: e.Name, Gen: e.Gen, Sentences: e.Stats.Sentences, Nodes: e.Stats.TreeNodes}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "corpora": out})
+}
+
+// handleMetrics renders the Prometheus text exposition: request metrics plus
+// admission, result-cache and per-corpus plan-cache gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w,
+		func(w io.Writer) {
+			st := s.admission.Stats()
+			fmt.Fprintf(w, "# HELP lpathd_admission_in_flight Queries currently evaluating.\n")
+			fmt.Fprintf(w, "# TYPE lpathd_admission_in_flight gauge\n")
+			fmt.Fprintf(w, "lpathd_admission_in_flight %d\n", st.InFlight)
+			fmt.Fprintf(w, "# HELP lpathd_admission_queued Requests waiting for an evaluation slot.\n")
+			fmt.Fprintf(w, "# TYPE lpathd_admission_queued gauge\n")
+			fmt.Fprintf(w, "lpathd_admission_queued %d\n", st.Queued)
+			fmt.Fprintf(w, "# HELP lpathd_admission_total Admission outcomes.\n")
+			fmt.Fprintf(w, "# TYPE lpathd_admission_total counter\n")
+			fmt.Fprintf(w, "lpathd_admission_total{outcome=\"admitted\"} %d\n", st.Admitted)
+			fmt.Fprintf(w, "lpathd_admission_total{outcome=\"shed\"} %d\n", st.Shed)
+			fmt.Fprintf(w, "lpathd_admission_total{outcome=\"queue_timeout\"} %d\n", st.Timeouts)
+		},
+		func(w io.Writer) {
+			st := s.cache.Stats()
+			fmt.Fprintf(w, "# HELP lpathd_result_cache Result cache counters.\n")
+			fmt.Fprintf(w, "# TYPE lpathd_result_cache counter\n")
+			fmt.Fprintf(w, "lpathd_result_cache{event=\"hit\"} %d\n", st.Hits)
+			fmt.Fprintf(w, "lpathd_result_cache{event=\"miss\"} %d\n", st.Misses)
+			fmt.Fprintf(w, "lpathd_result_cache{event=\"eviction\"} %d\n", st.Evictions)
+			fmt.Fprintf(w, "# HELP lpathd_result_cache_entries Result cache occupancy.\n")
+			fmt.Fprintf(w, "# TYPE lpathd_result_cache_entries gauge\n")
+			fmt.Fprintf(w, "lpathd_result_cache_entries %d\n", st.Len)
+		},
+		func(w io.Writer) {
+			fmt.Fprintf(w, "# HELP lpathd_plan_cache Plan cache counters, by corpus.\n")
+			fmt.Fprintf(w, "# TYPE lpathd_plan_cache counter\n")
+			for _, e := range s.registry.Entries() {
+				st := e.Corpus.PlanCacheStats()
+				fmt.Fprintf(w, "lpathd_plan_cache{corpus=%q,event=\"hit\"} %d\n", e.Name, st.Hits)
+				fmt.Fprintf(w, "lpathd_plan_cache{corpus=%q,event=\"miss\"} %d\n", e.Name, st.Misses)
+				fmt.Fprintf(w, "lpathd_plan_cache{corpus=%q,event=\"eviction\"} %d\n", e.Name, st.Evictions)
+			}
+		},
+	)
+}
+
+// logRequest emits one structured log line per query request.
+func (s *Server) logRequest(r *http.Request, kind string, req *queryRequest, code int, cached bool, elapsed time.Duration, err error) {
+	if s.cfg.Logger == nil {
+		return
+	}
+	attrs := []any{
+		slog.String("endpoint", kind),
+		slog.String("corpus", req.Corpus),
+		slog.String("query", req.Query),
+		slog.Int("status", code),
+		slog.Bool("cached", cached),
+		slog.Duration("elapsed", elapsed),
+		slog.String("remote", r.RemoteAddr),
+	}
+	if err != nil {
+		attrs = append(attrs, slog.String("error", err.Error()))
+		s.cfg.Logger.Warn("query", attrs...)
+		return
+	}
+	s.cfg.Logger.Info("query", attrs...)
+}

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultKey identifies one cacheable response. Gen is the registry swap
+// generation of the corpus the result was computed against, so swapping a
+// corpus makes all of its cached entries unreachable (and InvalidateCorpus
+// frees them promptly).
+type resultKey struct {
+	Corpus string
+	Gen    uint64
+	Kind   string // "query", "count" or "explain"
+	Query  string
+	Limit  int
+}
+
+// ResultCache is a thread-safe LRU of fully rendered query results. Entries
+// are immutable once stored; handlers must not mutate a cached value.
+type ResultCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recent
+	items    map[resultKey]*list.Element
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type resultEntry struct {
+	key   resultKey
+	value any
+}
+
+// NewResultCache creates a cache holding at most capacity results; capacity
+// below 1 disables caching (every Get misses, Put is a no-op).
+func NewResultCache(capacity int) *ResultCache {
+	return &ResultCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[resultKey]*list.Element),
+	}
+}
+
+// Get returns the cached value for the key, marking it most recently used.
+func (c *ResultCache) Get(key resultKey) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		return el.Value.(*resultEntry).value, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores a value, evicting the least recently used entry at capacity.
+func (c *ResultCache) Put(key resultKey, value any) {
+	if c.capacity < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*resultEntry).value = value
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&resultEntry{key: key, value: value})
+	c.items[key] = el
+	if c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*resultEntry).key)
+		c.evictions++
+	}
+}
+
+// InvalidateCorpus drops every entry for the named corpus, regardless of
+// generation. Generation keying already makes stale entries unreachable
+// after a swap; this releases their memory without waiting for LRU churn.
+func (c *ResultCache) InvalidateCorpus(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*resultEntry); e.key.Corpus == name {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+		}
+		el = next
+	}
+}
+
+// ResultCacheStats is a point-in-time snapshot of the cache counters.
+type ResultCacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Len       int
+	Capacity  int
+}
+
+// Stats snapshots the hit/miss/eviction counters.
+func (c *ResultCache) Stats() ResultCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ResultCacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Len:       c.ll.Len(),
+		Capacity:  c.capacity,
+	}
+}

@@ -1,0 +1,87 @@
+package server
+
+import "testing"
+
+func rk(corpus string, gen uint64, query string) resultKey {
+	return resultKey{Corpus: corpus, Gen: gen, Kind: "count", Query: query}
+}
+
+func TestResultCacheLRU(t *testing.T) {
+	c := NewResultCache(2)
+	c.Put(rk("a", 1, "q1"), 1)
+	c.Put(rk("a", 1, "q2"), 2)
+
+	if v, ok := c.Get(rk("a", 1, "q1")); !ok || v.(int) != 1 {
+		t.Fatalf("q1: got %v, %v", v, ok)
+	}
+	// q1 is now most recent; inserting q3 evicts q2.
+	c.Put(rk("a", 1, "q3"), 3)
+	if _, ok := c.Get(rk("a", 1, "q2")); ok {
+		t.Fatal("q2 survived eviction")
+	}
+	if _, ok := c.Get(rk("a", 1, "q1")); !ok {
+		t.Fatal("q1 evicted despite recent use")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Len != 2 {
+		t.Fatalf("stats %+v, want 1 eviction, len 2", st)
+	}
+}
+
+func TestResultCacheGenerationKeying(t *testing.T) {
+	c := NewResultCache(8)
+	c.Put(rk("a", 1, "q"), "old")
+	if _, ok := c.Get(rk("a", 2, "q")); ok {
+		t.Fatal("new generation hit the old generation's entry")
+	}
+	c.Put(rk("a", 2, "q"), "new")
+	if v, _ := c.Get(rk("a", 2, "q")); v != "new" {
+		t.Fatalf("gen 2: got %v", v)
+	}
+	if v, _ := c.Get(rk("a", 1, "q")); v != "old" {
+		t.Fatalf("gen 1: got %v", v)
+	}
+}
+
+func TestResultCacheInvalidateCorpus(t *testing.T) {
+	c := NewResultCache(8)
+	c.Put(rk("a", 1, "q1"), 1)
+	c.Put(rk("a", 2, "q2"), 2)
+	c.Put(rk("b", 1, "q1"), 3)
+	c.InvalidateCorpus("a")
+	if st := c.Stats(); st.Len != 1 {
+		t.Fatalf("len %d after invalidate, want 1", st.Len)
+	}
+	if _, ok := c.Get(rk("b", 1, "q1")); !ok {
+		t.Fatal("unrelated corpus entry dropped")
+	}
+	if _, ok := c.Get(rk("a", 1, "q1")); ok {
+		t.Fatal("invalidated entry still served")
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	c := NewResultCache(0)
+	c.Put(rk("a", 1, "q"), 1)
+	if _, ok := c.Get(rk("a", 1, "q")); ok {
+		t.Fatal("capacity-0 cache stored an entry")
+	}
+	c = NewResultCache(-1)
+	c.Put(rk("a", 1, "q"), 1)
+	if _, ok := c.Get(rk("a", 1, "q")); ok {
+		t.Fatal("negative-capacity cache stored an entry")
+	}
+}
+
+func TestResultCacheUpdateExisting(t *testing.T) {
+	c := NewResultCache(2)
+	key := rk("a", 1, "q")
+	c.Put(key, 1)
+	c.Put(key, 2)
+	if v, _ := c.Get(key); v.(int) != 2 {
+		t.Fatalf("got %v, want updated value 2", v)
+	}
+	if st := c.Stats(); st.Len != 1 {
+		t.Fatalf("len %d, want 1 (update, not insert)", st.Len)
+	}
+}

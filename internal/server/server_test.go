@@ -1,0 +1,276 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lpath"
+)
+
+// testCorpus builds a small deterministic corpus with a plan cache, the way
+// lpathd registers them.
+func testCorpus(t testing.TB) *lpath.Corpus {
+	t.Helper()
+	c, err := lpath.GenerateCorpus("wsj", 0.005, 11, lpath.WithPlanCache(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func newTestServer(t testing.TB, cfg Config) (*Server, *lpath.Corpus) {
+	t.Helper()
+	c := testCorpus(t)
+	reg := NewRegistry()
+	if _, err := reg.Set("wsj", c); err != nil {
+		t.Fatal(err)
+	}
+	return New(reg, cfg), c
+}
+
+func postJSON(t testing.TB, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(b))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func decodeResponse(t testing.TB, w *httptest.ResponseRecorder) queryResponse {
+	t.Helper()
+	var resp queryResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding %q: %v", w.Body.String(), err)
+	}
+	return resp
+}
+
+func TestQueryCountExplainEndpoints(t *testing.T) {
+	s, c := newTestServer(t, Config{})
+	h := s.Handler()
+
+	for _, query := range []string{`//NP`, `//VP/VB-->NN`, `//S[//NP/ADJP]`} {
+		want, err := c.CountText(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		w := postJSON(t, h, "/v1/query", queryRequest{Query: query, Limit: 5})
+		if w.Code != http.StatusOK {
+			t.Fatalf("query %s: status %d: %s", query, w.Code, w.Body.String())
+		}
+		resp := decodeResponse(t, w)
+		if resp.Count != want {
+			t.Errorf("query %s: count %d, want %d", query, resp.Count, want)
+		}
+		if want > 5 && (!resp.Truncated || len(resp.Matches) != 5) {
+			t.Errorf("query %s: %d matches truncated=%v, want 5 truncated", query, len(resp.Matches), resp.Truncated)
+		}
+		if resp.Corpus != "wsj" {
+			t.Errorf("query %s: corpus %q", query, resp.Corpus)
+		}
+
+		w = postJSON(t, h, "/v1/count", queryRequest{Query: query})
+		if w.Code != http.StatusOK {
+			t.Fatalf("count %s: status %d: %s", query, w.Code, w.Body.String())
+		}
+		if resp := decodeResponse(t, w); resp.Count != want || resp.Matches != nil {
+			t.Errorf("count %s: count=%d matches=%d, want count=%d matches=0", query, resp.Count, len(resp.Matches), want)
+		}
+
+		w = postJSON(t, h, "/v1/explain", queryRequest{Query: query})
+		if w.Code != http.StatusOK {
+			t.Fatalf("explain %s: status %d: %s", query, w.Code, w.Body.String())
+		}
+		if resp := decodeResponse(t, w); !strings.Contains(resp.Explain, "plan:") {
+			t.Errorf("explain %s: report %q lacks a plan section", query, resp.Explain)
+		}
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	h := s.Handler()
+
+	cases := []struct {
+		name string
+		path string
+		body any
+		want int
+	}{
+		{"compile error", "/v1/query", queryRequest{Query: `//VP[`}, http.StatusBadRequest},
+		{"missing query", "/v1/query", queryRequest{}, http.StatusBadRequest},
+		{"unknown corpus", "/v1/count", queryRequest{Corpus: "nope", Query: `//NP`}, http.StatusNotFound},
+		{"bad json", "/v1/query", "not json", http.StatusBadRequest},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			w := postJSON(t, h, tt.path, tt.body)
+			if w.Code != tt.want {
+				t.Fatalf("status %d, want %d: %s", w.Code, tt.want, w.Body.String())
+			}
+			var e errorResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Errorf("error body %q not an error JSON", w.Body.String())
+			}
+		})
+	}
+
+	t.Run("GET rejected", func(t *testing.T) {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/query", nil))
+		if w.Code != http.StatusMethodNotAllowed {
+			t.Fatalf("status %d, want 405", w.Code)
+		}
+	})
+}
+
+func TestDeadlineYields504(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based deadline test")
+	}
+	// Force the per-binding probe executor: its nested existential probes
+	// make this query run far past the deadline, with a cancellation
+	// checkpoint on every binding.
+	c, err := lpath.GenerateCorpus("wsj", 0.02, 7, lpath.WithPlanCache(32), lpath.WithoutPlanner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	if _, err := reg.Set("big", c); err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg, Config{CacheSize: -1})
+	h := s.Handler()
+
+	w := postJSON(t, h, "/v1/count", queryRequest{Query: `//_[//_[//_]]`, TimeoutMS: 1})
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", w.Code, w.Body.String())
+	}
+}
+
+func TestResultCacheHitAndInvalidation(t *testing.T) {
+	s, c := newTestServer(t, Config{})
+	h := s.Handler()
+	const query = `//NP/ADJP`
+
+	w := postJSON(t, h, "/v1/count", queryRequest{Query: query})
+	if resp := decodeResponse(t, w); resp.Cached {
+		t.Fatal("first request reported cached")
+	}
+	w = postJSON(t, h, "/v1/count", queryRequest{Query: query})
+	if resp := decodeResponse(t, w); !resp.Cached {
+		t.Fatal("repeat request not served from cache")
+	}
+	if st := s.cache.Stats(); st.Hits != 1 {
+		t.Fatalf("cache stats %+v, want 1 hit", st)
+	}
+
+	// /v1/query with different limits caches separately.
+	w = postJSON(t, h, "/v1/query", queryRequest{Query: query, Limit: 1})
+	if resp := decodeResponse(t, w); resp.Cached {
+		t.Fatal("limit=1 select unexpectedly cached")
+	}
+	w = postJSON(t, h, "/v1/query", queryRequest{Query: query, Limit: 2})
+	if resp := decodeResponse(t, w); resp.Cached {
+		t.Fatal("limit=2 select hit the limit=1 entry")
+	}
+
+	// Swapping the corpus bumps the generation: the old entries must not
+	// serve the new corpus.
+	if _, err := s.registry.Set("wsj", c); err != nil {
+		t.Fatal(err)
+	}
+	s.InvalidateCorpus("wsj")
+	w = postJSON(t, h, "/v1/count", queryRequest{Query: query})
+	if resp := decodeResponse(t, w); resp.Cached {
+		t.Fatal("post-swap request served a stale generation")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	empty := New(NewRegistry(), Config{})
+	w := httptest.NewRecorder()
+	empty.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("empty registry: status %d, want 503", w.Code)
+	}
+
+	s, _ := newTestServer(t, Config{})
+	w = httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("loaded registry: status %d", w.Code)
+	}
+	var body struct {
+		Status  string `json:"status"`
+		Corpora []struct {
+			Name      string `json:"name"`
+			Sentences int    `json:"sentences"`
+		} `json:"corpora"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ok" || len(body.Corpora) != 1 || body.Corpora[0].Name != "wsj" || body.Corpora[0].Sentences == 0 {
+		t.Fatalf("healthz body %s", w.Body.String())
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	h := s.Handler()
+
+	postJSON(t, h, "/v1/query", queryRequest{Query: `//NP`})
+	postJSON(t, h, "/v1/query", queryRequest{Query: `//NP`}) // cache hit
+	postJSON(t, h, "/v1/count", queryRequest{Query: `//VP[`})
+
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		`lpathd_requests_total{endpoint="query",code="200"} 2`,
+		`lpathd_requests_total{endpoint="count",code="400"} 1`,
+		`lpathd_request_duration_seconds_count{endpoint="query"} 2`,
+		`lpathd_result_cache{event="hit"} 1`,
+		`lpathd_admission_total{outcome="admitted"}`,
+		`lpathd_plan_cache{corpus="wsj",event="miss"}`,
+		`lpathd_plan_steps_total{strategy=`,
+		`lpathd_in_flight{endpoint="query"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output lacks %q", want)
+		}
+	}
+}
+
+// TestHTTPRoundTrip exercises the handler over a real listener, the way
+// lpathd serves it.
+func TestHTTPRoundTrip(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/count", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"query":%q}`, `//NP`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

@@ -396,6 +396,18 @@ func (c *Corpus) Select(q *Query) ([]Match, error) {
 	return c.eng.Eval(q.path)
 }
 
+// SelectContext is Select honoring a context: cancellation or an expired
+// deadline interrupts the evaluation cooperatively — the executors poll the
+// context inside their sweeps, so even a long-running serial query returns
+// promptly with the context's error (context.Canceled or
+// context.DeadlineExceeded).
+func (c *Corpus) SelectContext(ctx context.Context, q *Query) ([]Match, error) {
+	if err := c.Build(); err != nil {
+		return nil, err
+	}
+	return c.eng.EvalContext(ctx, q.path)
+}
+
 // Count returns the number of matches of the query, using the engine's
 // count-only pipeline: the same joins as Select, but without the final sort
 // and node materialization. Count always equals len(Select(q)).
@@ -404,6 +416,15 @@ func (c *Corpus) Count(q *Query) (int, error) {
 		return 0, err
 	}
 	return c.eng.Count(q.path)
+}
+
+// CountContext is Count honoring a context, with the same cooperative
+// cancellation guarantees as SelectContext.
+func (c *Corpus) CountContext(ctx context.Context, q *Query) (int, error) {
+	if err := c.Build(); err != nil {
+		return 0, err
+	}
+	return c.eng.CountContext(ctx, q.path)
 }
 
 // Explain plans the query against the corpus statistics, executes the plan
@@ -417,6 +438,16 @@ func (c *Corpus) Explain(q *Query) (string, error) {
 	return c.eng.Explain(q.path)
 }
 
+// ExplainContext is Explain honoring a context for cooperative
+// cancellation: EXPLAIN executes the query, so a deadline bounds it like any
+// other evaluation.
+func (c *Corpus) ExplainContext(ctx context.Context, q *Query) (string, error) {
+	if err := c.Build(); err != nil {
+		return "", err
+	}
+	return c.eng.ExplainContext(ctx, q.path)
+}
+
 // ExplainText is Explain on raw query text.
 func (c *Corpus) ExplainText(text string) (string, error) {
 	q, err := c.CompileCached(text)
@@ -424,6 +455,26 @@ func (c *Corpus) ExplainText(text string) (string, error) {
 		return "", err
 	}
 	return c.Explain(q)
+}
+
+// Strategies plans the query against the current corpus statistics and
+// returns how many of its main-path steps execute as per-binding probes, as
+// set-at-a-time merges, and as members of holistic twig runs (the exec=
+// column of EXPLAIN; see docs/EXECUTION.md). With planning disabled every
+// step counts as a probe.
+func (c *Corpus) Strategies(q *Query) (probe, merge, twig int, err error) {
+	if err := c.Build(); err != nil {
+		return 0, 0, 0, err
+	}
+	plan := c.eng.Plan(q.path)
+	if plan == nil {
+		for p := q.path; p != nil; p = p.Scoped {
+			probe += len(p.Steps)
+		}
+		return probe, 0, 0, nil
+	}
+	probe, merge, twig = plan.StrategyCounts()
+	return probe, merge, twig, nil
 }
 
 // numWorkers resolves the configured worker bound.
@@ -476,10 +527,17 @@ func (c *Corpus) SelectParallelContext(ctx context.Context, q *Query) ([]Match, 
 // no node materialization) and the disjoint per-shard counts are summed.
 // CountParallel always equals len(SelectParallel(q)).
 func (c *Corpus) CountParallel(q *Query) (int, error) {
+	return c.CountParallelContext(context.Background(), q)
+}
+
+// CountParallelContext is CountParallel honoring a context: cancellation
+// abandons shards that have not started and interrupts in-flight shard
+// evaluations cooperatively.
+func (c *Corpus) CountParallelContext(ctx context.Context, q *Query) (int, error) {
 	if err := c.buildShards(); err != nil {
 		return 0, err
 	}
-	return engine.CountParallel(context.Background(), c.shards, q.path, engine.WithWorkers(c.numWorkers()))
+	return engine.CountParallel(ctx, c.shards, q.path, engine.WithWorkers(c.numWorkers()))
 }
 
 // CompileCached compiles a query through the corpus's plan cache (see
@@ -507,12 +565,19 @@ func (c *Corpus) CompileCached(text string) (*Query, error) {
 // query pays parse + validate + cost-based planning once per store build,
 // and each repeat executes the cached plan directly.
 func (c *Corpus) SelectText(text string) ([]Match, error) {
+	return c.SelectTextContext(context.Background(), text)
+}
+
+// SelectTextContext is SelectText honoring a context, with the same
+// cooperative cancellation guarantees as SelectContext — the serving path:
+// compile through the plan cache, evaluate under the request's deadline.
+func (c *Corpus) SelectTextContext(ctx context.Context, text string) ([]Match, error) {
 	if c.planCache == nil {
 		q, err := Compile(text)
 		if err != nil {
 			return nil, err
 		}
-		return c.Select(q)
+		return c.SelectContext(ctx, q)
 	}
 	if err := c.Build(); err != nil {
 		return nil, err
@@ -521,18 +586,23 @@ func (c *Corpus) SelectText(text string) ([]Match, error) {
 	if err != nil {
 		return nil, err
 	}
-	return c.eng.EvalPlan(ast, exec)
+	return c.eng.EvalPlanContext(ctx, ast, exec)
 }
 
 // CountText compiles via the plan cache and counts the matches with the
 // count-only pipeline.
 func (c *Corpus) CountText(text string) (int, error) {
+	return c.CountTextContext(context.Background(), text)
+}
+
+// CountTextContext is CountText honoring a context, like SelectTextContext.
+func (c *Corpus) CountTextContext(ctx context.Context, text string) (int, error) {
 	if c.planCache == nil {
 		q, err := Compile(text)
 		if err != nil {
 			return 0, err
 		}
-		return c.Count(q)
+		return c.CountContext(ctx, q)
 	}
 	if err := c.Build(); err != nil {
 		return 0, err
@@ -541,7 +611,7 @@ func (c *Corpus) CountText(text string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return c.eng.CountPlan(ast, exec)
+	return c.eng.CountPlanContext(ctx, ast, exec)
 }
 
 // cachedPlan resolves text → (AST, executable plan) through the plan cache

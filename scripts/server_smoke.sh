@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# server_smoke.sh — end-to-end smoke test for lpathd against the testdata
+# corpus. Builds the CLI and the server, starts lpathd, waits for /healthz,
+# runs known queries through /v1/query and /v1/count, asserts the counts
+# match the lpath CLI's answers on the same corpus, provokes 429 shedding,
+# and checks /metrics reports the traffic. Exits non-zero on any mismatch.
+#
+# Usage: scripts/server_smoke.sh [port]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PORT="${1:-18080}"
+BASE="http://127.0.0.1:${PORT}"
+CORPUS=testdata/smoke.mrg
+QUERIES=('//NP' '//VP/VBD-->NN' '//S[//NP[//JJ]]')
+
+BIN=$(mktemp -d)
+trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+echo "== building lpath + lpathd"
+go build -o "$BIN/lpath" ./cmd/lpath
+go build -o "$BIN/lpathd" ./cmd/lpathd
+
+echo "== expected counts from the lpath CLI"
+declare -a WANT
+for i in "${!QUERIES[@]}"; do
+    q="${QUERIES[$i]}"
+    WANT[$i]=$("$BIN/lpath" -corpus "$CORPUS" -count "$q" | grep -F "$q: " | awk '{print $(NF-1)}')
+    [ -n "${WANT[$i]}" ] || { echo "FAIL: could not parse CLI count for $q"; exit 1; }
+    echo "   $q -> ${WANT[$i]}"
+done
+
+echo "== starting lpathd on :$PORT"
+"$BIN/lpathd" -corpus "smoke=$CORPUS" -addr "127.0.0.1:$PORT" -quiet &
+SERVER_PID=$!
+
+for _ in $(seq 1 50); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "FAIL: lpathd exited early"; exit 1; }
+    sleep 0.1
+done
+curl -fsS "$BASE/healthz" | grep -q '"status":"ok"' || { echo "FAIL: /healthz not ok"; exit 1; }
+echo "   healthz ok"
+
+# jq-free JSON field extraction: the response is single-line JSON.
+json_int() { sed -n "s/.*\"$1\":\([0-9][0-9]*\).*/\1/p"; }
+
+echo "== /v1/query and /v1/count vs CLI"
+for i in "${!QUERIES[@]}"; do
+    q="${QUERIES[$i]}"
+    body=$(printf '{"query":"%s","limit":3}' "$q")
+
+    got=$(curl -fsS -X POST -d "$body" "$BASE/v1/query" | json_int count)
+    [ "$got" = "${WANT[$i]}" ] || { echo "FAIL: /v1/query $q: got $got, want ${WANT[$i]}"; exit 1; }
+
+    got=$(curl -fsS -X POST -d "$body" "$BASE/v1/count" | json_int count)
+    [ "$got" = "${WANT[$i]}" ] || { echo "FAIL: /v1/count $q: got $got, want ${WANT[$i]}"; exit 1; }
+    echo "   $q -> $got (query+count agree with CLI)"
+done
+
+echo "== /v1/explain returns a plan"
+curl -fsS -X POST -d '{"query":"//NP"}' "$BASE/v1/explain" | grep -q 'plan:' \
+    || { echo "FAIL: /v1/explain lacks a plan"; exit 1; }
+echo "   explain ok"
+
+echo "== overload shedding (max-inflight=1, no queue, expensive queries)"
+# Restart against a larger synthetic corpus so each query runs long enough
+# (~100ms+) for the burst to genuinely overlap the single evaluation slot.
+kill "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true
+"$BIN/lpathd" -gen wsj -scale 0.05 -addr "127.0.0.1:$PORT" -quiet \
+    -max-inflight 1 -max-queue -1 -result-cache -1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+    curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+
+codes=$(for _ in $(seq 1 20); do
+    curl -s -o /dev/null -w '%{http_code}\n' -X POST \
+        -d '{"query":"//_[//_[//_[//_[//_]]]]"}' "$BASE/v1/count" &
+done; wait)
+echo "$codes" | grep -q '^200$' || { echo "FAIL: burst: no request served"; exit 1; }
+echo "$codes" | grep -q '^429$' || { echo "FAIL: burst: nothing shed with a saturated slot"; exit 1; }
+if echo "$codes" | grep -qv -e '^200$' -e '^429$'; then
+    echo "FAIL: burst produced unexpected status codes:"; echo "$codes"; exit 1
+fi
+echo "   burst: $(echo "$codes" | grep -c '^200$') served, $(echo "$codes" | grep -c '^429$') shed"
+
+echo "== /metrics reflects the traffic"
+METRICS=$(curl -fsS "$BASE/metrics")
+echo "$METRICS" | grep 'lpathd_requests_total{endpoint="count",code="200"}' \
+    | grep -qv ' 0$' || { echo "FAIL: no 200s counted for /v1/count"; exit 1; }
+echo "$METRICS" | grep -q 'lpathd_request_duration_seconds_count' \
+    || { echo "FAIL: latency histogram missing"; exit 1; }
+echo "$METRICS" | grep -q 'lpathd_admission_total{outcome="admitted"}' \
+    || { echo "FAIL: admission counters missing"; exit 1; }
+echo "   metrics ok"
+
+echo "PASS: server smoke test"
