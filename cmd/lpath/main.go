@@ -4,10 +4,14 @@
 //
 //	lpath -corpus trees.mrg '//VP{/VB-->NN}'
 //	lpath -gen wsj -scale 0.01 -count '//NP[not(//JJ)]' '//VB->NP'
+//	lpath -gen wsj -save-index wsj.lpx '//NP'
+//	lpath -load-index wsj.lpx '//NP'
 //	lpath -sql '//VB->NP'
 //
-// The corpus is either a Penn-bracketed file (-corpus) or a generated
-// synthetic corpus (-gen wsj|swb with -scale and -seed). With -sql the tool
+// The corpus is a Penn-bracketed file (-corpus), a generated synthetic
+// corpus (-gen wsj|swb with -scale and -seed), or a prebuilt binary store
+// snapshot (-index / -load-index) previously written with -save-index, which
+// memory-maps the labeled relation instead of re-parsing. With -sql the tool
 // prints the relational translation instead of evaluating. With -count only
 // result sizes are printed; otherwise each match is shown as its tree ID,
 // tag and covered words (capped by -limit). -oracle cross-checks the engine
@@ -30,7 +34,8 @@ func main() {
 		corpusFile = flag.String("corpus", "", "Penn-bracketed corpus file")
 		gen        = flag.String("gen", "", "generate a synthetic corpus: wsj or swb")
 		index      = flag.String("index", "", "load a prebuilt store snapshot (see -save-index)")
-		saveIndex  = flag.String("save-index", "", "write the built store snapshot to this file")
+		loadIndex  = flag.String("load-index", "", "alias for -index")
+		saveIndex  = flag.String("save-index", "", "write the built store snapshot (.lpx) to this file")
 		scale      = flag.Float64("scale", 0.01, "synthetic corpus scale (1.0 = paper size)")
 		seed       = flag.Int64("seed", 42, "synthetic corpus seed")
 		sqlOnly    = flag.Bool("sql", false, "print the SQL translation and exit")
@@ -66,19 +71,17 @@ func main() {
 		return
 	}
 
+	if *index == "" {
+		*index = *loadIndex
+	} else if *loadIndex != "" && *loadIndex != *index {
+		fatal(fmt.Errorf("lpath: -index and -load-index disagree"))
+	}
 	c, err := loadCorpus(*corpusFile, *gen, *index, *scale, *seed)
 	if err != nil {
 		fatal(err)
 	}
 	if *saveIndex != "" {
-		f, err := os.Create(*saveIndex)
-		if err != nil {
-			fatal(err)
-		}
-		if err := c.SaveStore(f); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := c.SaveStoreFile(*saveIndex); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote store snapshot to %s\n", *saveIndex)

@@ -11,7 +11,8 @@
 // 10 (labeling-scheme comparison), ablations, planner (cost-based planner
 // on/off), exec (set-at-a-time merge executor on/off with allocation
 // counts), twig (holistic twig executor on/off with allocation counts),
-// par (parallel sharded execution scaling), or all.
+// par (parallel sharded execution scaling), snapshot (binary .lpx cold
+// start vs text parse+build), or all.
 //
 // -scale sets the fraction of the paper's corpus size (1.0 ≈ 49k WSJ
 // sentences / 3.5M nodes; the default 0.05 keeps a full run under a couple
@@ -39,7 +40,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "experiment: 6a 6b 6c 7 8 9 10 ablations planner exec twig par all")
+		fig     = flag.String("fig", "all", "experiment: 6a 6b 6c 7 8 9 10 ablations planner exec twig par snapshot all")
 		scale   = flag.Float64("scale", 0.05, "corpus scale (1.0 = paper size)")
 		seed    = flag.Int64("seed", 42, "corpus seed")
 		csvDir  = flag.String("csv", "", "directory for CSV output (optional)")
@@ -167,6 +168,14 @@ func main() {
 		bench.WriteTwigImpact(os.Stdout, rows)
 		writeCSV(*csvDir, "twig_impact.csv", bench.CSVTwigImpact(rows))
 		writeJSON(*jsonDir, "BENCH_twig.json", func() ([]byte, error) { return bench.JSONTwigImpact(rows) })
+		fmt.Println()
+	}
+	if need("snapshot") {
+		r, err := bench.SnapshotImpact(loadWSJ())
+		check(err)
+		bench.WriteSnapshotImpact(os.Stdout, r)
+		writeCSV(*csvDir, "snapshot_impact.csv", bench.CSVSnapshotImpact(r))
+		writeJSON(*jsonDir, "BENCH_snapshot.json", func() ([]byte, error) { return bench.JSONSnapshotImpact(r) })
 		fmt.Println()
 	}
 	if need("par") {

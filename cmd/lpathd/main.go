@@ -74,36 +74,47 @@ func main() {
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 
 	reg := server.NewRegistry()
-	load := func(spec string, open func(path string) (*lpath.Corpus, error)) {
+	opts := func() []lpath.Option { return []lpath.Option{lpath.WithPlanCache(*planCache)} }
+	// Both -corpus and -index route through the registry's sniffing loader:
+	// snapshot files (by magic, any extension) are memory-mapped, everything
+	// else parses as Penn text, so either flag accepts either format.
+	loadFile := func(spec string) {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
 			path = spec
-			name = strings.TrimSuffix(strings.TrimSuffix(path[strings.LastIndex(path, "/")+1:], ".mrg"), ".idx")
+			name = path[strings.LastIndex(path, "/")+1:]
+			for _, ext := range []string{".mrg", ".idx", ".lpx"} {
+				name = strings.TrimSuffix(name, ext)
+			}
 		}
-		c, err := open(path)
+		start := time.Now()
+		e, format, err := reg.LoadFile(name, path, opts()...)
+		if err != nil {
+			fatal(err)
+		}
+		logger.Info("corpus loaded", "name", name, "path", path, "format", format,
+			"sentences", e.Stats.Sentences, "nodes", e.Stats.TreeNodes,
+			"load", time.Since(start).Round(time.Millisecond).String())
+	}
+	for _, spec := range corpora {
+		loadFile(spec)
+	}
+	for _, spec := range indexes {
+		loadFile(spec)
+	}
+	if *gen != "" {
+		c, err := lpath.GenerateCorpus(*gen, *scale, *seed, opts()...)
 		if err != nil {
 			fatal(err)
 		}
 		start := time.Now()
-		e, err := reg.Set(name, c)
+		e, err := reg.Set(*gen, c)
 		if err != nil {
 			fatal(err)
 		}
-		logger.Info("corpus loaded", "name", name, "path", path,
+		logger.Info("corpus loaded", "name", *gen, "format", "generated",
 			"sentences", e.Stats.Sentences, "nodes", e.Stats.TreeNodes,
-			"build", time.Since(start).Round(time.Millisecond).String())
-	}
-	opts := func() []lpath.Option { return []lpath.Option{lpath.WithPlanCache(*planCache)} }
-	for _, spec := range corpora {
-		load(spec, func(p string) (*lpath.Corpus, error) { return lpath.OpenCorpus(p, opts()...) })
-	}
-	for _, spec := range indexes {
-		load(spec, func(p string) (*lpath.Corpus, error) { return lpath.OpenStore(p, opts()...) })
-	}
-	if *gen != "" {
-		load(*gen, func(string) (*lpath.Corpus, error) {
-			return lpath.GenerateCorpus(*gen, *scale, *seed, opts()...)
-		})
+			"load", time.Since(start).Round(time.Millisecond).String())
 	}
 	if reg.Len() == 0 {
 		fatal(fmt.Errorf("no corpora: provide -corpus NAME=FILE, -index NAME=FILE or -gen wsj|swb"))

@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"lpath/internal/engine"
+	"lpath/internal/lpath"
+	"lpath/internal/relstore"
+	"lpath/internal/relstore/snapshot"
+	"lpath/internal/tree"
+)
+
+// SnapshotResult is the cold-start comparison behind the persistent-snapshot
+// subsystem: starting a query service from Penn-bracketed text (parse +
+// label + sort every index) versus from the binary .lpx snapshot (mmap +
+// validate + slice-cast), on the same corpus, with all evaluation queries
+// cross-checked between the two stores.
+type SnapshotResult struct {
+	Trees int
+	Rows  int
+
+	TextBytes     int64
+	SnapshotBytes int64
+
+	ParseBuild time.Duration // text file → trees → built store
+	Encode     time.Duration // built store → snapshot image
+	Open       time.Duration // snapshot file → mmap → validated store
+
+	Queries int // evaluation queries with identical counts on both stores
+}
+
+// Speedup is the cold-start ratio: text parse+build time over snapshot open
+// time.
+func (r SnapshotResult) Speedup() float64 {
+	if r.Open <= 0 {
+		return 0
+	}
+	return r.ParseBuild.Seconds() / r.Open.Seconds()
+}
+
+// SnapshotImpact measures snapshot cold starts for the corpus under the
+// standard timing protocol (Reps runs, trimmed mean). Both paths read
+// page-cache-warm files, so the comparison isolates CPU cost: parsing and
+// index sorting versus validation over mapped arrays.
+func SnapshotImpact(trees *tree.Corpus) (*SnapshotResult, error) {
+	dir, err := os.MkdirTemp("", "lpath-snapshot-bench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	mrg := filepath.Join(dir, "corpus.mrg")
+	f, err := os.Create(mrg)
+	if err != nil {
+		return nil, err
+	}
+	if err := tree.WriteAll(f, trees); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	res := &SnapshotResult{Trees: trees.Len()}
+	if info, err := os.Stat(mrg); err == nil {
+		res.TextBytes = info.Size()
+	}
+
+	// Cold start from text: parse the Penn file and build every index.
+	var built *relstore.Store
+	res.ParseBuild = TimeIt(func() {
+		r, e := os.Open(mrg)
+		if e != nil {
+			err = e
+			return
+		}
+		c, e := tree.ReadAll(r)
+		r.Close()
+		if e != nil {
+			err = e
+			return
+		}
+		built = relstore.Build(c, relstore.SchemeInterval)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = built.Len()
+
+	// Save: built store → snapshot image → file.
+	res.Encode = TimeIt(func() {
+		if _, e := snapshot.Encode(built); e != nil {
+			err = e
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	lpx := filepath.Join(dir, "corpus.lpx")
+	if err := snapshot.WriteFile(lpx, built); err != nil {
+		return nil, err
+	}
+	if info, err := os.Stat(lpx); err == nil {
+		res.SnapshotBytes = info.Size()
+	}
+
+	// Cold start from the snapshot: mmap, validate, assemble.
+	res.Open = TimeIt(func() {
+		sf, e := snapshot.Open(lpx)
+		if e != nil {
+			err = e
+			return
+		}
+		sf.Close()
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Query identity: every evaluation query must count the same on the
+	// text-built store and the snapshot-loaded store.
+	sf, err := snapshot.Open(lpx)
+	if err != nil {
+		return nil, err
+	}
+	defer sf.Close()
+	fromText, err := engine.New(built)
+	if err != nil {
+		return nil, err
+	}
+	fromSnap, err := engine.New(sf.Store())
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range lpath.EvalQueries {
+		p, err := lpath.Parse(q.Text)
+		if err != nil {
+			return nil, fmt.Errorf("Q%d: %w", q.ID, err)
+		}
+		want, err := fromText.Count(p)
+		if err != nil {
+			return nil, fmt.Errorf("Q%d text store: %w", q.ID, err)
+		}
+		got, err := fromSnap.Count(p)
+		if err != nil {
+			return nil, fmt.Errorf("Q%d snapshot store: %w", q.ID, err)
+		}
+		if got != want {
+			return nil, fmt.Errorf("bench: Q%d counts diverge: snapshot %d, text %d", q.ID, got, want)
+		}
+		res.Queries++
+	}
+	return res, nil
+}
+
+// WriteSnapshotImpact renders the cold-start comparison as text.
+func WriteSnapshotImpact(w io.Writer, r *SnapshotResult) {
+	fmt.Fprintln(w, "Snapshot cold start (text parse+build vs .lpx mmap load)")
+	fmt.Fprintf(w, "  corpus: %d trees, %d rows\n", r.Trees, r.Rows)
+	fmt.Fprintf(w, "  artifact: text %d bytes, snapshot %d bytes (%.2fx)\n",
+		r.TextBytes, r.SnapshotBytes, ratio(float64(r.SnapshotBytes), float64(r.TextBytes)))
+	fmt.Fprintf(w, "  parse+build from text: %s\n", r.ParseBuild.Round(time.Microsecond))
+	fmt.Fprintf(w, "  encode snapshot:       %s\n", r.Encode.Round(time.Microsecond))
+	fmt.Fprintf(w, "  open snapshot (mmap):  %s\n", r.Open.Round(time.Microsecond))
+	fmt.Fprintf(w, "  cold-start speedup:    %.1fx\n", r.Speedup())
+	fmt.Fprintf(w, "  query identity:        %d/%d evaluation queries match\n", r.Queries, len(lpath.EvalQueries))
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// CSVSnapshotImpact renders the comparison as a one-row CSV.
+func CSVSnapshotImpact(r *SnapshotResult) string {
+	var b strings.Builder
+	b.WriteString("trees,rows,text_bytes,snapshot_bytes,parse_build_s,encode_s,open_s,speedup,queries_identical\n")
+	fmt.Fprintf(&b, "%d,%d,%d,%d,%f,%f,%f,%.2f,%d\n",
+		r.Trees, r.Rows, r.TextBytes, r.SnapshotBytes,
+		r.ParseBuild.Seconds(), r.Encode.Seconds(), r.Open.Seconds(), r.Speedup(), r.Queries)
+	return b.String()
+}
+
+// JSONSnapshotImpact renders the comparison as the BENCH_snapshot.json
+// artifact.
+func JSONSnapshotImpact(r *SnapshotResult) ([]byte, error) {
+	return json.MarshalIndent(struct {
+		Trees            int     `json:"trees"`
+		Rows             int     `json:"rows"`
+		TextBytes        int64   `json:"text_bytes"`
+		SnapshotBytes    int64   `json:"snapshot_bytes"`
+		ParseBuildSec    float64 `json:"parse_build_s"`
+		EncodeSec        float64 `json:"encode_s"`
+		OpenSec          float64 `json:"open_s"`
+		Speedup          float64 `json:"speedup"`
+		QueriesIdentical int     `json:"queries_identical"`
+	}{
+		r.Trees, r.Rows, r.TextBytes, r.SnapshotBytes,
+		r.ParseBuild.Seconds(), r.Encode.Seconds(), r.Open.Seconds(),
+		r.Speedup(), r.Queries,
+	}, "", "  ")
+}

@@ -9,6 +9,7 @@
 package planner_test
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -20,11 +21,8 @@ import (
 
 var update = flag.Bool("update", false, "rewrite the golden EXPLAIN snapshots")
 
-func TestGoldenPlans(t *testing.T) {
-	c, err := lpath.GenerateCorpus("wsj", 0.01, 42)
-	if err != nil {
-		t.Fatal(err)
-	}
+func goldenPlans(t *testing.T, c *lpath.Corpus, allowUpdate bool) {
+	t.Helper()
 	for _, eq := range lpath.EvalQueries() {
 		name := fmt.Sprintf("q%02d", eq.ID)
 		t.Run(name, func(t *testing.T) {
@@ -34,7 +32,7 @@ func TestGoldenPlans(t *testing.T) {
 			}
 			got += "\n"
 			path := filepath.Join("testdata", name+".golden")
-			if *update {
+			if allowUpdate && *update {
 				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
 					t.Fatal(err)
 				}
@@ -49,4 +47,32 @@ func TestGoldenPlans(t *testing.T) {
 			}
 		})
 	}
+}
+
+func TestGoldenPlans(t *testing.T) {
+	c, err := lpath.GenerateCorpus("wsj", 0.01, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenPlans(t, c, true)
+}
+
+// TestGoldenPlansFromSnapshot pins that a snapshot round trip preserves the
+// statistics the planner reads: the store saved to the binary snapshot format
+// and loaded back must produce the exact same EXPLAIN output — same access
+// paths, same cardinality estimates — as the freshly built store.
+func TestGoldenPlansFromSnapshot(t *testing.T) {
+	built, err := lpath.GenerateCorpus("wsj", 0.01, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := built.SaveStore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c, err := lpath.LoadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenPlans(t, c, false)
 }

@@ -1,7 +1,6 @@
 package relstore
 
 import (
-	"bytes"
 	"testing"
 
 	"lpath/internal/tree"
@@ -60,16 +59,12 @@ func TestColumnarSurvivesSnapshot(t *testing.T) {
 	c := tree.NewCorpus()
 	c.Add(tree.Figure1())
 	s := Build(c, SchemeInterval)
-	var buf bytes.Buffer
-	if err := s.WriteSnapshot(&buf); err != nil {
-		t.Fatal(err)
-	}
-	loaded, _, err := ReadSnapshot(&buf)
+	loaded, _, err := Assemble(s.Parts())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if loaded.Len() != s.Len() {
-		t.Fatalf("snapshot Len = %d, want %d", loaded.Len(), s.Len())
+		t.Fatalf("assembled Len = %d, want %d", loaded.Len(), s.Len())
 	}
 	checkColumnar(t, loaded)
 }

@@ -1,0 +1,233 @@
+package relstore
+
+import (
+	"reflect"
+	"testing"
+
+	"lpath/internal/tree"
+)
+
+// assembleRoundTrip flattens a built store and reassembles it, failing the
+// test on any validation error.
+func assembleRoundTrip(t *testing.T, c *tree.Corpus, scheme Scheme) (*Store, *Store, *tree.Corpus) {
+	t.Helper()
+	orig := Build(c, scheme)
+	loaded, corpus, err := Assemble(orig.Parts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return orig, loaded, corpus
+}
+
+// checkStoreEqual compares every index structure the engine reads, including
+// the unexported ones a black-box test cannot reach.
+func checkStoreEqual(t *testing.T, orig, loaded *Store) {
+	t.Helper()
+	if loaded.scheme != orig.scheme || loaded.treeCount != orig.treeCount {
+		t.Fatalf("scheme/treeCount = %v/%d, want %v/%d",
+			loaded.scheme, loaded.treeCount, orig.scheme, orig.treeCount)
+	}
+	if !reflect.DeepEqual(loaded.rows, orig.rows) {
+		t.Error("rows differ")
+	}
+	if !reflect.DeepEqual(loaded.cols, orig.cols) {
+		t.Error("cols differ")
+	}
+	if !reflect.DeepEqual(loaded.rowSeq, orig.rowSeq) {
+		t.Error("rowSeq differs")
+	}
+	if !reflect.DeepEqual(loaded.nameIdx, orig.nameIdx) {
+		t.Error("nameIdx differs")
+	}
+	if !reflect.DeepEqual(loaded.rightIdx, orig.rightIdx) {
+		t.Error("rightIdx differs")
+	}
+	if !reflect.DeepEqual(loaded.docIdx, orig.docIdx) {
+		t.Errorf("docIdx differs: %v vs %v", loaded.docIdx, orig.docIdx)
+	}
+	if !reflect.DeepEqual(loaded.valueIdx, orig.valueIdx) {
+		t.Error("valueIdx differs")
+	}
+	if !reflect.DeepEqual(loaded.idIdx, orig.idIdx) {
+		t.Error("idIdx differs")
+	}
+	if !reflect.DeepEqual(loaded.attrIdx, orig.attrIdx) {
+		t.Error("attrIdx differs")
+	}
+	if !reflect.DeepEqual(loaded.childIdx, orig.childIdx) {
+		t.Error("childIdx differs")
+	}
+	if !reflect.DeepEqual(loaded.rootRows, orig.rootRows) {
+		t.Error("rootRows differ")
+	}
+	if !reflect.DeepEqual(loaded.elemsByLeft, orig.elemsByLeft) {
+		t.Error("elemsByLeft differs")
+	}
+	if !reflect.DeepEqual(loaded.elemsByRight, orig.elemsByRight) {
+		t.Error("elemsByRight differs")
+	}
+	if !reflect.DeepEqual(loaded.clusterKeys, orig.clusterKeys) {
+		t.Error("clusterKeys differ")
+	}
+	if !reflect.DeepEqual(loaded.docKeys, orig.docKeys) {
+		t.Error("docKeys differ")
+	}
+	if !reflect.DeepEqual(loaded.elemKeys, orig.elemKeys) {
+		t.Error("elemKeys differ")
+	}
+	if !reflect.DeepEqual(loaded.stats, orig.stats) {
+		t.Errorf("stats differ:\n got %+v\nwant %+v", loaded.stats, orig.stats)
+	}
+}
+
+func TestPartsRoundTrip(t *testing.T) {
+	c := tree.NewCorpus()
+	c.Add(tree.Figure1())
+	c.Add(tree.MustParseTree(`(S (NP-SBJ (-NONE- *T*-1)) (VP (VBD saw)))`))
+	// A unary same-name chain: rightIdx order is only total with the depth
+	// tiebreak, which the snapshot layer depends on.
+	c.Add(tree.MustParseTree(`(NP (NP (NP x)))`))
+	orig, loaded, corpus := assembleRoundTrip(t, c, SchemeInterval)
+	checkStoreEqual(t, orig, loaded)
+
+	// Reconstructed trees match the originals structurally.
+	if corpus.Len() != c.Len() {
+		t.Fatalf("corpus len = %d", corpus.Len())
+	}
+	for i := range c.Trees {
+		if got, want := corpus.Trees[i].Root.String(), c.Trees[i].Root.String(); got != want {
+			t.Errorf("tree %d:\n got %s\nwant %s", i+1, got, want)
+		}
+		if corpus.Trees[i].ID != c.Trees[i].ID {
+			t.Errorf("tree %d id = %d", i, corpus.Trees[i].ID)
+		}
+	}
+	if err := corpus.Validate(); err != nil {
+		t.Error(err)
+	}
+	// NodeFor maps into the reconstructed trees.
+	saw := loaded.ByValue("saw")
+	if len(saw) != 2 {
+		t.Fatalf("ByValue(saw) = %d", len(saw))
+	}
+	for _, ri := range saw {
+		if n := loaded.NodeFor(loaded.Row(ri)); n == nil || n.Word != "saw" {
+			t.Errorf("NodeFor = %v", n)
+		}
+	}
+}
+
+func TestPartsStartEndScheme(t *testing.T) {
+	c := tree.NewCorpus()
+	c.Add(tree.Figure1())
+	orig, loaded, _ := assembleRoundTrip(t, c, SchemeStartEnd)
+	checkStoreEqual(t, orig, loaded)
+}
+
+func TestPartsEmpty(t *testing.T) {
+	_, loaded, corpus := assembleRoundTrip(t, tree.NewCorpus(), SchemeInterval)
+	if loaded.Len() != 0 || corpus.Len() != 0 {
+		t.Errorf("empty store: %d rows, %d trees", loaded.Len(), corpus.Len())
+	}
+}
+
+// cloneParts deep-copies parts so corruption tests can mutate freely (Parts
+// aliases store internals).
+func cloneParts(p *Parts) *Parts {
+	q := *p
+	q.Names = append([]string(nil), p.Names...)
+	q.NameStarts = append([]int32(nil), p.NameStarts...)
+	q.Values = append([]string(nil), p.Values...)
+	q.ValueStarts = append([]int32(nil), p.ValueStarts...)
+	q.ValuePost = append([]int32(nil), p.ValuePost...)
+	q.Cols = Cols{
+		TID:   append([]int32(nil), p.Cols.TID...),
+		Left:  append([]int32(nil), p.Cols.Left...),
+		Right: append([]int32(nil), p.Cols.Right...),
+		Depth: append([]int32(nil), p.Cols.Depth...),
+		ID:    append([]int32(nil), p.Cols.ID...),
+		PID:   append([]int32(nil), p.Cols.PID...),
+	}
+	q.RightStarts = append([]int32(nil), p.RightStarts...)
+	q.RightPost = append([]int32(nil), p.RightPost...)
+	q.DocNames = append([]int32(nil), p.DocNames...)
+	q.DocStarts = append([]int32(nil), p.DocStarts...)
+	q.DocPost = append([]int32(nil), p.DocPost...)
+	q.ElemsByLeft = append([]int32(nil), p.ElemsByLeft...)
+	q.ElemsByRight = append([]int32(nil), p.ElemsByRight...)
+	q.Stats.DepthHist = append([]int64(nil), p.Stats.DepthHist...)
+	q.Stats.NameFanout = append([]float64(nil), p.Stats.NameFanout...)
+	q.Stats.NameSpan = append([]float64(nil), p.Stats.NameSpan...)
+	return &q
+}
+
+func TestAssembleRejectsCorruptParts(t *testing.T) {
+	c := tree.NewCorpus()
+	c.Add(tree.Figure1())
+	c.Add(tree.MustParseTree(`(S (NP (Det the) (N cat)) (VP (V sat)))`))
+	base := Build(c, SchemeInterval).Parts()
+	if _, _, err := Assemble(cloneParts(base)); err != nil {
+		t.Fatalf("pristine parts rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(p *Parts)
+	}{
+		{"nil parts is rejected upstream", nil},
+		{"bad scheme", func(p *Parts) { p.Scheme = Scheme(9) }},
+		{"negative tree count", func(p *Parts) { p.TreeCount = -1 }},
+		{"short column", func(p *Parts) { p.Cols.PID = p.Cols.PID[:len(p.Cols.PID)-1] }},
+		{"name starts length", func(p *Parts) { p.NameStarts = p.NameStarts[:len(p.NameStarts)-1] }},
+		{"names unsorted", func(p *Parts) { p.Names[0], p.Names[1] = p.Names[1], p.Names[0] }},
+		{"empty name", func(p *Parts) { p.Names[0] = "" }},
+		{"rows misordered", func(p *Parts) {
+			// Swap two rows inside the first name range (Figure1 has several
+			// NP rows) by swapping their columns.
+			i, j := int(p.NameStarts[0]), int(p.NameStarts[0])+1
+			for _, col := range [][]int32{p.Cols.TID, p.Cols.Left, p.Cols.Right, p.Cols.Depth, p.Cols.ID, p.Cols.PID} {
+				col[i], col[j] = col[j], col[i]
+			}
+		}},
+		{"value posting out of range", func(p *Parts) { p.ValuePost[0] = int32(len(p.Cols.TID)) }},
+		{"value posting on element", func(p *Parts) { p.ValuePost[0] = p.ElemsByLeft[0] }},
+		{"right posting out of name range", func(p *Parts) { p.RightPost[0] = p.NameStarts[len(p.NameStarts)-1] - 1 }},
+		{"right postings misordered", func(p *Parts) {
+			// Reverse the largest per-name posting list.
+			var lo, hi int32
+			for i := range p.Names {
+				if p.RightStarts[i+1]-p.RightStarts[i] > hi-lo {
+					lo, hi = p.RightStarts[i], p.RightStarts[i+1]
+				}
+			}
+			post := p.RightPost[lo:hi]
+			for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+				post[i], post[j] = post[j], post[i]
+			}
+		}},
+		{"elems-by-left repeats", func(p *Parts) { p.ElemsByLeft[1] = p.ElemsByLeft[0] }},
+		{"elems-by-right misordered", func(p *Parts) {
+			p.ElemsByRight[0], p.ElemsByRight[len(p.ElemsByRight)-1] =
+				p.ElemsByRight[len(p.ElemsByRight)-1], p.ElemsByRight[0]
+		}},
+		{"element count mismatch", func(p *Parts) { p.Stats.Elements++ }},
+		{"histogram mismatch", func(p *Parts) { p.Stats.DepthHist[0]++ }},
+		{"histogram length", func(p *Parts) { p.Stats.MaxDepth++ }},
+		{"fanout length", func(p *Parts) { p.Stats.NameFanout = p.Stats.NameFanout[:1] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.mutate == nil {
+				if _, _, err := Assemble(nil); err == nil {
+					t.Fatal("Assemble(nil) succeeded")
+				}
+				return
+			}
+			p := cloneParts(base)
+			tc.mutate(p)
+			if _, _, err := Assemble(p); err == nil {
+				t.Fatal("corrupt parts accepted")
+			}
+		})
+	}
+}

@@ -283,7 +283,12 @@ func (s *Store) buildIndexes() {
 			if ra.Right != rb.Right {
 				return ra.Right < rb.Right
 			}
-			return ra.Left < rb.Left
+			if ra.Left != rb.Left {
+				return ra.Left < rb.Left
+			}
+			// Same-name unary chains share (left, right); break the tie by
+			// depth so the order is total and snapshot-stable.
+			return ra.Depth < rb.Depth
 		})
 		s.rightIdx[name] = idxs
 	}
@@ -333,7 +338,13 @@ func (s *Store) buildIndexes() {
 			if ra.TID != rb.TID {
 				return ra.TID < rb.TID
 			}
-			return ra.ID < rb.ID
+			if ra.ID != rb.ID {
+				return ra.ID < rb.ID
+			}
+			// Two attributes of one element can share a value; order the
+			// tie by row index so the posting order is total and
+			// snapshot-stable.
+			return idxs[a] < idxs[b]
 		})
 		s.valueIdx[v] = idxs
 	}
@@ -370,7 +381,12 @@ func (s *Store) buildIndexes() {
 		if ra.Right != rb.Right {
 			return ra.Right < rb.Right
 		}
-		return ra.Left < rb.Left
+		if ra.Left != rb.Left {
+			return ra.Left < rb.Left
+		}
+		// Unary chains share (left, right); depth makes the order total and
+		// snapshot-stable.
+		return ra.Depth < rb.Depth
 	})
 	// Packed document-order sort keys: the clustered array first, then a
 	// parallel slice for every kept permutation (built by indirection into

@@ -1,0 +1,26 @@
+package snapshot
+
+import (
+	"path/filepath"
+	"testing"
+
+	"lpath/internal/corpus"
+	"lpath/internal/relstore"
+)
+
+func BenchmarkOpen(b *testing.B) {
+	c := corpus.Generate(corpus.Config{Profile: corpus.WSJ, Scale: 0.05, Seed: 42})
+	s := relstore.Build(c, relstore.SchemeInterval)
+	path := filepath.Join(b.TempDir(), "c.lpx")
+	if err := WriteFile(path, s); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Close()
+	}
+}

@@ -1,0 +1,93 @@
+package snapshot
+
+import (
+	"fmt"
+	"os"
+
+	"lpath/internal/relstore"
+	"lpath/internal/tree"
+)
+
+// File is a snapshot opened from disk: the decoded store and corpus plus the
+// backing buffer they alias. On platforms with mmap the buffer is the mapped
+// file, so loading faults in only the pages the validation pass and queries
+// actually touch, and the page cache is shared across processes serving the
+// same corpus.
+type File struct {
+	store  *relstore.Store
+	corpus *tree.Corpus
+	data   []byte
+	unmap  func([]byte) error // nil when the buffer is heap memory
+}
+
+// Open maps (or, where mmap is unavailable, reads) the snapshot at path and
+// decodes it. The returned store and corpus remain valid until Close.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	data, unmap, err := mapFile(f, info.Size())
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	store, corpus, err := Decode(data)
+	if err != nil {
+		if unmap != nil {
+			unmap(data)
+		}
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &File{store: store, corpus: corpus, data: data, unmap: unmap}, nil
+}
+
+// Store returns the decoded store. It aliases the mapped file and must not
+// be used after Close.
+func (f *File) Store() *relstore.Store { return f.store }
+
+// Corpus returns the reconstructed corpus trees. Tree structure is heap
+// memory, but tag and attribute strings alias the mapped file and must not
+// be used after Close.
+func (f *File) Corpus() *tree.Corpus { return f.corpus }
+
+// Size returns the snapshot size in bytes.
+func (f *File) Size() int64 { return int64(len(f.data)) }
+
+// Mapped reports whether the snapshot is mmap-backed (as opposed to read
+// into heap memory).
+func (f *File) Mapped() bool { return f.unmap != nil }
+
+// Close releases the mapping. The store and corpus must not be touched
+// afterwards; closing is safe to skip for process-lifetime snapshots (the
+// mapping is reclaimed at exit).
+func (f *File) Close() error {
+	if f.unmap == nil {
+		f.data = nil
+		return nil
+	}
+	unmap := f.unmap
+	f.unmap = nil
+	data := f.data
+	f.data = nil
+	return unmap(data)
+}
+
+// SniffFile reports whether the file at path starts with the snapshot magic.
+func SniffFile(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	prefix := make([]byte, len(Magic))
+	n, err := f.Read(prefix)
+	if err != nil || n < len(prefix) {
+		return false, nil // too short to be a snapshot; not an I/O failure for the caller
+	}
+	return Sniff(prefix), nil
+}

@@ -1,0 +1,62 @@
+package snapshot
+
+import (
+	"testing"
+
+	"lpath/internal/relstore"
+	"lpath/internal/tree"
+)
+
+// FuzzSnapshotLoad feeds arbitrary bytes to the full load path. The contract
+// under fuzz: a load either succeeds on a structurally valid image or fails
+// with a typed format error — it never panics and never silently accepts a
+// broken file. Successful loads must survive a re-encode/decode cycle.
+func FuzzSnapshotLoad(f *testing.F) {
+	c := tree.NewCorpus()
+	c.Add(tree.Figure1())
+	c.Add(tree.MustParseTree(`(S (NP-SBJ (-NONE- *T*-1)) (VP (VBD saw)))`))
+	valid, err := Encode(relstore.Build(c, relstore.SchemeInterval))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-3])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x80
+	f.Add(flipped)
+	empty, err := Encode(relstore.Build(tree.NewCorpus(), relstore.SchemeInterval))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, corpus, err := Decode(data)
+		if err != nil {
+			if !IsFormatError(err) {
+				t.Fatalf("untyped load error: %v", err)
+			}
+			return
+		}
+		// Whatever decoded must be internally consistent enough to encode
+		// again and reload identically.
+		if s == nil || corpus == nil {
+			t.Fatal("nil store/corpus without error")
+		}
+		again, err := Encode(s)
+		if err != nil {
+			t.Fatalf("re-encode of an accepted store failed: %v", err)
+		}
+		s2, _, err := Decode(again)
+		if err != nil {
+			t.Fatalf("re-decode of an accepted store failed: %v", err)
+		}
+		if s2.Len() != s.Len() || s2.TreeCount() != s.TreeCount() {
+			t.Fatalf("re-decode changed shape: %d/%d vs %d/%d",
+				s2.Len(), s2.TreeCount(), s.Len(), s.TreeCount())
+		}
+	})
+}

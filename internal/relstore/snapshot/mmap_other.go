@@ -1,0 +1,18 @@
+//go:build !(darwin || dragonfly || freebsd || linux || netbsd || openbsd)
+
+package snapshot
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile reads the file into heap memory on platforms without the unix
+// mmap syscall surface; the zero-copy decode path is unchanged.
+func mapFile(f *os.File, size int64) ([]byte, func([]byte) error, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, nil, nil
+}

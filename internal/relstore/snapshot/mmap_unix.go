@@ -1,0 +1,34 @@
+//go:build darwin || dragonfly || freebsd || linux || netbsd || openbsd
+
+package snapshot
+
+import (
+	"io"
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file read-only. Empty files get a heap buffer (mmap of
+// length 0 is an error on most kernels).
+func mapFile(f *os.File, size int64) ([]byte, func([]byte) error, error) {
+	if size <= 0 {
+		return []byte{}, nil, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, syscall.EFBIG
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Fall back to a plain read (e.g. files on filesystems without mmap).
+		return readFallback(f, size)
+	}
+	return data, syscall.Munmap, nil
+}
+
+func readFallback(f *os.File, size int64) ([]byte, func([]byte) error, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, nil, nil
+}

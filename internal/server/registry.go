@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"lpath"
+	"lpath/internal/relstore/snapshot"
 )
 
 // Entry is one registered corpus: the queryable corpus itself plus the
@@ -69,6 +70,35 @@ func (r *Registry) Set(name string, c *lpath.Corpus) (*Entry, error) {
 	e := &Entry{Name: name, Gen: r.gen, Corpus: c, Stats: st}
 	r.entries[name] = e
 	return e, nil
+}
+
+// LoadFile registers the corpus stored at path under name, sniffing the file
+// format: binary store snapshots (.lpx files, recognized by magic) are
+// memory-mapped via lpath.OpenStore — so startup reads and validates flat
+// arrays instead of re-parsing and re-indexing — and anything else is parsed
+// as Penn-bracketed text. It returns the entry and the detected format
+// ("snapshot" or "text").
+func (r *Registry) LoadFile(name, path string, opts ...lpath.Option) (*Entry, string, error) {
+	snap, err := snapshot.SniffFile(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("server: loading corpus %q: %w", name, err)
+	}
+	var c *lpath.Corpus
+	format := "text"
+	if snap {
+		format = "snapshot"
+		c, err = lpath.OpenStore(path, opts...)
+	} else {
+		c, err = lpath.OpenCorpus(path, opts...)
+	}
+	if err != nil {
+		return nil, "", fmt.Errorf("server: loading corpus %q: %w", name, err)
+	}
+	e, err := r.Set(name, c)
+	if err != nil {
+		return nil, "", err
+	}
+	return e, format, nil
 }
 
 // Get resolves a corpus by name. The empty name resolves iff exactly one

@@ -31,6 +31,7 @@ import (
 	ast "lpath/internal/lpath"
 	"lpath/internal/planner"
 	"lpath/internal/relstore"
+	"lpath/internal/relstore/snapshot"
 	"lpath/internal/sqlgen"
 	"lpath/internal/tree"
 	"lpath/internal/treeval"
@@ -115,6 +116,9 @@ type Corpus struct {
 	// gen counts store rebuilds; cached executable plans are keyed to it so
 	// a rebuilt corpus (new statistics) invalidates plans but not ASTs.
 	gen uint64
+	// closer releases the backing resources of a snapshot-loaded corpus
+	// (the mmap of OpenStore); see Close.
+	closer func() error
 	// noPlanner disables cost-based planning on every engine this corpus
 	// builds (see WithoutPlanner).
 	noPlanner bool
@@ -305,45 +309,77 @@ func (c *Corpus) Stats() Stats { return corpus.Measure(c.trees) }
 // Save writes the corpus in bracketed format.
 func (c *Corpus) Save(w io.Writer) error { return tree.WriteAll(w, c.trees) }
 
-// SaveStore writes the corpus's interval-label store as a binary snapshot,
-// building it first if needed. A snapshot contains the complete labeled
-// relation, so LoadStore can answer queries without re-parsing or
-// re-labeling — the paper's "label once, query many times" workflow.
+// SaveStore writes the corpus's interval-label store as a binary snapshot
+// (the .lpx format of internal/relstore/snapshot), building it first if
+// needed. A snapshot contains the complete built index — clustered rows,
+// columnar label arrays, every posting permutation, and the planner's
+// statistics block — so LoadStore answers queries without re-parsing,
+// re-labeling, or re-sorting anything: the paper's "label once, query many
+// times" workflow.
 func (c *Corpus) SaveStore(w io.Writer) error {
 	if err := c.Build(); err != nil {
 		return err
 	}
-	return c.store.WriteSnapshot(w)
+	return snapshot.Write(w, c.store)
+}
+
+// SaveStoreFile writes the store snapshot to path atomically (temp file +
+// rename), building the index first if needed.
+func (c *Corpus) SaveStoreFile(path string) error {
+	if err := c.Build(); err != nil {
+		return err
+	}
+	return snapshot.WriteFile(path, c.store)
 }
 
 // LoadStore reads a store snapshot written by SaveStore and returns a
 // ready-to-query corpus with its trees reconstructed from the relation.
+// Every load failure — truncation, bit corruption, version skew — is
+// reported as a typed error from internal/relstore/snapshot; a snapshot
+// never loads silently wrong.
 func LoadStore(r io.Reader, opts ...Option) (*Corpus, error) {
-	store, trees, err := relstore.ReadSnapshot(r)
+	store, trees, err := snapshot.Read(r)
 	if err != nil {
 		return nil, err
 	}
-	eng, err := engine.New(store)
+	return corpusFromStore(store, trees, nil, opts...)
+}
+
+// OpenStore memory-maps a store snapshot file. Loading is lazy at page
+// granularity: validation and queries fault in only the pages they touch,
+// and the kernel page cache shares the index across processes. The mapping
+// lives until Close (or process exit).
+func OpenStore(path string, opts ...Option) (*Corpus, error) {
+	f, err := snapshot.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	c := &Corpus{trees: trees, store: store, eng: eng, shardsDirty: true}
+	return corpusFromStore(f.Store(), f.Corpus(), f.Close, opts...)
+}
+
+// corpusFromStore wraps an already-built store (from a snapshot) in a
+// Corpus, honoring the configured engine options.
+func corpusFromStore(store *relstore.Store, trees *tree.Corpus, closer func() error, opts ...Option) (*Corpus, error) {
+	c := &Corpus{trees: trees, store: store, shardsDirty: true, closer: closer}
 	c.Configure(opts...)
+	eng, err := engine.New(store, c.engineOpts()...)
+	if err != nil {
+		return nil, err
+	}
+	c.eng = eng
 	return c, nil
 }
 
-// OpenStore reads a store snapshot from a file.
-func OpenStore(path string, opts ...Option) (*Corpus, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
+// Close releases resources held by a snapshot-backed corpus (the mmap of
+// OpenStore). It is a no-op for corpora built from trees. The corpus must
+// not be queried after Close.
+func (c *Corpus) Close() error {
+	if c.closer == nil {
+		return nil
 	}
-	defer f.Close()
-	c, err := LoadStore(f, opts...)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return c, nil
+	closer := c.closer
+	c.closer = nil
+	return closer()
 }
 
 // Build constructs the interval-label store and indexes eagerly. Queries

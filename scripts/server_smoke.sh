@@ -58,6 +58,29 @@ for i in "${!QUERIES[@]}"; do
     echo "   $q -> $got (query+count agree with CLI)"
 done
 
+echo "== save-then-serve: snapshot the corpus, serve it, recheck counts"
+SNAPSHOT="${LPX_SNAPSHOT:-}"
+if [ -z "$SNAPSHOT" ] || [ ! -f "$SNAPSHOT" ]; then
+    SNAPSHOT="$BIN/smoke.lpx"
+    "$BIN/lpath" -corpus "$CORPUS" -save-index "$SNAPSHOT" -count '//NP' >/dev/null
+else
+    echo "   using prebuilt snapshot $SNAPSHOT"
+fi
+kill "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true
+"$BIN/lpathd" -index "smoke=$SNAPSHOT" -addr "127.0.0.1:$PORT" -quiet &
+SERVER_PID=$!
+for _ in $(seq 1 50); do
+    curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "FAIL: lpathd -index exited early"; exit 1; }
+    sleep 0.1
+done
+for i in "${!QUERIES[@]}"; do
+    q="${QUERIES[$i]}"
+    got=$(curl -fsS -X POST -d "$(printf '{"query":"%s"}' "$q")" "$BASE/v1/count" | json_int count)
+    [ "$got" = "${WANT[$i]}" ] || { echo "FAIL: snapshot-served $q: got $got, want ${WANT[$i]}"; exit 1; }
+    echo "   $q -> $got (snapshot agrees with text)"
+done
+
 echo "== /v1/explain returns a plan"
 curl -fsS -X POST -d '{"query":"//NP"}' "$BASE/v1/explain" | grep -q 'plan:' \
     || { echo "FAIL: /v1/explain lacks a plan"; exit 1; }
