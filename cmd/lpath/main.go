@@ -13,8 +13,10 @@
 // snapshot (-index / -load-index) previously written with -save-index, which
 // memory-maps the labeled relation instead of re-parsing. With -sql the tool
 // prints the relational translation instead of evaluating. With -count only
-// result sizes are printed; otherwise each match is shown as its tree ID,
-// tag and covered words (capped by -limit). -oracle cross-checks the engine
+// result sizes are printed (via the count-only pipeline); otherwise each
+// match is shown as its tree ID, tag and covered words, and -limit is pushed
+// into the engine — evaluation stops one match past the limit instead of
+// computing the full result set. -oracle cross-checks the engine
 // against the reference evaluator and reports any disagreement. -explain
 // prints each query's cost-based plan (chosen access paths, predicate order,
 // semijoins) with estimated vs actual cardinalities instead of the matches.
@@ -90,30 +92,31 @@ func main() {
 	fmt.Printf("corpus: %d trees, %d nodes, %d words\n\n", st.Sentences, st.TreeNodes, st.Words)
 
 	for _, q := range queries {
-		if *explain {
+		switch {
+		case *explain:
 			report, err := c.Explain(q)
 			if err != nil {
 				fatal(err)
 			}
 			fmt.Println(report)
 			continue
-		}
-		ms, err := c.Select(q)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("%s: %d matches\n", q, len(ms))
-		if !*countOnly {
-			for i, m := range ms {
-				if i >= *limit {
-					fmt.Printf("  ... and %d more\n", len(ms)-*limit)
-					break
-				}
-				fmt.Printf("  tree %d: %s[%s]\n", m.TreeID, m.Node.Tag,
-					strings.Join(m.Node.Words(), " "))
+		case *oracle:
+			// The oracle cross-check compares complete result sets, so this
+			// path keeps the full evaluation; -limit only caps the display.
+			ms, err := c.Select(q)
+			if err != nil {
+				fatal(err)
 			}
-		}
-		if *oracle {
+			fmt.Printf("%s: %d matches\n", q, len(ms))
+			if !*countOnly {
+				for i, m := range ms {
+					if i >= *limit {
+						fmt.Printf("  ... and %d more\n", len(ms)-*limit)
+						break
+					}
+					printMatch(m)
+				}
+			}
 			slow, err := c.SelectOracle(q)
 			if err != nil {
 				fatal(err)
@@ -123,9 +126,38 @@ func main() {
 			} else {
 				fmt.Printf("  oracle agrees (%d matches)\n", len(slow))
 			}
+		case *countOnly:
+			n, err := c.Count(q)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s: %d matches\n", q, n)
+		default:
+			// -limit is pushed into the engine: evaluation streams matches
+			// and stops one past the limit, so the total is only known when
+			// the stream runs dry before the cap.
+			k := max(*limit, 0)
+			ms, err := c.SelectLimit(q, k+1)
+			if err != nil {
+				fatal(err)
+			}
+			if len(ms) > k {
+				fmt.Printf("%s: %d+ matches (stopped at -limit %d; -count gives the total)\n", q, k, k)
+				ms = ms[:k]
+			} else {
+				fmt.Printf("%s: %d matches\n", q, len(ms))
+			}
+			for _, m := range ms {
+				printMatch(m)
+			}
 		}
 		fmt.Println()
 	}
+}
+
+func printMatch(m lpath.Match) {
+	fmt.Printf("  tree %d: %s[%s]\n", m.TreeID, m.Node.Tag,
+		strings.Join(m.Node.Words(), " "))
 }
 
 func loadCorpus(file, gen, index string, scale float64, seed int64) (*lpath.Corpus, error) {

@@ -11,15 +11,17 @@
 // 10 (labeling-scheme comparison), ablations, planner (cost-based planner
 // on/off), exec (set-at-a-time merge executor on/off with allocation
 // counts), twig (holistic twig executor on/off with allocation counts),
-// par (parallel sharded execution scaling), snapshot (binary .lpx cold
-// start vs text parse+build), or all.
+// limit (streaming early termination at limits 1/10/100 vs full
+// evaluation), par (parallel sharded execution scaling), snapshot (binary
+// .lpx cold start vs text parse+build), or all.
 //
 // -scale sets the fraction of the paper's corpus size (1.0 ≈ 49k WSJ
 // sentences / 3.5M nodes; the default 0.05 keeps a full run under a couple
 // of minutes). With -csv DIR each timing figure is also written as CSV.
-// With -json DIR the planner, exec, twig and par experiments additionally
-// write the machine-readable BENCH_planner.json, BENCH_executor.json,
-// BENCH_twig.json and BENCH_parallel.json (the CI bench artifacts).
+// With -json DIR the planner, exec, twig, limit and par experiments
+// additionally write the machine-readable BENCH_planner.json,
+// BENCH_executor.json, BENCH_twig.json, BENCH_limit.json and
+// BENCH_parallel.json (the CI bench artifacts).
 // -workers caps the worker sweep of the parallel experiment (default:
 // GOMAXPROCS); the sweep measures 1, 2, 4, ... up to the cap.
 package main
@@ -40,7 +42,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "experiment: 6a 6b 6c 7 8 9 10 ablations planner exec twig par snapshot all")
+		fig     = flag.String("fig", "all", "experiment: 6a 6b 6c 7 8 9 10 ablations planner exec twig limit par snapshot all")
 		scale   = flag.Float64("scale", 0.05, "corpus scale (1.0 = paper size)")
 		seed    = flag.Int64("seed", 42, "corpus seed")
 		csvDir  = flag.String("csv", "", "directory for CSV output (optional)")
@@ -168,6 +170,14 @@ func main() {
 		bench.WriteTwigImpact(os.Stdout, rows)
 		writeCSV(*csvDir, "twig_impact.csv", bench.CSVTwigImpact(rows))
 		writeJSON(*jsonDir, "BENCH_twig.json", func() ([]byte, error) { return bench.JSONTwigImpact(rows) })
+		fmt.Println()
+	}
+	if need("limit") {
+		rows, err := bench.LimitImpact(buildWSJ())
+		check(err)
+		bench.WriteLimitImpact(os.Stdout, rows)
+		writeCSV(*csvDir, "limit_impact.csv", bench.CSVLimitImpact(rows))
+		writeJSON(*jsonDir, "BENCH_limit.json", func() ([]byte, error) { return bench.JSONLimitImpact(rows) })
 		fmt.Println()
 	}
 	if need("snapshot") {

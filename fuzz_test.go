@@ -58,6 +58,15 @@ func FuzzEvalOracle(f *testing.F) {
 		par, parErr := c.SelectParallel(q)
 		parCount, parCountErr := c.CountParallel(q)
 
+		// Early-termination rotation: a limit derived from the input walks
+		// the streaming path through empty, mid-stream and past-the-end
+		// prefixes across fuzz inputs. A limited evaluation may legitimately
+		// stop before a tree whose data-dependent runtime error the full
+		// evaluation hits, so errors only compare one way (checked below).
+		limit := len(query) % 5
+		limited, limitedErr := c.SelectLimit(q, limit)
+		parLimited, parLimitedErr := c.SelectParallelLimit(q, limit)
+
 		// Executor rotation: force the holistic twig sweep on every maximal
 		// run, then disable it; then force the set-at-a-time merge executor on
 		// every eligible step, then disable it (the merge rotations run with
@@ -122,6 +131,25 @@ func FuzzEvalOracle(f *testing.F) {
 		if plannedCount != len(planned) || parCount != len(planned) {
 			t.Fatalf("%q: Count=%d CountParallel=%d, want %d",
 				query, plannedCount, parCount, len(planned))
+		}
+
+		if limitedErr != nil {
+			t.Fatalf("%q: Select succeeded but SelectLimit(%d) errored: %v", query, limit, limitedErr)
+		}
+		if parLimitedErr != nil {
+			t.Fatalf("%q: Select succeeded but SelectParallelLimit(%d) errored: %v", query, limit, parLimitedErr)
+		}
+		wantPrefix := planned
+		if limit < len(planned) {
+			wantPrefix = planned[:limit]
+		}
+		if !reflect.DeepEqual(limited, wantPrefix) {
+			t.Fatalf("%q: SelectLimit(%d) = %v, want prefix %v",
+				query, limit, matchKeys(limited), matchKeys(wantPrefix))
+		}
+		if !reflect.DeepEqual(parLimited, wantPrefix) {
+			t.Fatalf("%q: SelectParallelLimit(%d) = %v, want prefix %v",
+				query, limit, matchKeys(parLimited), matchKeys(wantPrefix))
 		}
 
 		oracle, oracleErr := c.SelectOracle(q)

@@ -1,3 +1,3 @@
 module lpath
 
-go 1.22
+go 1.23

@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"runtime"
 	"sort"
 	"time"
@@ -502,6 +503,78 @@ func TwigImpact(s *Systems) ([]TwigRow, error) {
 		row.AllocsTwig = allocsPerRun(func() { _, _ = s.RunLPath(id) })
 		row.AllocsNoTwig = allocsPerRun(func() { _, _ = s.RunLPathNoTwig(id) })
 		row.Strategy = planStrategies(s.LPath.Plan(s.lpathQ[id]))
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// LimitPoints are the pushed-down limits the early-termination experiment
+// measures against the full evaluation.
+var LimitPoints = []int{1, 10, 100}
+
+// LimitRow is one query's limit-pushdown measurement: the full evaluation
+// against EvalLimit at each of LimitPoints over the same store.
+type LimitRow struct {
+	ID      int
+	Query   string
+	Full    time.Duration
+	Limited []time.Duration // aligned with LimitPoints
+	N       int             // full result size
+}
+
+// Speedup is the full/limited time ratio at LimitPoints[i] (>1 = early
+// termination helps).
+func (r LimitRow) Speedup(i int) float64 {
+	if r.Limited[i] <= 0 {
+		return 0
+	}
+	return float64(r.Full) / float64(r.Limited[i])
+}
+
+// LimitImpact measures every evaluation query with the limit pushed into the
+// engine at each of LimitPoints against the full evaluation — the streaming
+// early-termination before/after benchmark. Every limited run is verified to
+// equal the corresponding prefix of the full result before its timing is
+// trusted.
+func LimitImpact(s *Systems) ([]LimitRow, error) {
+	var out []LimitRow
+	for _, id := range s.QueryIDs() {
+		plan := s.lpathQ[id]
+		full, err := s.LPath.Eval(plan)
+		if err != nil {
+			return nil, fmt.Errorf("Q%d full: %w", id, err)
+		}
+		row := LimitRow{ID: id, Query: s.QueryText(id), N: len(full)}
+		row.Full = TimeIt(func() {
+			if _, e := s.LPath.Eval(plan); e != nil {
+				err = e
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("Q%d full: %w", id, err)
+		}
+		for _, k := range LimitPoints {
+			got, e := s.LPath.EvalLimit(plan, k)
+			if e != nil {
+				return nil, fmt.Errorf("Q%d limit %d: %w", id, k, e)
+			}
+			want := full
+			if k < len(full) {
+				want = full[:k]
+			}
+			if !reflect.DeepEqual(got, want) {
+				return nil, fmt.Errorf("bench: Q%d limit %d is not the prefix of the full result (%d vs %d matches)",
+					id, k, len(got), len(want))
+			}
+			row.Limited = append(row.Limited, TimeIt(func() {
+				if _, e := s.LPath.EvalLimit(plan, k); e != nil {
+					err = e
+				}
+			}))
+			if err != nil {
+				return nil, fmt.Errorf("Q%d limit %d: %w", id, k, err)
+			}
+		}
 		out = append(out, row)
 	}
 	return out, nil

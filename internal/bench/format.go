@@ -250,6 +250,77 @@ func JSONTwigImpact(rows []TwigRow) ([]byte, error) {
 	return json.MarshalIndent(out, "", "  ")
 }
 
+// WriteLimitImpact renders the limit-pushdown measurements; "sp@10" is the
+// full/limited speedup at limit 10, the figure's headline number.
+func WriteLimitImpact(w io.Writer, rows []LimitRow) {
+	fmt.Fprintf(w, "Limit impact: streaming early termination (EvalLimit) vs full evaluation (s)\n")
+	fmt.Fprintf(w, "%-4s %-44s %10s", "Q", "Query", "full")
+	for _, k := range LimitPoints {
+		fmt.Fprintf(w, " %10s", fmt.Sprintf("k=%d", k))
+	}
+	fmt.Fprintf(w, " %9s %9s\n", "sp@10", "matches")
+	for _, r := range rows {
+		fmt.Fprintf(w, "Q%-3d %-44s %10s", r.ID, r.Query, secs(r.Full))
+		for _, d := range r.Limited {
+			fmt.Fprintf(w, " %10s", secs(d))
+		}
+		fmt.Fprintf(w, " %8.2fx %9d\n", r.Speedup(1), r.N)
+	}
+}
+
+// CSVLimitImpact renders the limit-pushdown rows as CSV.
+func CSVLimitImpact(rows []LimitRow) string {
+	var b strings.Builder
+	b.WriteString("query,full_s")
+	for _, k := range LimitPoints {
+		fmt.Fprintf(&b, ",limit%d_s,speedup%d", k, k)
+	}
+	b.WriteString(",matches\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "Q%d,%f", r.ID, r.Full.Seconds())
+		for i := range LimitPoints {
+			fmt.Fprintf(&b, ",%f,%f", r.Limited[i].Seconds(), r.Speedup(i))
+		}
+		fmt.Fprintf(&b, ",%d\n", r.N)
+	}
+	return b.String()
+}
+
+// limitJSONRow is the machine-readable shape of one LimitRow. ns_per_op is
+// the limit-10 evaluation, so the benchguard gate watches the
+// early-termination path itself rather than the full scan; the other limits
+// and the full time ride along for inspection. The fields assume the
+// standing LimitPoints of {1, 10, 100}.
+type limitJSONRow struct {
+	Query       int     `json:"query"`
+	Text        string  `json:"text"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	NsPerOpFull int64   `json:"ns_per_op_full"`
+	NsPerOp1    int64   `json:"ns_per_op_limit1"`
+	NsPerOp100  int64   `json:"ns_per_op_limit100"`
+	Speedup     float64 `json:"speedup"`
+	Matches     int     `json:"matches"`
+}
+
+// JSONLimitImpact renders the limit-pushdown rows as indented JSON, the
+// payload of the BENCH_limit.json artifact.
+func JSONLimitImpact(rows []LimitRow) ([]byte, error) {
+	out := make([]limitJSONRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, limitJSONRow{
+			Query:       r.ID,
+			Text:        r.Query,
+			NsPerOp:     r.Limited[1].Nanoseconds(),
+			NsPerOpFull: r.Full.Nanoseconds(),
+			NsPerOp1:    r.Limited[0].Nanoseconds(),
+			NsPerOp100:  r.Limited[2].Nanoseconds(),
+			Speedup:     r.Speedup(1),
+			Matches:     r.N,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
 // plannerJSONRow is the machine-readable shape of one PlannerRow.
 type plannerJSONRow struct {
 	Query      int     `json:"query"`

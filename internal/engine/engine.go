@@ -370,8 +370,9 @@ func (e *Engine) evalPath(p *lpath.Path, binds []bind, ctx *evalCtx) ([]bind, er
 		for _, b := range cur {
 			row := b.row
 			if row == noRow {
-				// Scope on the virtual root: evaluate per tree root.
-				for _, ri := range e.s.Roots() {
+				// Scope on the virtual root: evaluate per tree root (within
+				// the streaming tid window, when one is active).
+				for _, ri := range e.narrowToWindow(e.s.Roots(), ctx) {
 					scoped = append(scoped, bind{row: ri, scope: ri})
 				}
 				continue
@@ -696,6 +697,21 @@ func rowLabel(r *relstore.Row) label.Label {
 	return label.Label{Left: r.Left, Right: r.Right, Depth: r.Depth, ID: r.ID, PID: r.PID}
 }
 
+// narrowToWindow returns the subslice of idx covering the evaluation's
+// streaming tid window. idx must be tid-ascending — true of every store index
+// the virtual-root entry points hand out (the clustered order is
+// (name, tid, left, ...), the document-order indexes are (tid, left)-sorted,
+// and Roots is tid-sorted). Subslicing keeps borrowed slices borrowed.
+func (e *Engine) narrowToWindow(idx []int32, ctx *evalCtx) []int32 {
+	if !ctx.windowed {
+		return idx
+	}
+	tids := e.s.Cols().TID
+	lo := sort.Search(len(idx), func(i int) bool { return tids[idx[i]] >= ctx.winLo })
+	hi := lo + sort.Search(len(idx)-lo, func(i int) bool { return tids[idx[lo+i]] >= ctx.winHi })
+	return idx[lo:hi]
+}
+
 // isDirectEq reports whether the expression is a direct equality comparison
 // on an attribute of the context node, e.g. @lex=saw.
 func isDirectEq(c *lpath.CmpExpr) bool {
@@ -760,6 +776,11 @@ func (vd *valueDriver) candidates(e *Engine, ctx *evalCtx) []int32 {
 	for _, pi := range postings {
 		ar := e.s.Row(pi)
 		if n := ar.Name; len(n) < 2 || n[0] != '@' || n[1:] != vd.attr {
+			continue
+		}
+		// Posting lists are grouped by attribute name, not tid-sorted, so the
+		// streaming window filters linearly (they are small by the cost gate).
+		if !ctx.inWindow(ar.TID) {
 			continue
 		}
 		ei, ok := e.s.ElementByID(ar.TID, ar.ID)

@@ -44,6 +44,22 @@ type evalCtx struct {
 	cctx context.Context
 	tick int
 	cerr error
+
+	// Streaming tid window (stream.go). When windowed is set, every
+	// virtual-root entry point — the probe's first-step candidate lists, the
+	// twig root-mode cursor windows, the scoped-roots expansion, semijoin
+	// seeds and the value-driver postings — restricts itself to trees with
+	// tid ∈ [winLo, winHi). Axes never cross trees, so a windowed evaluation
+	// is exactly the full evaluation restricted to that tree range, which is
+	// what lets EvalLimit evaluate batches of trees and stop early.
+	winLo, winHi int32
+	windowed     bool
+}
+
+// inWindow reports whether a tree falls inside the streaming tid window
+// (always true for unwindowed evaluations).
+func (c *evalCtx) inWindow(tid int32) bool {
+	return !c.windowed || (tid >= c.winLo && tid < c.winHi)
 }
 
 // cancelStride bounds how many interrupted() calls pass between two
@@ -94,16 +110,26 @@ func (e *Engine) releaseCtx(ctx *evalCtx) {
 	ctx.cctx = nil
 	ctx.tick = 0
 	ctx.cerr = nil
+	ctx.winLo, ctx.winHi = 0, 0
+	ctx.windowed = false
 	// Satisfier sets are valid only for the evaluation's plan identity; the
-	// outer map is kept, the per-expression sets are dropped. A map that grew
-	// large is released entirely — clear() costs O(capacity) and maps never
-	// shrink, so retaining it would tax every later evaluation.
-	if len(ctx.sat) > 64 {
-		ctx.sat = nil
-	} else {
-		clear(ctx.sat)
-	}
+	// outer map is kept, the per-expression sets are dropped.
+	ctx.clearSat()
 	e.ctxPool.Put(ctx)
+}
+
+// clearSat drops the memoized semijoin satisfier sets. The streaming
+// evaluator also calls it between tid-window batches: a satisfier set built
+// under one window is seeded from that window's trees only and must not
+// answer probes from the next. A map that grew large is released entirely —
+// clear() costs O(capacity) and maps never shrink, so retaining it would tax
+// every later evaluation.
+func (c *evalCtx) clearSat() {
+	if len(c.sat) > 64 {
+		c.sat = nil
+	} else {
+		clear(c.sat)
+	}
 }
 
 func (c *evalCtx) stepPlan(s *lpath.Step) *planner.StepPlan {

@@ -93,6 +93,137 @@ func EvalParallel(ctx context.Context, shards []*Engine, p *lpath.Path, opts ...
 	return mergeByTree(results), nil
 }
 
+// EvalParallelLimit evaluates the query over the shards with a per-shard cap
+// of limit matches and returns the first limit entries of EvalParallel's
+// (tree, document)-ordered result. Shards hold tid-contiguous, ascending tree
+// ranges, so the global prefix is the concatenation of per-shard prefixes in
+// shard order, truncated at limit; every shard streams with early
+// termination (EvalPlanLimitContext), and the moment a settled prefix of
+// shards holds limit matches, all higher shards are cancelled — work past
+// the answer is abandoned, not merged and discarded.
+//
+// The result is deterministic like EvalParallel's, and so is the error: a
+// real failure surfaces only when it lies before the point where the settled
+// prefix reaches limit — the trees a serial EvalLimit would actually have
+// visited — with the lowest-indexed such failure winning.
+func EvalParallelLimit(ctx context.Context, shards []*Engine, p *lpath.Path, limit int, opts ...ParallelOption) ([]Match, error) {
+	cfg := parallelConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workers < 1 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	if err := lpath.Validate(p); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if limit <= 0 || len(shards) == 0 {
+		return []Match{}, nil
+	}
+	plan := shards[0].Plan(p)
+	n := len(shards)
+	parent := ctx
+	ctx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+
+	var (
+		mu         sync.Mutex
+		results    = make([][]Match, n)
+		errs       = make([]error, n)
+		done       = make([]bool, n)
+		cancels    = make([]context.CancelFunc, n)
+		settled    int // first shard index not yet finished
+		prefix     int // matches held by shards [0, settled)
+		sufficient bool
+	)
+	record := func(i int, ms []Match, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		results[i], errs[i], done[i] = ms, err, true
+		if err != nil && !isCancel(err) {
+			cancelAll() // real failure: stop all shards, like EvalParallel
+			return
+		}
+		for settled < n && done[settled] {
+			prefix += len(results[settled])
+			settled++
+			if prefix >= limit {
+				// The settled prefix already answers the query; everything
+				// past it is unreachable output.
+				sufficient = true
+				for j := settled; j < n; j++ {
+					if cancels[j] != nil {
+						cancels[j]()
+					}
+				}
+				return
+			}
+		}
+	}
+
+	workers := cfg.workers
+	if workers > n {
+		workers = n
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				mu.Lock()
+				if sufficient || ctx.Err() != nil {
+					mu.Unlock()
+					continue // drain: this shard's output is unreachable
+				}
+				sctx, cancel := context.WithCancel(ctx)
+				cancels[i] = cancel
+				mu.Unlock()
+				ms, err := shards[i].EvalPlanLimitContext(sctx, p, plan, limit)
+				cancel()
+				record(i, ms, err)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Concatenate per-shard prefixes in shard order up to limit. A missing
+	// shard (skipped or cancelled) before the limit is reached means the
+	// evaluation did not finish cleanly: surface the lowest-indexed real
+	// failure, else the caller's cancellation.
+	out := make([]Match, 0, min(limit, 256))
+	for i := 0; i < n; i++ {
+		if done[i] && errs[i] == nil {
+			for _, m := range results[i] {
+				out = append(out, m)
+				if len(out) == limit {
+					return out, nil
+				}
+			}
+			continue
+		}
+		for j := i; j < n; j++ {
+			if errs[j] != nil && !isCancel(errs[j]) {
+				return nil, errs[j]
+			}
+		}
+		return nil, parent.Err()
+	}
+	return out, nil
+}
+
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // CountParallel counts the query's matches over every shard concurrently and
 // returns the global count — identical to len(EvalParallel(...)), but each
 // shard uses the count-only pipeline (no sort, no node materialization) and

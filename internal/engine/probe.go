@@ -171,11 +171,13 @@ func minInt32Of(a, b int32) int32 {
 // back store indexes zero-copy: the wildcard case is the document-order
 // index, and a named range is the matching slice of the identity row
 // sequence — the clustered layout makes "all rows named X" a contiguous
-// interval, so nothing is materialized.
+// interval, so nothing is materialized. Every list is tid-ascending, so a
+// streaming tid window narrows it to a subslice by binary search — the entry
+// point that makes a windowed evaluation's cost proportional to its window.
 func (e *Engine) virtualRootCandidates(step *lpath.Step, ctx *evalCtx) ([]int32, bool) {
 	switch step.Axis {
 	case lpath.AxisChild:
-		roots := e.s.Roots()
+		roots := e.narrowToWindow(e.s.Roots(), ctx)
 		if step.Wildcard() {
 			return roots, true
 		}
@@ -192,13 +194,13 @@ func (e *Engine) virtualRootCandidates(step *lpath.Step, ctx *evalCtx) ([]int32,
 		return out, false
 	case lpath.AxisDescendant, lpath.AxisDescendantOrSelf:
 		if step.Wildcard() {
-			return e.s.ElementsByLeft(), true
+			return e.narrowToWindow(e.s.ElementsByLeft(), ctx), true
 		}
 		nlo, nhi, ok := e.s.NameRange(step.Test)
 		if !ok {
 			return nil, false
 		}
-		return e.s.RowSeq()[nlo:nhi], true
+		return e.narrowToWindow(e.s.RowSeq()[nlo:nhi], ctx), true
 	default:
 		return nil, false
 	}

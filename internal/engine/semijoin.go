@@ -121,6 +121,13 @@ func (e *Engine) semiSeeds(sj *planner.Semijoin, scope int32, ctx *evalCtx) ([]i
 			if ar.Name != sj.SeedAttr {
 				continue
 			}
+			// Posting lists are grouped by attribute name, not tid-sorted, so
+			// the streaming tid window filters linearly. The windowed set is
+			// memoized per batch only; evalCtx.clearSat drops it between
+			// batches.
+			if !ctx.inWindow(ar.TID) {
+				continue
+			}
 			ei, ok := e.s.ElementByID(ar.TID, ar.ID)
 			if !ok {
 				continue
@@ -131,10 +138,11 @@ func (e *Engine) semiSeeds(sj *planner.Semijoin, scope int32, ctx *evalCtx) ([]i
 			cands = append(cands, ei)
 		}
 	} else if last.Wildcard() {
-		cands = e.s.ElementsByLeft()
+		cands = e.narrowToWindow(e.s.ElementsByLeft(), ctx)
 	} else if lo, hi, ok := e.s.NameRange(last.Test); ok {
-		// The clustered name range, zero-copy via the identity row sequence.
-		cands = e.s.RowSeq()[lo:hi]
+		// The clustered name range, zero-copy via the identity row sequence,
+		// narrowed to the streaming tid window when one is active.
+		cands = e.narrowToWindow(e.s.RowSeq()[lo:hi], ctx)
 	}
 
 	out := cands[:0:0]

@@ -385,9 +385,16 @@ func (sw *twigSweep) group(ctxRows []int32, ctxKeys []int64, scope int32, out []
 	}
 	for j := 1; j <= k; j++ {
 		c := &tw.cur[j]
-		if scope != noRow {
+		switch {
+		case scope != noRow:
 			c.pos, c.hi = window(c.keys, relstore.DocKey(sTid, sLeft), relstore.DocKey(sTid, sRight))
-		} else {
+		case sw.rootMode && sw.ec.windowed:
+			// Streaming tid window: in root mode the cursors ARE the
+			// virtual-root candidate lists, so the window restricts them
+			// directly (non-root groups are already windowed through their
+			// context rows, which descend from windowed first-step output).
+			c.pos, c.hi = window(c.keys, relstore.DocKey(sw.ec.winLo, 0), relstore.DocKey(sw.ec.winHi, 0))
+		default:
 			c.pos, c.hi = 0, len(c.post)
 		}
 		c.load()

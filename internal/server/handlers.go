@@ -26,9 +26,15 @@ type queryRequest struct {
 	// Query is the LPath query text.
 	Query string `json:"query"`
 	// Limit caps the matches returned by /v1/query (0 = server default;
-	// values above the server maximum are clamped). Count is always the
-	// full match count regardless of Limit.
+	// values above the server maximum are clamped). The limit is pushed into
+	// the engine: evaluation stops once the prefix is known, it does not
+	// compute the full result and discard the tail.
 	Limit int `json:"limit"`
+	// Count requests the exact total match count on /v1/query even when the
+	// limit truncates the match list, at the cost of one count-only
+	// evaluation on top of the limited one. Without it, a truncated response
+	// reports count -1 (unknown). Ignored by /v1/count and /v1/explain.
+	Count bool `json:"count"`
 	// TimeoutMS overrides the server's default per-request deadline, in
 	// milliseconds (0 = default; clamped to the server maximum).
 	TimeoutMS int `json:"timeout_ms"`
@@ -42,7 +48,10 @@ type matchJSON struct {
 }
 
 // queryResponse is the /v1/query response; /v1/count omits Matches and
-// Truncated; /v1/explain carries Explain instead.
+// Truncated; /v1/explain carries Explain instead. On /v1/query, Count is the
+// exact total when it is known — the result was not truncated, or the request
+// asked for it with "count": true — and -1 when the limited evaluation
+// stopped early without learning it.
 type queryResponse struct {
 	Corpus    string      `json:"corpus"`
 	Query     string      `json:"query"`
@@ -56,6 +65,48 @@ type queryResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+}
+
+// queryResult is the cached outcome of one /v1/query evaluation: an ordered
+// prefix of the result set plus what is known about the total. An incomplete
+// entry holds one match more than the limit that produced it — that extra
+// match is how truncatedness stays decidable for every limit the entry can
+// answer. One entry per (corpus, gen, query) serves all such limits.
+type queryResult struct {
+	matches    []matchJSON
+	complete   bool // matches is the entire result set
+	count      int  // exact total; valid only when countKnown
+	countKnown bool
+}
+
+// canServe reports whether the entry answers a request with the given limit
+// (and, when wantCount, an exact total). A complete entry answers anything;
+// an incomplete one must hold strictly more than limit matches, so both the
+// prefix and whether the limit truncated it are known.
+func (qr *queryResult) canServe(limit int, wantCount bool) bool {
+	if wantCount && !qr.countKnown {
+		return false
+	}
+	return qr.complete || len(qr.matches) > limit
+}
+
+// render builds the response view for one limit. Matches aliases the cached
+// slice read-only (capacity-clipped so callers cannot append into it); Count
+// is -1 when the total is unknown.
+func (qr *queryResult) render(limit int) *queryResponse {
+	n := len(qr.matches)
+	if n > limit {
+		n = limit
+	}
+	resp := &queryResponse{
+		Count:     -1,
+		Matches:   qr.matches[:n:n],
+		Truncated: !qr.complete || n < len(qr.matches),
+	}
+	if qr.countKnown {
+		resp.Count = qr.count
+	}
+	return resp
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -163,14 +214,23 @@ func (s *Server) handleEval(kind string) http.HandlerFunc {
 		}
 		defer release()
 
-		cacheLimit := req.Limit
-		if kind != "query" {
-			cacheLimit = 0 // count and explain results are limit-independent
+		key := resultKey{Corpus: entry.Name, Gen: entry.Gen, Kind: kind, Query: req.Query}
+		usable := func(v any) bool {
+			if kind != "query" {
+				return true // count and explain results answer any request
+			}
+			qr, ok := v.(*queryResult)
+			return ok && qr.canServe(req.Limit, req.Count)
 		}
-		key := resultKey{Corpus: entry.Name, Gen: entry.Gen, Kind: kind, Query: req.Query, Limit: cacheLimit}
-		if v, ok := s.cache.Get(key); ok {
-			resp := v.(*queryResponse)
-			out := *resp // shallow copy: per-request fields differ, Matches shared read-only
+		if v, ok := s.cache.GetServe(key, usable); ok {
+			var out queryResponse
+			if kind == "query" {
+				out = *v.(*queryResult).render(req.Limit)
+				out.Corpus, out.Query = entry.Name, req.Query
+				s.metrics.AddQueryResult(out.Truncated)
+			} else {
+				out = *v.(*queryResponse) // shallow copy: per-request fields differ
+			}
 			out.Cached = true
 			out.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
 			writeJSON(w, http.StatusOK, &out)
@@ -178,14 +238,17 @@ func (s *Server) handleEval(kind string) http.HandlerFunc {
 			return
 		}
 
-		resp, err := s.evaluate(ctx, kind, entry, req)
+		resp, cacheable, err := s.evaluate(ctx, kind, entry, req)
 		if err != nil {
 			code := evalStatus(err)
 			writeError(w, code, "%v", err)
 			s.logRequest(r, kind, req, code, false, time.Since(start), err)
 			return
 		}
-		s.cache.Put(key, resp)
+		s.cache.Put(key, cacheable)
+		if kind == "query" {
+			s.metrics.AddQueryResult(resp.Truncated)
+		}
 
 		out := *resp
 		out.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
@@ -194,16 +257,18 @@ func (s *Server) handleEval(kind string) http.HandlerFunc {
 	}
 }
 
-// evaluate runs one uncached evaluation and builds the immutable cacheable
-// response (Cached=false, ElapsedMS unset; the handler stamps both).
-func (s *Server) evaluate(ctx context.Context, kind string, entry *Entry, req *queryRequest) (*queryResponse, error) {
+// evaluate runs one uncached evaluation and builds the response plus the
+// immutable value to cache (Cached=false, ElapsedMS unset; the handler stamps
+// both). For "query" the cacheable value is a *queryResult — a limit-agnostic
+// prefix the cache serves to later requests — not the rendered response.
+func (s *Server) evaluate(ctx context.Context, kind string, entry *Entry, req *queryRequest) (*queryResponse, any, error) {
 	resp := &queryResponse{Corpus: entry.Name, Query: req.Query}
 
 	// Count executor strategies once per uncached evaluation, from the same
 	// plan the engine will run; compile errors surface here first.
 	q, err := entry.Corpus.CompileCached(req.Query)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if p, m, tw, err := entry.Corpus.Strategies(q); err == nil {
 		s.metrics.AddStrategies(p, m, tw)
@@ -211,40 +276,60 @@ func (s *Server) evaluate(ctx context.Context, kind string, entry *Entry, req *q
 
 	switch kind {
 	case "query":
-		ms, err := entry.Corpus.SelectTextContext(ctx, req.Query)
+		qr, err := s.evaluateQuery(ctx, entry, req)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		resp.Count = len(ms)
-		n := len(ms)
-		if n > req.Limit {
-			n = req.Limit
-			resp.Truncated = true
-		}
-		resp.Matches = make([]matchJSON, n)
-		for i := 0; i < n; i++ {
-			resp.Matches[i] = matchJSON{
-				Tree: ms[i].TreeID,
-				Tag:  ms[i].Node.Tag,
-				Text: strings.Join(ms[i].Node.Words(), " "),
-			}
-		}
+		resp = qr.render(req.Limit)
+		resp.Corpus, resp.Query = entry.Name, req.Query
+		return resp, qr, nil
 	case "count":
 		n, err := entry.Corpus.CountTextContext(ctx, req.Query)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		resp.Count = n
 	case "explain":
 		report, err := entry.Corpus.ExplainContext(ctx, q)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		resp.Explain = report
 	default:
-		return nil, fmt.Errorf("unknown evaluation kind %q", kind)
+		return nil, nil, fmt.Errorf("unknown evaluation kind %q", kind)
 	}
-	return resp, nil
+	return resp, resp, nil
+}
+
+// evaluateQuery runs one uncached /v1/query evaluation with the limit pushed
+// into the engine: the corpus streams matches in (tree, document) order and
+// stops after limit+1 — the extra match is how the server learns whether the
+// limit truncated the result without evaluating the rest of the corpus. The
+// exact total costs a separate count-only evaluation and is computed only
+// when the request asks for it (or comes free because the stream ran dry).
+func (s *Server) evaluateQuery(ctx context.Context, entry *Entry, req *queryRequest) (*queryResult, error) {
+	ms, err := entry.Corpus.SelectLimitTextContext(ctx, req.Query, req.Limit+1)
+	if err != nil {
+		return nil, err
+	}
+	qr := &queryResult{matches: make([]matchJSON, len(ms))}
+	for i, m := range ms {
+		qr.matches[i] = matchJSON{
+			Tree: m.TreeID,
+			Tag:  m.Node.Tag,
+			Text: strings.Join(m.Node.Words(), " "),
+		}
+	}
+	if len(ms) <= req.Limit {
+		qr.complete, qr.count, qr.countKnown = true, len(ms), true
+	} else if req.Count {
+		n, err := entry.Corpus.CountTextContext(ctx, req.Query)
+		if err != nil {
+			return nil, err
+		}
+		qr.count, qr.countKnown = n, true
+	}
+	return qr, nil
 }
 
 // handleHealthz reports readiness: 200 with the corpus inventory once at

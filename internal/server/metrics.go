@@ -59,6 +59,12 @@ type Metrics struct {
 	StrategyProbe atomic.Uint64
 	StrategyMerge atomic.Uint64
 	StrategyTwig  atomic.Uint64
+
+	// /v1/query truncation outcomes: responses whose limit cut the match
+	// list (limit_hit=true, the early-termination fast path) vs complete
+	// result sets. Cached and uncached responses both count.
+	QueryTruncated atomic.Uint64
+	QueryComplete  atomic.Uint64
 }
 
 // NewMetrics creates an empty registry.
@@ -83,6 +89,16 @@ func (m *Metrics) AddStrategies(probe, merge, twig int) {
 	m.StrategyProbe.Add(uint64(probe))
 	m.StrategyMerge.Add(uint64(merge))
 	m.StrategyTwig.Add(uint64(twig))
+}
+
+// AddQueryResult records whether a served /v1/query response was truncated by
+// its limit.
+func (m *Metrics) AddQueryResult(limitHit bool) {
+	if limitHit {
+		m.QueryTruncated.Add(1)
+	} else {
+		m.QueryComplete.Add(1)
+	}
 }
 
 // WritePrometheus renders every metric in Prometheus text format. The extra
@@ -145,6 +161,11 @@ func (m *Metrics) WritePrometheus(w io.Writer, extra ...func(io.Writer)) {
 	fmt.Fprintf(w, "lpathd_plan_steps_total{strategy=\"probe\"} %d\n", m.StrategyProbe.Load())
 	fmt.Fprintf(w, "lpathd_plan_steps_total{strategy=\"merge\"} %d\n", m.StrategyMerge.Load())
 	fmt.Fprintf(w, "lpathd_plan_steps_total{strategy=\"twig\"} %d\n", m.StrategyTwig.Load())
+
+	fmt.Fprintf(w, "# HELP lpathd_query_results_total Served /v1/query responses, by whether the limit truncated the match list.\n")
+	fmt.Fprintf(w, "# TYPE lpathd_query_results_total counter\n")
+	fmt.Fprintf(w, "lpathd_query_results_total{limit_hit=\"true\"} %d\n", m.QueryTruncated.Load())
+	fmt.Fprintf(w, "lpathd_query_results_total{limit_hit=\"false\"} %d\n", m.QueryComplete.Load())
 
 	for _, fn := range extra {
 		fn(w)

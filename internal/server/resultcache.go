@@ -8,13 +8,15 @@ import (
 // resultKey identifies one cacheable response. Gen is the registry swap
 // generation of the corpus the result was computed against, so swapping a
 // corpus makes all of its cached entries unreachable (and InvalidateCorpus
-// frees them promptly).
+// frees them promptly). The key deliberately carries no limit: "query"
+// entries store an ordered prefix that answers every limit it covers
+// (GetServe), so distinct limits share one entry instead of duplicating the
+// evaluation per limit.
 type resultKey struct {
 	Corpus string
 	Gen    uint64
 	Kind   string // "query", "count" or "explain"
 	Query  string
-	Limit  int
 }
 
 // ResultCache is a thread-safe LRU of fully rendered query results. Entries
@@ -47,12 +49,25 @@ func NewResultCache(capacity int) *ResultCache {
 
 // Get returns the cached value for the key, marking it most recently used.
 func (c *ResultCache) Get(key resultKey) (any, bool) {
+	return c.GetServe(key, nil)
+}
+
+// GetServe returns the cached value for the key only when the usable
+// predicate (nil = always) approves it, marking it most recently used. An
+// entry the predicate rejects counts as a miss and keeps its LRU position.
+// This is how one stored /v1/query prefix serves many limits: query entries
+// are keyed without their limit, and whether an entry answers a request
+// depends on the request (see queryResult.canServe).
+func (c *ResultCache) GetServe(key resultKey, usable func(any) bool) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		c.hits++
-		c.ll.MoveToFront(el)
-		return el.Value.(*resultEntry).value, true
+		v := el.Value.(*resultEntry).value
+		if usable == nil || usable(v) {
+			c.hits++
+			c.ll.MoveToFront(el)
+			return v, true
+		}
 	}
 	c.misses++
 	return nil, false

@@ -65,7 +65,14 @@ func TestQueryCountExplainEndpoints(t *testing.T) {
 			t.Fatal(err)
 		}
 
-		w := postJSON(t, h, "/v1/query", queryRequest{Query: query, Limit: 5})
+		// Without "count": true a truncated response does not learn the
+		// total — the limited evaluation stops early and reports -1.
+		w := postJSON(t, h, "/v1/query", queryRequest{Query: query, Limit: 1})
+		if resp := decodeResponse(t, w); want > 1 && (resp.Count != -1 || !resp.Truncated) {
+			t.Errorf("query %s limit=1: count=%d truncated=%v, want -1/true", query, resp.Count, resp.Truncated)
+		}
+
+		w = postJSON(t, h, "/v1/query", queryRequest{Query: query, Limit: 5, Count: true})
 		if w.Code != http.StatusOK {
 			t.Fatalf("query %s: status %d: %s", query, w.Code, w.Body.String())
 		}
@@ -176,14 +183,15 @@ func TestResultCacheHitAndInvalidation(t *testing.T) {
 		t.Fatalf("cache stats %+v, want 1 hit", st)
 	}
 
-	// /v1/query with different limits caches separately.
-	w = postJSON(t, h, "/v1/query", queryRequest{Query: query, Limit: 1})
-	if resp := decodeResponse(t, w); resp.Cached {
-		t.Fatal("limit=1 select unexpectedly cached")
-	}
+	// /v1/query entries are keyed per query, not per limit: one stored
+	// prefix answers every limit it covers, so a smaller limit is a hit.
 	w = postJSON(t, h, "/v1/query", queryRequest{Query: query, Limit: 2})
 	if resp := decodeResponse(t, w); resp.Cached {
-		t.Fatal("limit=2 select hit the limit=1 entry")
+		t.Fatal("limit=2 select unexpectedly cached")
+	}
+	w = postJSON(t, h, "/v1/query", queryRequest{Query: query, Limit: 1})
+	if resp := decodeResponse(t, w); !resp.Cached {
+		t.Fatal("limit=1 select not served from the limit=2 entry")
 	}
 
 	// Swapping the corpus bumps the generation: the old entries must not
@@ -249,12 +257,57 @@ func TestMetricsEndpoint(t *testing.T) {
 		`lpathd_admission_total{outcome="admitted"}`,
 		`lpathd_plan_cache{corpus="wsj",event="miss"}`,
 		`lpathd_plan_steps_total{strategy=`,
+		`lpathd_query_results_total{limit_hit=`,
 		`lpathd_in_flight{endpoint="query"} 0`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics output lacks %q", want)
 		}
 	}
+}
+
+// TestQueryLimitPushdown pins the /v1/query early-termination contract on a
+// corpus with a known match count: truncatedness comes from probing one match
+// past the limit, the exact total appears only when requested (or free), and
+// one cached prefix serves every limit it covers — growing as bigger limits
+// re-evaluate, never duplicating per limit.
+func TestQueryLimitPushdown(t *testing.T) {
+	c := lpath.NewCorpus()
+	for i := 0; i < 6; i++ {
+		if err := c.AddSentence(`(S (NP (N a)) (VP (V b)))`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := NewRegistry()
+	if _, err := reg.Set("tiny", c); err != nil {
+		t.Fatal(err)
+	}
+	h := New(reg, Config{}).Handler()
+	const query = `//NP` // exactly 6 matches, one per tree
+
+	step := func(limit int, count bool) queryResponse {
+		t.Helper()
+		w := postJSON(t, h, "/v1/query", queryRequest{Query: query, Limit: limit, Count: count})
+		if w.Code != http.StatusOK {
+			t.Fatalf("limit=%d count=%v: status %d: %s", limit, count, w.Code, w.Body.String())
+		}
+		return decodeResponse(t, w)
+	}
+	check := func(got queryResponse, matches, total int, truncated, cached bool) {
+		t.Helper()
+		if len(got.Matches) != matches || got.Count != total || got.Truncated != truncated || got.Cached != cached {
+			t.Fatalf("got %d matches count=%d truncated=%v cached=%v, want %d/%d/%v/%v",
+				len(got.Matches), got.Count, got.Truncated, got.Cached, matches, total, truncated, cached)
+		}
+	}
+
+	check(step(2, false), 2, -1, true, false)  // probes 3 of 6: truncated, total unknown
+	check(step(1, false), 1, -1, true, true)   // prefix-served from the limit=2 entry
+	check(step(3, false), 3, -1, true, false)  // entry holds only 3: must re-evaluate
+	check(step(2, true), 2, 6, true, false)    // count requested: exact total computed
+	check(step(1, true), 1, 6, true, true)     // count now cached alongside the prefix
+	check(step(10, false), 6, 6, false, false) // past the end: complete, count free
+	check(step(2, true), 2, 6, true, true)     // complete entry answers everything
 }
 
 // TestHTTPRoundTrip exercises the handler over a real listener, the way

@@ -23,6 +23,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"iter"
 	"os"
 	"runtime"
 
@@ -444,6 +445,58 @@ func (c *Corpus) SelectContext(ctx context.Context, q *Query) ([]Match, error) {
 	return c.eng.EvalContext(ctx, q.path)
 }
 
+// SelectLimit evaluates the query with early termination and returns at most
+// limit matches — exactly the first limit entries of Select's (tree,
+// document)-ordered result. Trees past the one holding the limit-th match
+// are never evaluated, so the cost of a limited query over a high-match
+// corpus is proportional to the trees actually needed, not the corpus.
+// limit <= 0 returns an empty slice.
+func (c *Corpus) SelectLimit(q *Query, limit int) ([]Match, error) {
+	return c.SelectLimitContext(context.Background(), q, limit)
+}
+
+// SelectLimitContext is SelectLimit honoring a context, with the same
+// cooperative cancellation guarantees as SelectContext.
+func (c *Corpus) SelectLimitContext(ctx context.Context, q *Query, limit int) ([]Match, error) {
+	if err := c.Build(); err != nil {
+		return nil, err
+	}
+	return c.eng.EvalLimitContext(ctx, q.path, limit)
+}
+
+// Matches returns a range-over-func iterator over the query's matches in
+// Select's (tree, document) order, evaluating incrementally: breaking out of
+// the range loop terminates the evaluation, so consuming k matches costs
+// what SelectLimit(k) costs.
+//
+//	for m, err := range c.Matches(q) {
+//		if err != nil { ... }
+//		use(m)
+//	}
+//
+// On an evaluation error the iterator yields one (zero Match, error) pair
+// and stops.
+func (c *Corpus) Matches(q *Query) iter.Seq2[Match, error] {
+	return c.MatchesContext(context.Background(), q)
+}
+
+// MatchesContext is Matches honoring a context for cooperative cancellation;
+// a cancelled evaluation yields the context's error as its final pair.
+func (c *Corpus) MatchesContext(ctx context.Context, q *Query) iter.Seq2[Match, error] {
+	return func(yield func(Match, error) bool) {
+		if err := c.Build(); err != nil {
+			yield(Match{}, err)
+			return
+		}
+		err := c.eng.Stream(ctx, q.path, func(m Match) bool {
+			return yield(m, nil)
+		})
+		if err != nil {
+			yield(Match{}, err)
+		}
+	}
+}
+
 // Count returns the number of matches of the query, using the engine's
 // count-only pipeline: the same joins as Select, but without the final sort
 // and node materialization. Count always equals len(Select(q)).
@@ -558,6 +611,23 @@ func (c *Corpus) SelectParallelContext(ctx context.Context, q *Query) ([]Match, 
 	return engine.EvalParallel(ctx, c.shards, q.path, engine.WithWorkers(c.numWorkers()))
 }
 
+// SelectParallelLimit is SelectLimit over the shards: every shard streams
+// with a per-shard cap of limit matches, and once the lowest shards have
+// settled limit ordered matches all higher shards are cancelled. It returns
+// exactly SelectLimit's result (the first limit entries of Select's order),
+// deterministically, whatever the worker count.
+func (c *Corpus) SelectParallelLimit(q *Query, limit int) ([]Match, error) {
+	return c.SelectParallelLimitContext(context.Background(), q, limit)
+}
+
+// SelectParallelLimitContext is SelectParallelLimit honoring a context.
+func (c *Corpus) SelectParallelLimitContext(ctx context.Context, q *Query, limit int) ([]Match, error) {
+	if err := c.buildShards(); err != nil {
+		return nil, err
+	}
+	return engine.EvalParallelLimit(ctx, c.shards, q.path, limit, engine.WithWorkers(c.numWorkers()))
+}
+
 // CountParallel returns the number of matches, evaluated in parallel with
 // the count-only pipeline: each shard counts its distinct matches (no sort,
 // no node materialization) and the disjoint per-shard counts are summed.
@@ -623,6 +693,33 @@ func (c *Corpus) SelectTextContext(ctx context.Context, text string) ([]Match, e
 		return nil, err
 	}
 	return c.eng.EvalPlanContext(ctx, ast, exec)
+}
+
+// SelectLimitText is SelectLimit on raw query text through the plan cache —
+// the serving path for limited queries: compile and plan once per store
+// build, stream with early termination on every repeat.
+func (c *Corpus) SelectLimitText(text string, limit int) ([]Match, error) {
+	return c.SelectLimitTextContext(context.Background(), text, limit)
+}
+
+// SelectLimitTextContext is SelectLimitText honoring a context, like
+// SelectTextContext.
+func (c *Corpus) SelectLimitTextContext(ctx context.Context, text string, limit int) ([]Match, error) {
+	if c.planCache == nil {
+		q, err := Compile(text)
+		if err != nil {
+			return nil, err
+		}
+		return c.SelectLimitContext(ctx, q, limit)
+	}
+	if err := c.Build(); err != nil {
+		return nil, err
+	}
+	ast, exec, err := c.cachedPlan(text)
+	if err != nil {
+		return nil, err
+	}
+	return c.eng.EvalPlanLimitContext(ctx, ast, exec, limit)
 }
 
 // CountText compiles via the plan cache and counts the matches with the

@@ -46,9 +46,11 @@ echo "   healthz ok"
 json_int() { sed -n "s/.*\"$1\":\([0-9][0-9]*\).*/\1/p"; }
 
 echo "== /v1/query and /v1/count vs CLI"
+# "count":true: with limit pushdown the server no longer evaluates the full
+# result per query request, so the exact total must be asked for explicitly.
 for i in "${!QUERIES[@]}"; do
     q="${QUERIES[$i]}"
-    body=$(printf '{"query":"%s","limit":3}' "$q")
+    body=$(printf '{"query":"%s","limit":3,"count":true}' "$q")
 
     got=$(curl -fsS -X POST -d "$body" "$BASE/v1/query" | json_int count)
     [ "$got" = "${WANT[$i]}" ] || { echo "FAIL: /v1/query $q: got $got, want ${WANT[$i]}"; exit 1; }
@@ -57,6 +59,12 @@ for i in "${!QUERIES[@]}"; do
     [ "$got" = "${WANT[$i]}" ] || { echo "FAIL: /v1/count $q: got $got, want ${WANT[$i]}"; exit 1; }
     echo "   $q -> $got (query+count agree with CLI)"
 done
+
+echo "== limit pushdown: without \"count\" a truncated response reports -1"
+resp=$(curl -fsS -X POST -d '{"query":"//_","limit":1}' "$BASE/v1/query")
+echo "$resp" | grep -q '"count":-1' || { echo "FAIL: truncated query leaked a count: $resp"; exit 1; }
+echo "$resp" | grep -q '"truncated":true' || { echo "FAIL: limit=1 on //_ not truncated: $resp"; exit 1; }
+echo "   //_ limit=1 -> truncated, count unknown"
 
 echo "== save-then-serve: snapshot the corpus, serve it, recheck counts"
 SNAPSHOT="${LPX_SNAPSHOT:-}"
