@@ -12,7 +12,17 @@ import (
 // allocation — historically tens of thousands of objects per evaluation —
 // fails loudly while arena/pool jitter does not.
 var allocBudgets = map[int]int{
-	1: 64, 2: 64, 3: 64, 4: 800, 5: 70, 6: 90, 7: 64, 8: 64, 9: 64,
+	1: 64, 2: 64, 3: 64, 4: 700, 5: 70, 6: 90, 7: 64, 8: 64, 9: 64,
+	10: 64, 11: 64, 12: 64, 13: 64, 14: 64, 15: 64, 16: 64, 17: 64,
+	18: 64, 19: 64, 20: 64, 21: 64, 22: 64, 23: 64,
+}
+
+// bitmapAllocBudgets is the same contract with the dense-bitset kernels
+// forced onto every eligible scope entry and satisfier set: the bitsets are
+// arena-pooled, so forcing them must not reintroduce per-scope or per-row
+// allocation on any query.
+var bitmapAllocBudgets = map[int]int{
+	1: 64, 2: 64, 3: 64, 4: 700, 5: 70, 6: 90, 7: 64, 8: 64, 9: 64,
 	10: 64, 11: 64, 12: 64, 13: 64, 14: 64, 15: 64, 16: 64, 17: 64,
 	18: 64, 19: 64, 20: 64, 21: 64, 22: 64, 23: 64,
 }
@@ -29,27 +39,40 @@ func TestStepEvaluationAllocBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation budget needs a non-trivial corpus")
 	}
-	c, err := GenerateCorpus("wsj", 0.01, 42, WithPlanCache(0))
-	if err != nil {
-		t.Fatal(err)
+	configs := []struct {
+		name    string
+		opts    []Option
+		budgets map[int]int
+	}{
+		{"auto", nil, allocBudgets},
+		{"bitmap", []Option{withBitmapAlways()}, bitmapAllocBudgets},
 	}
-	for _, eq := range EvalQueries() {
-		budget, ok := allocBudgets[eq.ID]
-		if !ok {
-			t.Fatalf("Q%d: no allocation budget defined", eq.ID)
-		}
-		t.Run(fmt.Sprintf("Q%d", eq.ID), func(t *testing.T) {
-			if _, err := c.CountText(eq.Text); err != nil { // warm: compile, cache, size arenas
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			opts := append([]Option{WithPlanCache(0)}, cfg.opts...)
+			c, err := GenerateCorpus("wsj", 0.01, 42, opts...)
+			if err != nil {
 				t.Fatal(err)
 			}
-			allocs := testing.AllocsPerRun(20, func() {
-				if _, err := c.CountText(eq.Text); err != nil {
-					t.Fatal(err)
+			for _, eq := range EvalQueries() {
+				budget, ok := cfg.budgets[eq.ID]
+				if !ok {
+					t.Fatalf("Q%d: no allocation budget defined", eq.ID)
 				}
-			})
-			t.Logf("warm CountText(Q%d) = %.0f allocs/op (budget %d)", eq.ID, allocs, budget)
-			if allocs > float64(budget) {
-				t.Errorf("warm CountText(Q%d) = %.0f allocs/op, budget %d", eq.ID, allocs, budget)
+				t.Run(fmt.Sprintf("Q%d", eq.ID), func(t *testing.T) {
+					if _, err := c.CountText(eq.Text); err != nil { // warm: compile, cache, size arenas
+						t.Fatal(err)
+					}
+					allocs := testing.AllocsPerRun(20, func() {
+						if _, err := c.CountText(eq.Text); err != nil {
+							t.Fatal(err)
+						}
+					})
+					t.Logf("warm CountText(Q%d) = %.0f allocs/op (budget %d)", eq.ID, allocs, budget)
+					if allocs > float64(budget) {
+						t.Errorf("warm CountText(Q%d) = %.0f allocs/op, budget %d", eq.ID, allocs, budget)
+					}
+				})
 			}
 		})
 	}

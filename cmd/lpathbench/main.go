@@ -11,6 +11,7 @@
 // 10 (labeling-scheme comparison), ablations, planner (cost-based planner
 // on/off), exec (set-at-a-time merge executor on/off with allocation
 // counts), twig (holistic twig executor on/off with allocation counts),
+// bitmap (dense-bitset filter kernels on/off with allocation counts),
 // limit (streaming early termination at limits 1/10/100 vs full
 // evaluation), par (parallel sharded execution scaling), snapshot (binary
 // .lpx cold start vs text parse+build), or all.
@@ -18,12 +19,14 @@
 // -scale sets the fraction of the paper's corpus size (1.0 ≈ 49k WSJ
 // sentences / 3.5M nodes; the default 0.05 keeps a full run under a couple
 // of minutes). With -csv DIR each timing figure is also written as CSV.
-// With -json DIR the planner, exec, twig, limit and par experiments
-// additionally write the machine-readable BENCH_planner.json,
-// BENCH_executor.json, BENCH_twig.json, BENCH_limit.json and
-// BENCH_parallel.json (the CI bench artifacts).
+// With -json DIR the planner, exec, twig, bitmap, limit and par
+// experiments additionally write the machine-readable BENCH_planner.json,
+// BENCH_executor.json, BENCH_twig.json, BENCH_bitmap.json,
+// BENCH_limit.json and BENCH_parallel.json (the CI bench artifacts).
 // -workers caps the worker sweep of the parallel experiment (default:
 // GOMAXPROCS); the sweep measures 1, 2, 4, ... up to the cap.
+// -cpuprofile/-memprofile write pprof profiles covering the selected
+// experiments (the memory profile is taken at exit).
 package main
 
 import (
@@ -32,6 +35,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -42,14 +46,35 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "experiment: 6a 6b 6c 7 8 9 10 ablations planner exec twig limit par snapshot all")
-		scale   = flag.Float64("scale", 0.05, "corpus scale (1.0 = paper size)")
-		seed    = flag.Int64("seed", 42, "corpus seed")
-		csvDir  = flag.String("csv", "", "directory for CSV output (optional)")
-		jsonDir = flag.String("json", "", "directory for BENCH_*.json artifacts (planner, exec, twig, par)")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "max workers for the parallel experiment")
+		fig        = flag.String("fig", "all", "experiment: 6a 6b 6c 7 8 9 10 ablations planner exec twig bitmap limit par snapshot all")
+		scale      = flag.Float64("scale", 0.05, "corpus scale (1.0 = paper size)")
+		seed       = flag.Int64("seed", 42, "corpus seed")
+		csvDir     = flag.String("csv", "", "directory for CSV output (optional)")
+		jsonDir    = flag.String("json", "", "directory for BENCH_*.json artifacts (planner, exec, twig, bitmap, par)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "max workers for the parallel experiment")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			check(f.Close())
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			check(err)
+			runtime.GC()
+			check(pprof.WriteHeapProfile(f))
+			check(f.Close())
+		}()
+	}
 
 	want := map[string]bool{}
 	for _, f := range strings.Split(*fig, ",") {
@@ -170,6 +195,14 @@ func main() {
 		bench.WriteTwigImpact(os.Stdout, rows)
 		writeCSV(*csvDir, "twig_impact.csv", bench.CSVTwigImpact(rows))
 		writeJSON(*jsonDir, "BENCH_twig.json", func() ([]byte, error) { return bench.JSONTwigImpact(rows) })
+		fmt.Println()
+	}
+	if need("bitmap") {
+		rows, err := bench.BitmapImpact(buildWSJ())
+		check(err)
+		bench.WriteBitmapImpact(os.Stdout, rows)
+		writeCSV(*csvDir, "bitmap_impact.csv", bench.CSVBitmapImpact(rows))
+		writeJSON(*jsonDir, "BENCH_bitmap.json", func() ([]byte, error) { return bench.JSONBitmapImpact(rows) })
 		fmt.Println()
 	}
 	if need("limit") {

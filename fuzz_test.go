@@ -81,6 +81,14 @@ func FuzzEvalOracle(f *testing.F) {
 		c.Configure(WithoutMergeExecutor())
 		probed, probedErr := c.Select(q)
 
+		// Bitmap rotation: force the dense-bitset kernels onto every eligible
+		// scope entry and satisfier set, then disable them entirely (per-scope
+		// expansion and map-backed satisfier sets, the pre-bitmap engine).
+		c.Configure(withBitmapAlways())
+		bitmapped, bitmappedErr := c.Select(q)
+		c.Configure(WithoutBitmapExecutor())
+		unbitmapped, unbitmappedErr := c.Select(q)
+
 		c.Configure(WithoutPlanner())
 		unplanned, unplannedErr := c.Select(q)
 
@@ -100,6 +108,10 @@ func FuzzEvalOracle(f *testing.F) {
 		if (plannedErr != nil) != (twiggedErr != nil) || (plannedErr != nil) != (untwiggedErr != nil) {
 			t.Fatalf("%q: planned err %v, twig-always err %v, twig-off err %v",
 				query, plannedErr, twiggedErr, untwiggedErr)
+		}
+		if (plannedErr != nil) != (bitmappedErr != nil) || (plannedErr != nil) != (unbitmappedErr != nil) {
+			t.Fatalf("%q: planned err %v, bitmap-always err %v, bitmap-off err %v",
+				query, plannedErr, bitmappedErr, unbitmappedErr)
 		}
 		if plannedErr != nil {
 			return // all evaluators agree the query errors on this corpus
@@ -123,6 +135,14 @@ func FuzzEvalOracle(f *testing.F) {
 		if !reflect.DeepEqual(planned, untwigged) {
 			t.Fatalf("%q: twig-off differs from planned (%d vs %d matches)\nuntwigged: %v\nplanned: %v",
 				query, len(untwigged), len(planned), matchKeys(untwigged), matchKeys(planned))
+		}
+		if !reflect.DeepEqual(planned, bitmapped) {
+			t.Fatalf("%q: bitmap-always differs from planned (%d vs %d matches)\nbitmapped: %v\nplanned: %v",
+				query, len(bitmapped), len(planned), matchKeys(bitmapped), matchKeys(planned))
+		}
+		if !reflect.DeepEqual(planned, unbitmapped) {
+			t.Fatalf("%q: bitmap-off differs from planned (%d vs %d matches)\nunbitmapped: %v\nplanned: %v",
+				query, len(unbitmapped), len(planned), matchKeys(unbitmapped), matchKeys(planned))
 		}
 		if !reflect.DeepEqual(planned, par) {
 			t.Fatalf("%q: parallel differs from serial (%d vs %d matches)",

@@ -360,7 +360,7 @@ func planStrategies(pl *planner.Plan) string {
 	if pl == nil || pl.Root == nil {
 		return "probe:all"
 	}
-	var twig, merge, probe int
+	var twig, merge, probe, bitmap int
 	var walk func(pp *planner.PathPlan)
 	walk = func(pp *planner.PathPlan) {
 		if pp == nil {
@@ -372,6 +372,8 @@ func planStrategies(pl *planner.Plan) string {
 				twig++
 			case planner.StrategyMerge:
 				merge++
+			case planner.StrategyBitmap:
+				bitmap++
 			default:
 				probe++
 			}
@@ -384,7 +386,7 @@ func planStrategies(pl *planner.Plan) string {
 		walk(pp.Scoped)
 	}
 	walk(pl.Root)
-	return fmt.Sprintf("twig:%d merge:%d probe:%d", twig, merge, probe)
+	return fmt.Sprintf("twig:%d merge:%d probe:%d bitmap:%d", twig, merge, probe, bitmap)
 }
 
 // ExecutorImpact measures every evaluation query with the merge executor on
@@ -502,6 +504,86 @@ func TwigImpact(s *Systems) ([]TwigRow, error) {
 		row.N = nTwig
 		row.AllocsTwig = allocsPerRun(func() { _, _ = s.RunLPath(id) })
 		row.AllocsNoTwig = allocsPerRun(func() { _, _ = s.RunLPathNoTwig(id) })
+		row.Strategy = planStrategies(s.LPath.Plan(s.lpathQ[id]))
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// BitmapRow is one query's measurement of the dense-bitset kernels: the full
+// engine (the planner marks winning scope entries StrategyBitmap and
+// satisfier sets materialize as bitsets) against the bitmap-off ablation
+// (the pre-bitmap engine), plus the steady-state heap allocations of one
+// warm evaluation under each.
+type BitmapRow struct {
+	ID           int
+	Query        string
+	Bitmap       time.Duration // full engine, bitmap kernels available
+	NoBitmap     time.Duration // bitmap-off ablation (pre-bitmap engine)
+	AllocsBitmap float64       // allocations per warm evaluation, full engine
+	AllocsNoBmp  float64       // allocations per warm evaluation, bitmap off
+	N            int           // result size (identical by construction; verified)
+	Strategy     string        // per-step strategy counts from the plan
+}
+
+// Speedup is the no-bitmap/bitmap time ratio (>1 = the bitmap kernels help).
+func (r BitmapRow) Speedup() float64 {
+	if r.Bitmap <= 0 {
+		return 0
+	}
+	return float64(r.NoBitmap) / float64(r.Bitmap)
+}
+
+// BitmapImpact measures every evaluation query with the dense-bitset kernels
+// on and off over the same store. Result identity is checked five ways per
+// query — planner-chosen, bitmap-off, probe-only, bitmap-forced, twig-forced
+// and merge-forced all have to agree — before the timings are trusted.
+func BitmapImpact(s *Systems) ([]BitmapRow, error) {
+	var out []BitmapRow
+	for _, id := range s.QueryIDs() {
+		row := BitmapRow{ID: id, Query: s.QueryText(id)}
+		var nBmp, nNoBmp int
+		var err error
+		row.Bitmap = TimeIt(func() {
+			var e error
+			nBmp, e = s.RunLPath(id)
+			if e != nil {
+				err = e
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("Q%d bitmap: %w", id, err)
+		}
+		row.NoBitmap = TimeIt(func() {
+			var e error
+			nNoBmp, e = s.RunLPathNoBitmap(id)
+			if e != nil {
+				err = e
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("Q%d no-bitmap: %w", id, err)
+		}
+		if nBmp != nNoBmp {
+			return nil, fmt.Errorf("Q%d: bitmap kernels changed the result: %d vs %d", id, nBmp, nNoBmp)
+		}
+		for name, run := range map[string]func(int) (int, error){
+			"probe-only":    s.RunLPathNoMerge,
+			"bitmap-forced": s.RunLPathBitmapForced,
+			"twig-forced":   s.RunLPathTwigForced,
+			"merge-forced":  s.RunLPathMergeForced,
+		} {
+			n, e := run(id)
+			if e != nil {
+				return nil, fmt.Errorf("Q%d %s: %w", id, name, e)
+			}
+			if n != nBmp {
+				return nil, fmt.Errorf("Q%d: %s changed the result: %d vs %d", id, name, n, nBmp)
+			}
+		}
+		row.N = nBmp
+		row.AllocsBitmap = allocsPerRun(func() { _, _ = s.RunLPath(id) })
+		row.AllocsNoBmp = allocsPerRun(func() { _, _ = s.RunLPathNoBitmap(id) })
 		row.Strategy = planStrategies(s.LPath.Plan(s.lpathQ[id]))
 		out = append(out, row)
 	}

@@ -250,6 +250,64 @@ func JSONTwigImpact(rows []TwigRow) ([]byte, error) {
 	return json.MarshalIndent(out, "", "  ")
 }
 
+// WriteBitmapImpact renders the bitmap-kernel before/after measurements.
+func WriteBitmapImpact(w io.Writer, rows []BitmapRow) {
+	fmt.Fprintf(w, "Bitmap impact: dense-bitset kernels vs per-scope probe expansion (s)\n")
+	fmt.Fprintf(w, "%-4s %-44s %10s %10s %9s %12s %12s %9s   %s\n",
+		"Q", "Query", "bitmap", "no-bitmap", "speedup", "allocs(b)", "allocs(n)", "matches", "strategy")
+	for _, r := range rows {
+		fmt.Fprintf(w, "Q%-3d %-44s %10s %10s %8.2fx %12.0f %12.0f %9d   %s\n",
+			r.ID, r.Query, secs(r.Bitmap), secs(r.NoBitmap), r.Speedup(),
+			r.AllocsBitmap, r.AllocsNoBmp, r.N, r.Strategy)
+	}
+}
+
+// CSVBitmapImpact renders the bitmap-kernel rows as CSV.
+func CSVBitmapImpact(rows []BitmapRow) string {
+	var b strings.Builder
+	b.WriteString("query,bitmap_s,nobitmap_s,speedup,allocs_bitmap,allocs_nobitmap,matches,strategy\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "Q%d,%f,%f,%f,%.0f,%.0f,%d,%s\n",
+			r.ID, r.Bitmap.Seconds(), r.NoBitmap.Seconds(), r.Speedup(),
+			r.AllocsBitmap, r.AllocsNoBmp, r.N, r.Strategy)
+	}
+	return b.String()
+}
+
+// bitmapJSONRow is the machine-readable shape of one BitmapRow, mirroring
+// the testing-package convention of ns/op and allocs/op.
+type bitmapJSONRow struct {
+	Query       int     `json:"query"`
+	Text        string  `json:"text"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	NsPerOpOff  int64   `json:"ns_per_op_nobitmap"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	AllocsOff   float64 `json:"allocs_per_op_nobitmap"`
+	Speedup     float64 `json:"speedup"`
+	Matches     int     `json:"matches"`
+	Strategy    string  `json:"strategy"`
+}
+
+// JSONBitmapImpact renders the bitmap-kernel rows as indented JSON, the
+// payload of the BENCH_bitmap.json artifact.
+func JSONBitmapImpact(rows []BitmapRow) ([]byte, error) {
+	out := make([]bitmapJSONRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, bitmapJSONRow{
+			Query:       r.ID,
+			Text:        r.Query,
+			NsPerOp:     r.Bitmap.Nanoseconds(),
+			NsPerOpOff:  r.NoBitmap.Nanoseconds(),
+			AllocsPerOp: r.AllocsBitmap,
+			AllocsOff:   r.AllocsNoBmp,
+			Speedup:     r.Speedup(),
+			Matches:     r.N,
+			Strategy:    r.Strategy,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
 // WriteLimitImpact renders the limit-pushdown measurements; "sp@10" is the
 // full/limited speedup at limit 10, the figure's headline number.
 func WriteLimitImpact(w io.Writer, rows []LimitRow) {

@@ -33,6 +33,8 @@ type Systems struct {
 	LPathNoTwig  *engine.Engine // twig-executor ablation (probe/merge only)
 	LPathTwig    *engine.Engine // twig forced on every eligible run
 	LPathMerge   *engine.Engine // merge forced on every mergeable step
+	LPathNoBmp   *engine.Engine // bitmap-kernel ablation (pre-bitmap engine)
+	LPathBmp     *engine.Engine // bitmap forced on every eligible scope entry
 	XPath        *xpath.Engine
 	TGrep        *tgrep.Corpus
 	CS           *corpussearch.Corpus
@@ -76,6 +78,12 @@ func BuildSystems(c *tree.Corpus) (*Systems, error) {
 		return nil, err
 	}
 	if s.LPathMerge, err = engine.New(s.Store, engine.WithMergeAlways()); err != nil {
+		return nil, err
+	}
+	if s.LPathNoBmp, err = engine.New(s.Store, engine.WithoutBitmap()); err != nil {
+		return nil, err
+	}
+	if s.LPathBmp, err = engine.New(s.Store, engine.WithBitmapAlways()); err != nil {
 		return nil, err
 	}
 	if s.XPath, err = xpath.New(relstore.Build(c, relstore.SchemeStartEnd)); err != nil {
@@ -173,6 +181,19 @@ func (s *Systems) RunLPathTwigForced(id int) (int, error) {
 // onto every mergeable step (twig suppressed).
 func (s *Systems) RunLPathMergeForced(id int) (int, error) {
 	return s.LPathMerge.Count(s.lpathQ[id])
+}
+
+// RunLPathNoBitmap evaluates query id with the dense-bitset kernels
+// disabled (scoped tails expand per scope, satisfier sets stay maps).
+func (s *Systems) RunLPathNoBitmap(id int) (int, error) {
+	return s.LPathNoBmp.Count(s.lpathQ[id])
+}
+
+// RunLPathBitmapForced evaluates query id with the bitmap kernel forced onto
+// every shape-eligible subtree-scope entry, overriding the planner's cost
+// decision.
+func (s *Systems) RunLPathBitmapForced(id int) (int, error) {
+	return s.LPathBmp.Count(s.lpathQ[id])
 }
 
 // RunXPath evaluates query id on the XPath (start/end labeling) engine.

@@ -1,5 +1,7 @@
 package engine
 
+import "lpath/internal/bitset"
+
 // arena is an evalCtx-owned pool of scratch buffers, so steady-state
 // evaluation of a compiled plan allocates near zero: every intermediate
 // candidate list, binding frontier and dedup set is drawn from freelists
@@ -32,6 +34,7 @@ type arena struct {
 	binds    [][]bind
 	rowSets  []map[int32]bool
 	bindSets []map[bind]bool
+	bitsets  []*bitset.Set
 }
 
 func (a *arena) getInts() []int32 {
@@ -97,6 +100,24 @@ func (a *arena) putRowSet(m map[int32]bool) {
 	}
 	clear(m)
 	a.rowSets = append(a.rowSets, m)
+}
+
+// getBitset hands out a cleared bitset of n bits. Bitsets pool without a
+// size cap: Set.Reset clears only the words the requested length needs, so a
+// set that once grew large never taxes a later, smaller borrower the way an
+// oversized map would.
+func (a *arena) getBitset(n int) *bitset.Set {
+	if k := len(a.bitsets); k > 0 {
+		s := a.bitsets[k-1]
+		a.bitsets = a.bitsets[:k-1]
+		s.Reset(n)
+		return s
+	}
+	return bitset.New(n)
+}
+
+func (a *arena) putBitset(s *bitset.Set) {
+	a.bitsets = append(a.bitsets, s)
 }
 
 func (a *arena) getBindSet() map[bind]bool {

@@ -57,6 +57,24 @@ const (
 	twigAlways
 )
 
+// bitmapMode selects whether dense-bitset kernels may execute subtree-scope
+// entries and materialize semijoin satisfier sets (bitmap.go); it is
+// orthogonal to execMode and twigMode, which govern the remaining steps.
+type bitmapMode int
+
+const (
+	// bitmapAuto follows the plan's cost-marked scope entries (no bitmap
+	// without a plan); unscoped satisfier sets still materialize as bitsets.
+	bitmapAuto bitmapMode = iota
+	// bitmapOff disables the bitmap kernels (ablation): scoped tails expand
+	// per scope and satisfier sets stay maps — exactly the pre-bitmap engine.
+	bitmapOff
+	// bitmapAlways runs every shape-eligible scope entry through the bitmap
+	// kernel, bypassing the cost decision; differential tests and fuzzers
+	// use it to keep the kernel under continuous cross-checking.
+	bitmapAlways
+)
+
 // Engine evaluates LPath queries against an interval-labeled store.
 type Engine struct {
 	s *relstore.Store
@@ -74,6 +92,8 @@ type Engine struct {
 	exec execMode
 	// twig selects whether step runs may execute as holistic twig sweeps.
 	twig twigMode
+	// bitmap selects whether the dense-bitset kernels are available.
+	bitmap bitmapMode
 
 	// ctxPool recycles evalCtx values (and their scratch arenas) across
 	// evaluations, so a hot compiled query runs without steady-state
@@ -129,6 +149,22 @@ func WithTwigAlways() Option {
 	return func(e *Engine) { e.twig = twigAlways }
 }
 
+// WithoutBitmap disables the dense-bitset kernels: subtree scopes expand per
+// scope and semijoin satisfier sets materialize as maps. Used by the
+// executor ablation benchmarks and differential tests.
+func WithoutBitmap() Option {
+	return func(e *Engine) { e.bitmap = bitmapOff }
+}
+
+// WithBitmapAlways runs every shape-eligible subtree-scope entry through the
+// bitmap kernel, bypassing the planner's cost decision. The bitmap kernel is
+// result-identical to the scoped probe expansion by construction; this
+// option keeps it under continuous differential testing even on inputs
+// where the planner would never choose it.
+func WithBitmapAlways() Option {
+	return func(e *Engine) { e.bitmap = bitmapAlways }
+}
+
 // New creates an engine over the store, which must use the interval scheme.
 func New(s *relstore.Store, opts ...Option) (*Engine, error) {
 	if s.Scheme() != relstore.SchemeInterval {
@@ -149,6 +185,12 @@ func New(s *relstore.Store, opts ...Option) (*Engine, error) {
 		// (the merge executor only accepts steps marked StrategyMerge),
 		// which is neither the twig engine nor the pre-twig one.
 		popts = append(popts, planner.WithoutTwig())
+	}
+	if e.bitmap == bitmapOff {
+		// Same reasoning for the bitmap ablation: a scope entry marked
+		// StrategyBitmap would fall back to probe and also block twig-run
+		// formation over the scoped tail.
+		popts = append(popts, planner.WithoutBitmap())
 	}
 	e.pl = planner.New(s.Statistics(), popts...)
 	return e, nil
@@ -335,8 +377,16 @@ func (e *Engine) ExplainContext(cctx context.Context, p *lpath.Path) (string, er
 // owned by the caller and never released here; the returned slice is owned
 // by ctx's arena and must be released by the caller with ctx.ar.putBinds.
 func (e *Engine) evalPath(p *lpath.Path, binds []bind, ctx *evalCtx) ([]bind, error) {
-	cur, owned := binds, false
-	for i := 0; i < len(p.Steps); {
+	return e.evalSteps(p, 0, binds, false, ctx)
+}
+
+// evalSteps runs the join pipeline from step index start — the bitmap
+// scope-entry kernel re-enters here at index 1 after evaluating a scoped
+// tail's first step set-at-a-time. When owned is set the input binds are
+// arena-owned and released here; otherwise they belong to the caller.
+func (e *Engine) evalSteps(p *lpath.Path, start int, binds []bind, owned bool, ctx *evalCtx) ([]bind, error) {
+	cur := binds
+	for i := start; i < len(p.Steps); {
 		var next []bind
 		var err error
 		// A cost-marked (or, under WithTwigAlways, maximal) run of twig-able
@@ -365,6 +415,13 @@ func (e *Engine) evalPath(p *lpath.Path, binds []bind, ctx *evalCtx) ([]bind, er
 		}
 	}
 	if p.Scoped != nil {
+		if e.useBitmapEntry(p.Scoped, ctx) {
+			res, err := e.evalBitmapScoped(p.Scoped, cur, ctx)
+			if owned {
+				ctx.ar.putBinds(cur)
+			}
+			return res, err
+		}
 		// Open a subtree scope at each current node and evaluate the tail.
 		scoped := ctx.ar.getBinds()
 		for _, b := range cur {
@@ -600,6 +657,23 @@ func (e *Engine) groupByTID(cands []int32) [][]int32 {
 // positional context. The filter compacts in place: the caller must own the
 // slice (both executors materialize borrowed slices before the pipeline).
 func (e *Engine) filterPred(pred lpath.Expr, scope int32, cands []int32, ctx *evalCtx) ([]int32, error) {
+	// Bitmap fast path: a boolean combination whose every leaf has a planned
+	// semijoin resolves to one satisfier bitset (possibly stored complemented)
+	// via word-parallel set algebra; the per-candidate loop becomes a bit
+	// test per candidate (bitmap.go).
+	if e.bitmap != bitmapOff && scope == noRow && len(cands) > 0 {
+		if set, negated, ok, err := e.predBits(pred, scope, ctx); err != nil {
+			return nil, err
+		} else if ok {
+			out := cands[:0]
+			for _, ci := range cands {
+				if set.Has(ci) != negated {
+					out = append(out, ci)
+				}
+			}
+			return out, nil
+		}
+	}
 	out := cands[:0]
 	size := len(cands)
 	for i, ci := range cands {

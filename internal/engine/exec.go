@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 
+	"lpath/internal/bitset"
 	"lpath/internal/lpath"
 	"lpath/internal/planner"
 )
@@ -25,6 +26,12 @@ type evalCtx struct {
 	// within one evaluation the same filter under the same scope always has
 	// the same satisfiers, however many candidates probe it.
 	sat map[satKey]map[int32]bool
+	// satBits is the dense counterpart of sat (bitmap.go): arena-owned
+	// satisfier bitsets for unscoped filters, including memoized boolean
+	// combinations. satNeg marks combination sets stored complemented (the
+	// De Morgan rewrites keep the kernels to And/Or/AndNot).
+	satBits map[satKey]*bitset.Set
+	satNeg  map[satKey]bool
 	// act collects actual cardinalities when EXPLAIN runs the query.
 	act *planner.Actuals
 	// ar is the evaluation's scratch arena (see arena.go); it survives
@@ -130,6 +137,14 @@ func (c *evalCtx) clearSat() {
 	} else {
 		clear(c.sat)
 	}
+	// Satisfier bitsets recycle through the arena: unlike maps, a bitset's
+	// reset cost is proportional to the next evaluation's row count, not to
+	// its own peak size, so they always pool.
+	for _, s := range c.satBits {
+		c.ar.putBitset(s)
+	}
+	clear(c.satBits)
+	clear(c.satNeg)
 }
 
 func (c *evalCtx) stepPlan(s *lpath.Step) *planner.StepPlan {

@@ -19,8 +19,18 @@ import (
 // forward evaluation could have reached.
 
 // semiHolds answers one candidate's filter membership, building and
-// memoizing the satisfier set on first use.
+// memoizing the satisfier set on first use. Unscoped filters materialize as
+// dense bitsets (bitmap.go) unless the bitmap kernels are disabled; scoped
+// satisfier sets are small and numerous (one per scope), so they stay maps —
+// a bitset's whole-store clear per scope would swamp the lookup win.
 func (e *Engine) semiHolds(sj *planner.Semijoin, x lpath.Expr, b bind, ctx *evalCtx) (bool, error) {
+	if b.scope == noRow && e.bitmap != bitmapOff {
+		set, err := e.satisfierBits(sj, x, b.scope, ctx)
+		if err != nil {
+			return false, err
+		}
+		return set.Has(b.row), nil
+	}
 	key := satKey{expr: x, scope: b.scope}
 	set, ok := ctx.sat[key]
 	if !ok {

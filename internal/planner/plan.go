@@ -79,6 +79,12 @@ const (
 	// once, with per-step stacks instead of materialized inter-step
 	// frontiers. The run's head step carries TwigRun.
 	StrategyTwig
+	// StrategyBitmap evaluates a subtree-scope entry step set-at-a-time
+	// over dense bitsets: the scope frontier becomes a bitset over the
+	// columnar row index, and the step's posting list resolves membership
+	// through the parent-pointer column instead of per-scope index probes
+	// (internal/engine/bitmap.go).
+	StrategyBitmap
 )
 
 func (st Strategy) String() string {
@@ -87,6 +93,8 @@ func (st Strategy) String() string {
 		return "merge"
 	case StrategyTwig:
 		return "twig"
+	case StrategyBitmap:
+		return "bitmap"
 	}
 	return "probe"
 }
@@ -133,9 +141,10 @@ func (p *Plan) Step(s *lpath.Step) *StepPlan { return p.steps[s] }
 
 // StrategyCounts tallies the execution strategies chosen for the main path's
 // steps (including scoped tails): how many run as per-binding probes, as
-// set-at-a-time merges, and as members of holistic twig runs. The serving
-// layer exports these as executor-strategy metrics.
-func (p *Plan) StrategyCounts() (probe, merge, twig int) {
+// set-at-a-time merges, as members of holistic twig runs, and as bitmap
+// scope entries. The serving layer exports these as executor-strategy
+// metrics.
+func (p *Plan) StrategyCounts() (probe, merge, twig, bitmap int) {
 	for pp := p.Root; pp != nil; pp = pp.Scoped {
 		for _, sp := range pp.Steps {
 			switch sp.Strategy {
@@ -143,12 +152,14 @@ func (p *Plan) StrategyCounts() (probe, merge, twig int) {
 				merge++
 			case StrategyTwig:
 				twig++
+			case StrategyBitmap:
+				bitmap++
 			default:
 				probe++
 			}
 		}
 	}
-	return probe, merge, twig
+	return probe, merge, twig, bitmap
 }
 
 // SemijoinFor returns the semijoin strategy chosen for a predicate

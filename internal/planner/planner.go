@@ -12,9 +12,10 @@ import (
 // immutable and safe for concurrent use; every shard of a sharded corpus
 // shares one (the snapshot is corpus-global, see relstore.BuildShards).
 type Planner struct {
-	st      *relstore.Statistics
-	noValue bool
-	noTwig  bool
+	st       *relstore.Statistics
+	noValue  bool
+	noTwig   bool
+	noBitmap bool
 
 	elements   float64 // element rows
 	totalSpan  float64 // summed root spans
@@ -37,6 +38,14 @@ func WithoutValueIndex() Option {
 // would execute.
 func WithoutTwig() Option {
 	return func(pl *Planner) { pl.noTwig = true }
+}
+
+// WithoutBitmap makes the planner never mark bitmap scope entries, so scoped
+// tails keep their per-step probe/merge/twig strategies; it mirrors the
+// engine option of the same name so the bitmap ablation plans exactly what
+// the pre-bitmap engine would execute.
+func WithoutBitmap() Option {
+	return func(pl *Planner) { pl.noBitmap = true }
 }
 
 // New creates a planner over the snapshot (nil is treated as an empty
@@ -269,6 +278,7 @@ func (pl *Planner) planPath(p *lpath.Path, c ectx, nIn float64, plan *Plan) *Pat
 	}
 	if p.Scoped != nil {
 		pp.Scoped = pl.planPath(p.Scoped, cur, est, plan)
+		pl.markBitmapEntry(pp.Scoped, cur, est)
 		pp.cost += pp.Scoped.cost
 		est = pp.Scoped.EstOut
 	}
@@ -457,6 +467,67 @@ func TwigableStep(step *lpath.Step, inScope bool) bool {
 	return true
 }
 
+// BitmapEntryStep reports whether a subtree-scoped tail's first step has the
+// shape the bitmap scope-entry kernel supports (internal/engine/bitmap.go):
+// a downward axis whose scope membership resolves through the parent-pointer
+// column, with no positional predicates — the kernel emits bindings in
+// posting order, not per-scope document order.
+func BitmapEntryStep(step *lpath.Step) bool {
+	switch step.Axis {
+	case lpath.AxisChild, lpath.AxisDescendant, lpath.AxisDescendantOrSelf:
+	default:
+		return false
+	}
+	return !step.HasPositional()
+}
+
+// bitmapTouchCost weights one bitmap scope-entry touch — a posting row's
+// parent-column load plus a bitset membership test — against one modeled
+// probe row touch. Two sequential array loads against a hash probe or a
+// binary search, so well under 1.
+const bitmapTouchCost = 0.3
+
+// markBitmapEntry decides whether the first step of a subtree-scoped tail
+// runs as a bitmap scope entry: instead of expanding every scope into a
+// binding, deduplicating, and probing the step per scope, the engine sets
+// the scope rows in a dense bitset and walks the step's posting list once,
+// resolving scope membership through the parent-pointer column. The modeled
+// crossover compares per-scope probing (plus the frontier expansion and
+// dedup the scoped branch pays) against one posting sweep whose per-row cost
+// is the parent chain walked — length 1 for the child axis, a short prefix
+// for edge-aligned descendants (alignment breaks the climb at the first
+// non-aligned ancestor), half the average depth otherwise.
+func (pl *Planner) markBitmapEntry(scoped *PathPlan, c ectx, scopes float64) {
+	if pl.noBitmap || len(scoped.Steps) == 0 {
+		return
+	}
+	sp := scoped.Steps[0]
+	if sp.Access == AccessValueIndex || !BitmapEntryStep(sp.Step) {
+		return
+	}
+	_, probeCost, _ := pl.probe(c, sp.Step.Axis, sp.Step.Test)
+	f := math.Max(scopes, 1)
+	posting := math.Max(pl.nameCount(sp.Step.Test), 1)
+	// Per-scope probing pays the access path plus per-binding overhead
+	// (buffer handling, hash or search setup) for every scope, and the
+	// scoped branch additionally materializes and deduplicates the scope
+	// frontier.
+	const probeOverhead = 4
+	stepwise := f*(probeCost+probeOverhead) + 2*f
+	climb := 1.0
+	if sp.Step.Axis != lpath.AxisChild {
+		if sp.Step.LeftAlign || sp.Step.RightAlign {
+			climb = 2
+		} else {
+			climb = math.Max(pl.avgDepth()/2, 1)
+		}
+	}
+	bitmap := 0.2*f + bitmapTouchCost*posting*climb
+	if bitmap < stepwise {
+		sp.Strategy = StrategyBitmap
+	}
+}
+
 // markTwigRuns is a post-pass over the main path chain (the root path and
 // its nested subtree scopes — not predicate paths, which evaluate per
 // binding): it finds maximal runs of twig-able steps and, where the modeled
@@ -490,7 +561,7 @@ func (pl *Planner) markTwigRuns(pp *PathPlan, root, inScope bool) {
 // index is a different access path, and a run headed at the virtual root can
 // only open with an axis the super-root supports.
 func (pl *Planner) twigEligible(sp *StepPlan, fromRoot, inScope bool) bool {
-	if sp.Access == AccessValueIndex {
+	if sp.Access == AccessValueIndex || sp.Strategy == StrategyBitmap {
 		return false
 	}
 	if !TwigableStep(sp.Step, inScope) {

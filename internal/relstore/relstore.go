@@ -115,6 +115,11 @@ type Store struct {
 	// stats is the build-time statistics snapshot (see stats.go). For
 	// shards it is replaced by the merged corpus-global snapshot.
 	stats *Statistics
+
+	// bitmaps holds the lazily built bitmap-executor caches (see bitmap.go):
+	// the parent-row column and the per-name dense bitsets. Zero value is
+	// ready, so snapshot assembly needs no extra wiring.
+	bitmaps bitmapCache
 }
 
 // Build labels every tree of the corpus under the scheme and constructs the

@@ -270,8 +270,8 @@ func (s *Server) evaluate(ctx context.Context, kind string, entry *Entry, req *q
 	if err != nil {
 		return nil, nil, err
 	}
-	if p, m, tw, err := entry.Corpus.Strategies(q); err == nil {
-		s.metrics.AddStrategies(p, m, tw)
+	if p, m, tw, bm, err := entry.Corpus.Strategies(q); err == nil {
+		s.metrics.AddStrategies(p, m, tw, bm)
 	}
 
 	switch kind {

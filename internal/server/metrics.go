@@ -55,10 +55,12 @@ type Metrics struct {
 	endpoints map[string]*endpointMetrics
 
 	// Executor strategy counts, summed from EXPLAIN-style planning of every
-	// uncached query: how many main-path steps ran as probes, merges, twigs.
-	StrategyProbe atomic.Uint64
-	StrategyMerge atomic.Uint64
-	StrategyTwig  atomic.Uint64
+	// uncached query: how many main-path steps ran as probes, merges, twigs,
+	// and bitmap scope entries.
+	StrategyProbe  atomic.Uint64
+	StrategyMerge  atomic.Uint64
+	StrategyTwig   atomic.Uint64
+	StrategyBitmap atomic.Uint64
 
 	// /v1/query truncation outcomes: responses whose limit cut the match
 	// list (limit_hit=true, the early-termination fast path) vs complete
@@ -85,10 +87,11 @@ func (m *Metrics) Endpoint(name string) *endpointMetrics {
 }
 
 // AddStrategies accumulates executor-strategy step counts from a plan.
-func (m *Metrics) AddStrategies(probe, merge, twig int) {
+func (m *Metrics) AddStrategies(probe, merge, twig, bitmap int) {
 	m.StrategyProbe.Add(uint64(probe))
 	m.StrategyMerge.Add(uint64(merge))
 	m.StrategyTwig.Add(uint64(twig))
+	m.StrategyBitmap.Add(uint64(bitmap))
 }
 
 // AddQueryResult records whether a served /v1/query response was truncated by
@@ -161,6 +164,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, extra ...func(io.Writer)) {
 	fmt.Fprintf(w, "lpathd_plan_steps_total{strategy=\"probe\"} %d\n", m.StrategyProbe.Load())
 	fmt.Fprintf(w, "lpathd_plan_steps_total{strategy=\"merge\"} %d\n", m.StrategyMerge.Load())
 	fmt.Fprintf(w, "lpathd_plan_steps_total{strategy=\"twig\"} %d\n", m.StrategyTwig.Load())
+	fmt.Fprintf(w, "lpathd_plan_steps_total{strategy=\"bitmap\"} %d\n", m.StrategyBitmap.Load())
 
 	fmt.Fprintf(w, "# HELP lpathd_query_results_total Served /v1/query responses, by whether the limit truncated the match list.\n")
 	fmt.Fprintf(w, "# TYPE lpathd_query_results_total counter\n")

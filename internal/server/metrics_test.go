@@ -31,7 +31,7 @@ func TestWritePrometheusFormat(t *testing.T) {
 	ep.observe(200, 2*time.Millisecond)
 	ep.observe(200, 2*time.Millisecond)
 	ep.observe(429, 10*time.Microsecond)
-	m.AddStrategies(3, 2, 1)
+	m.AddStrategies(3, 2, 1, 4)
 
 	var b strings.Builder
 	m.WritePrometheus(&b)
@@ -45,6 +45,7 @@ func TestWritePrometheusFormat(t *testing.T) {
 		`lpathd_plan_steps_total{strategy="probe"} 3`,
 		`lpathd_plan_steps_total{strategy="merge"} 2`,
 		`lpathd_plan_steps_total{strategy="twig"} 1`,
+		`lpathd_plan_steps_total{strategy="bitmap"} 4`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output lacks %q", want)

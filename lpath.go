@@ -131,6 +131,10 @@ type Corpus struct {
 	// WithoutTwigExecutor and withTwigAlways).
 	twigOff    bool
 	twigAlways bool
+	// bitmapOff / bitmapAlways pin the dense-bitset kernels the same way (see
+	// WithoutBitmapExecutor and withBitmapAlways).
+	bitmapOff    bool
+	bitmapAlways bool
 }
 
 // Option configures query execution on a Corpus; pass options to a
@@ -215,6 +219,33 @@ func withTwigAlways() Option {
 	return func(c *Corpus) {
 		c.twigAlways = true
 		c.twigOff = false
+		c.dirty = true
+		c.shardsDirty = true
+	}
+}
+
+// WithoutBitmapExecutor disables the dense-bitset kernels, so subtree scopes
+// expand per scope and semijoin satisfier sets materialize as maps — exactly
+// the pre-bitmap engine. The bitmap kernels are result-identical (the
+// differential tests enforce it); this option exists for those tests and for
+// measuring the bitmap executor's contribution (docs/EXECUTION.md).
+func WithoutBitmapExecutor() Option {
+	return func(c *Corpus) {
+		c.bitmapOff = true
+		c.bitmapAlways = false
+		c.dirty = true
+		c.shardsDirty = true
+	}
+}
+
+// withBitmapAlways runs every shape-eligible subtree-scope entry through the
+// bitmap kernel, bypassing the planner's cost decision; the differential
+// tests and fuzzers use it to keep the bitmap path under continuous
+// cross-checking.
+func withBitmapAlways() Option {
+	return func(c *Corpus) {
+		c.bitmapAlways = true
+		c.bitmapOff = false
 		c.dirty = true
 		c.shardsDirty = true
 	}
@@ -421,6 +452,12 @@ func (c *Corpus) engineOpts() []engine.Option {
 	if c.twigAlways {
 		opts = append(opts, engine.WithTwigAlways())
 	}
+	if c.bitmapOff {
+		opts = append(opts, engine.WithoutBitmap())
+	}
+	if c.bitmapAlways {
+		opts = append(opts, engine.WithBitmapAlways())
+	}
 	return opts
 }
 
@@ -548,22 +585,22 @@ func (c *Corpus) ExplainText(text string) (string, error) {
 
 // Strategies plans the query against the current corpus statistics and
 // returns how many of its main-path steps execute as per-binding probes, as
-// set-at-a-time merges, and as members of holistic twig runs (the exec=
-// column of EXPLAIN; see docs/EXECUTION.md). With planning disabled every
-// step counts as a probe.
-func (c *Corpus) Strategies(q *Query) (probe, merge, twig int, err error) {
+// set-at-a-time merges, as members of holistic twig runs, and as bitmap
+// scope entries (the exec= column of EXPLAIN; see docs/EXECUTION.md). With
+// planning disabled every step counts as a probe.
+func (c *Corpus) Strategies(q *Query) (probe, merge, twig, bitmap int, err error) {
 	if err := c.Build(); err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, 0, err
 	}
 	plan := c.eng.Plan(q.path)
 	if plan == nil {
 		for p := q.path; p != nil; p = p.Scoped {
 			probe += len(p.Steps)
 		}
-		return probe, 0, 0, nil
+		return probe, 0, 0, 0, nil
 	}
-	probe, merge, twig = plan.StrategyCounts()
-	return probe, merge, twig, nil
+	probe, merge, twig, bitmap = plan.StrategyCounts()
+	return probe, merge, twig, bitmap, nil
 }
 
 // numWorkers resolves the configured worker bound.

@@ -8,7 +8,8 @@ import (
 
 // limitStrategies pins each executor strategy the way the differential
 // fuzzer does, so the early-termination parity holds for the probe loop, the
-// merge sweep, the twig sweep and the planner's own mix alike.
+// merge sweep, the twig sweep, the bitmap kernels and the planner's own mix
+// alike.
 func limitStrategies() []struct {
 	name string
 	opts []Option
@@ -21,6 +22,8 @@ func limitStrategies() []struct {
 		{"probe", []Option{WithoutMergeExecutor(), WithoutTwigExecutor()}},
 		{"merge", []Option{withMergeAlways(), WithoutTwigExecutor()}},
 		{"twig", []Option{withTwigAlways()}},
+		{"bitmap", []Option{withBitmapAlways()}},
+		{"no-bitmap", []Option{WithoutBitmapExecutor()}},
 	}
 }
 

@@ -39,6 +39,17 @@ func TestPlannerResultIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Bitmap rotation: the dense-bitset kernels forced on every eligible
+	// scope entry, and disabled entirely (per-scope expansion, map-backed
+	// satisfier sets).
+	forcedBitmap, err := GenerateCorpus("wsj", 0.005, 11, WithShards(4), WithWorkers(3), withBitmapAlways())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitmapOff, err := GenerateCorpus("wsj", 0.005, 11, WithShards(4), WithWorkers(3), WithoutBitmapExecutor())
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, eq := range EvalQueries() {
 		q := MustCompile(eq.Text)
 		want, err := unplanned.Select(q)
@@ -84,6 +95,22 @@ func TestPlannerResultIdentity(t *testing.T) {
 		if !matchesEqual(gotNoTwig, want) {
 			t.Errorf("Q%d: twig-off %d matches, unplanned %d — or a match differs",
 				eq.ID, len(gotNoTwig), len(want))
+		}
+		gotBitmap, err := forcedBitmap.Select(q)
+		if err != nil {
+			t.Fatalf("Q%d forced-bitmap: %v", eq.ID, err)
+		}
+		if !matchesEqual(gotBitmap, want) {
+			t.Errorf("Q%d: forced-bitmap %d matches, unplanned %d — or a match differs",
+				eq.ID, len(gotBitmap), len(want))
+		}
+		gotNoBitmap, err := bitmapOff.Select(q)
+		if err != nil {
+			t.Fatalf("Q%d bitmap-off: %v", eq.ID, err)
+		}
+		if !matchesEqual(gotNoBitmap, want) {
+			t.Errorf("Q%d: bitmap-off %d matches, unplanned %d — or a match differs",
+				eq.ID, len(gotNoBitmap), len(want))
 		}
 		gotPar, err := planned.SelectParallel(q)
 		if err != nil {

@@ -20,6 +20,8 @@ func TestSnapshotQueriesAllStrategies(t *testing.T) {
 		{"no-planner", []Option{WithoutPlanner()}},
 		{"no-merge", []Option{WithoutMergeExecutor()}},
 		{"no-twig", []Option{WithoutTwigExecutor()}},
+		{"no-bitmap", []Option{WithoutBitmapExecutor()}},
+		{"bitmap-always", []Option{withBitmapAlways()}},
 		{"sharded", []Option{WithShards(4), WithWorkers(3)}},
 	}
 
