@@ -1,0 +1,298 @@
+// Batched multi-query evaluation. A batch evaluates N compiled queries
+// against one store generation in a single pass, sharing work the canonical
+// structural keys of the plan IR prove equal across queries (planner:
+// StepPlan.Key, Semijoin.Key): whole-query result rows, main-path step
+// frontiers, and unscoped predicate satisfier bitsets. The memo lives for
+// one batch only — queries inside a batch run sequentially per engine (per
+// shard under EvalBatchParallel), so it needs no locking, and every result a
+// later query may reuse is copied to the heap before the arena reclaims it.
+//
+// The contract is the batch identity property, held by the differential
+// tests and FuzzEvalOracle: EvalBatch(paths)[i] is element-wise identical to
+// Eval(paths[i]), errors included.
+
+package engine
+
+import (
+	"context"
+
+	"lpath/internal/bitset"
+	"lpath/internal/lpath"
+	"lpath/internal/planner"
+)
+
+// BatchStats reports the cross-query sharing a batch achieved: hits and
+// misses of the whole-query rows memo, the main-path frontier memo, and the
+// satisfier-bitset memo.
+type BatchStats struct {
+	RowsHits, RowsMisses         int
+	FrontierHits, FrontierMisses int
+	SatHits, SatMisses           int
+}
+
+// Add accumulates another batch's counters into s, for callers aggregating
+// sharing across several EvalBatchStats passes.
+func (s *BatchStats) Add(o BatchStats) { s.add(o) }
+
+func (s *BatchStats) add(o BatchStats) {
+	s.RowsHits += o.RowsHits
+	s.RowsMisses += o.RowsMisses
+	s.FrontierHits += o.FrontierHits
+	s.FrontierMisses += o.FrontierMisses
+	s.SatHits += o.SatHits
+	s.SatMisses += o.SatMisses
+}
+
+// batchMemo is the per-batch shared memo. All values are heap-owned: binds
+// and rows are private copies, and the bitsets are allocated outside the
+// arena (the evaluation contexts that populate them return their own sets to
+// the arena between queries).
+type batchMemo struct {
+	// rows caches the final distinct (tid,id)-ordered result rows per
+	// canonical query text — the singleflight layer for duplicate queries.
+	rows map[string][]int32
+	// frontiers caches the binding frontier after the main path's step
+	// sequence (before any scoped tail), keyed by the plan's MainKey.
+	frontiers map[string][]bind
+	// satBits caches unscoped semijoin satisfier bitsets by Semijoin.Key.
+	satBits map[string]*bitset.Set
+	stats   BatchStats
+}
+
+func newBatchMemo() *batchMemo {
+	return &batchMemo{
+		rows:      make(map[string][]int32),
+		frontiers: make(map[string][]bind),
+		satBits:   make(map[string]*bitset.Set),
+	}
+}
+
+// frontierKey returns the memo key under which this evalSteps invocation's
+// step frontier is shared across the batch, or "" when it is not shareable:
+// the call must be the full main path from the virtual root, unwindowed and
+// uninstrumented, with a plan that stamped canonical keys.
+func (c *evalCtx) frontierKey(p *lpath.Path, start int, binds []bind) string {
+	if c.batch == nil || start != 0 || c.windowed || c.act != nil || c.plan == nil {
+		return ""
+	}
+	if len(p.Steps) == 0 || len(binds) != 1 || binds[0].row != noRow {
+		return ""
+	}
+	return c.plan.MainKey(p)
+}
+
+// EvalBatch evaluates the queries in one shared-memo pass and returns one
+// result slice and one error slot per query, positionally. A failing query
+// does not disturb its batch mates; every slot mirrors exactly what Eval
+// would have returned for that query alone.
+func (e *Engine) EvalBatch(paths []*lpath.Path) ([][]Match, []error) {
+	return e.EvalBatchContext(context.Background(), paths)
+}
+
+// EvalBatchContext is EvalBatch honoring a context for cooperative
+// cancellation: once the context is done, remaining queries report its error.
+func (e *Engine) EvalBatchContext(cctx context.Context, paths []*lpath.Path) ([][]Match, []error) {
+	out, errs, _ := e.EvalBatchStats(cctx, paths, nil)
+	return out, errs
+}
+
+// EvalBatchLimit is EvalBatchContext with a per-query result cap. limits may
+// be nil (no caps); otherwise it is parallel to paths, where a negative
+// limit means unlimited and zero yields an empty result. Capped slots are
+// the exact prefix of the query's full evaluation — the batch evaluates
+// fully so its memo stays valid for batch mates, then truncates.
+func (e *Engine) EvalBatchLimit(cctx context.Context, paths []*lpath.Path, limits []int) ([][]Match, []error) {
+	out, errs, _ := e.EvalBatchStats(cctx, paths, limits)
+	return out, errs
+}
+
+// EvalBatchStats is EvalBatchLimit additionally reporting the memo hit rates
+// the batch achieved.
+func (e *Engine) EvalBatchStats(cctx context.Context, paths []*lpath.Path, limits []int) ([][]Match, []error, BatchStats) {
+	plans := make([]*planner.Plan, len(paths))
+	for i, p := range paths {
+		plans[i] = e.Plan(p)
+	}
+	return e.EvalBatchPlans(cctx, paths, plans, limits)
+}
+
+// EvalBatchPlans is EvalBatchStats over pre-resolved (path, plan) pairs —
+// the serving path, where compiled plans come from a plan cache. plans and
+// limits may be nil (plan per query here / no caps); a nil path marks a slot
+// to skip (it failed compilation upstream), leaving its result and error
+// slots untouched.
+func (e *Engine) EvalBatchPlans(cctx context.Context, paths []*lpath.Path, plans []*planner.Plan, limits []int) ([][]Match, []error, BatchStats) {
+	memo := newBatchMemo()
+	out := make([][]Match, len(paths))
+	errs := make([]error, len(paths))
+	for i, p := range paths {
+		if p == nil {
+			continue
+		}
+		limit := -1
+		if limits != nil {
+			limit = limits[i]
+		}
+		plan := e.Plan(p)
+		if plans != nil {
+			plan = plans[i]
+		}
+		out[i], errs[i] = e.evalBatchOne(cctx, p, plan, limit, memo)
+	}
+	return out, errs, memo.stats
+}
+
+// CountBatch counts each query's distinct matches in one shared-memo pass;
+// slot i mirrors Count(paths[i]).
+func (e *Engine) CountBatch(cctx context.Context, paths []*lpath.Path) ([]int, []error) {
+	memo := newBatchMemo()
+	out := make([]int, len(paths))
+	errs := make([]error, len(paths))
+	for i, p := range paths {
+		rows, err := e.batchRows(cctx, p, e.Plan(p), memo)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		out[i] = len(rows)
+	}
+	return out, errs
+}
+
+// evalBatchOne evaluates one query of a batch: resolve the distinct result
+// rows through the memo, then materialize this query's own Match slice
+// (truncated when limit >= 0).
+func (e *Engine) evalBatchOne(cctx context.Context, p *lpath.Path, plan *planner.Plan, limit int, memo *batchMemo) ([]Match, error) {
+	rows, err := e.batchRows(cctx, p, plan, memo)
+	if err != nil {
+		return nil, err
+	}
+	if limit == 0 {
+		return []Match{}, nil
+	}
+	n := len(rows)
+	if limit > 0 && n > limit {
+		n = limit
+	}
+	out := make([]Match, 0, n)
+	for _, ri := range rows[:n] {
+		r := e.s.Row(ri)
+		out = append(out, Match{TreeID: int(r.TID), Node: e.s.NodeFor(r)})
+	}
+	return out, nil
+}
+
+// batchRows returns the query's distinct result rows in (tid,id) order,
+// served from the batch memo when an identical query already ran. The
+// returned slice is memo-owned; callers must not mutate it.
+func (e *Engine) batchRows(cctx context.Context, p *lpath.Path, plan *planner.Plan, memo *batchMemo) ([]int32, error) {
+	if err := lpath.Validate(p); err != nil {
+		return nil, err
+	}
+	if err := cctx.Err(); err != nil {
+		return nil, err
+	}
+	key := p.String()
+	if plan != nil {
+		key = plan.Text
+	}
+	if rows, ok := memo.rows[key]; ok {
+		memo.stats.RowsHits++
+		return rows, nil
+	}
+	memo.stats.RowsMisses++
+	ctx := e.newEvalCtx(plan, cctx)
+	ctx.batch = memo
+	defer e.releaseCtx(ctx)
+	arRows, err := e.evalRows(p, ctx)
+	if err != nil {
+		return nil, err
+	}
+	rows := append([]int32(nil), arRows...)
+	ctx.ar.putInts(arRows)
+	memo.rows[key] = rows
+	return rows, nil
+}
+
+// EvalBatchParallel runs the batch over the shards with shards as the unit
+// of work: each shard visit evaluates all N queries under one per-shard
+// batch memo, and each query's per-shard results merge back into global
+// (tid, id) order — slot i is identical to EvalParallel(ctx, shards,
+// paths[i]), errors included, with the same deterministic lowest-shard error
+// choice. A failing query never disturbs its batch mates; cancelling ctx
+// surfaces the context error on every query it interrupted.
+func EvalBatchParallel(ctx context.Context, shards []*Engine, paths []*lpath.Path, opts ...ParallelOption) ([][]Match, []error) {
+	cfg := parallelConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	out := make([][]Match, len(paths))
+	errs := make([]error, len(paths))
+	if len(paths) == 0 {
+		return out, errs
+	}
+	if len(shards) == 0 {
+		for i, p := range paths {
+			if errs[i] = lpath.Validate(p); errs[i] != nil {
+				continue
+			}
+			if errs[i] = ctx.Err(); errs[i] == nil {
+				out[i] = []Match{}
+			}
+		}
+		return out, errs
+	}
+	// Plan once per query: shard engines share the corpus-global statistics
+	// snapshot, so one plan serves every shard.
+	plans := make([]*planner.Plan, len(paths))
+	for i, p := range paths {
+		if lpath.Validate(p) == nil {
+			plans[i] = shards[0].Plan(p)
+		}
+	}
+	perShard := make([][][]Match, len(shards))
+	perShardErr := make([][]error, len(shards))
+	_ = runShards(ctx, len(shards), cfg.workers, func(sctx context.Context, si int) error {
+		memo := newBatchMemo()
+		ms := make([][]Match, len(paths))
+		es := make([]error, len(paths))
+		for qi, p := range paths {
+			ms[qi], es[qi] = shards[si].evalBatchOne(sctx, p, plans[qi], -1, memo)
+		}
+		perShard[si] = ms
+		perShardErr[si] = es
+		return nil // per-query errors propagate positionally, not per shard
+	})
+	for qi := range paths {
+		parts := make([][]Match, 0, len(shards))
+		var qerr error
+		missing := false
+		for si := range shards {
+			switch {
+			case perShardErr[si] == nil:
+				missing = true // shard drained after cancellation
+			case perShardErr[si][qi] != nil:
+				if err := perShardErr[si][qi]; !isCancel(err) {
+					if qerr == nil {
+						qerr = err // lowest shard's real failure wins
+					}
+				} else {
+					missing = true
+				}
+			default:
+				parts = append(parts, perShard[si][qi])
+			}
+		}
+		switch {
+		case qerr != nil:
+			errs[qi] = qerr
+		case missing:
+			if errs[qi] = ctx.Err(); errs[qi] == nil {
+				errs[qi] = context.Canceled
+			}
+		default:
+			out[qi] = mergeByTree(parts)
+		}
+	}
+	return out, errs
+}

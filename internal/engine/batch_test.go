@@ -1,0 +1,381 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"lpath/internal/lpath"
+	"lpath/internal/tree"
+)
+
+// batchOptRotations are the executor configurations the batch identity
+// property is checked under: the memo must be inert to strategy choice.
+var batchOptRotations = []struct {
+	name string
+	opts []Option
+}{
+	{"planned", nil},
+	{"noplanner", []Option{WithoutPlanner()}},
+	{"merge", []Option{WithMergeAlways()}},
+	{"twig", []Option{WithTwigAlways()}},
+	{"nobitmap", []Option{WithoutBitmap()}},
+	{"bitmap", []Option{WithBitmapAlways()}},
+}
+
+// TestEvalBatchMatchesSerial is the batch identity property: on random
+// corpora, under every executor rotation, EvalBatch's slot i is element-wise
+// identical to Eval(paths[i]) — including when the batch holds duplicates, so
+// every memo layer is live while the comparison runs.
+func TestEvalBatchMatchesSerial(t *testing.T) {
+	paths := make([]*lpath.Path, 0, 2*len(queryCorpus))
+	for _, q := range queryCorpus {
+		paths = append(paths, lpath.MustParse(q))
+	}
+	// Duplicate the whole suite so the rows memo serves half the batch.
+	paths = append(paths, paths...)
+	for seed := int64(1); seed <= 2; seed++ {
+		c := randomCorpus(seed, 7)
+		for _, rot := range batchOptRotations {
+			e := buildEngine(t, c, rot.opts...)
+			want := make([][]Match, len(paths))
+			for i, p := range paths {
+				ms, err := e.Eval(p)
+				if err != nil {
+					t.Fatalf("seed %d %s: serial %q: %v", seed, rot.name, p, err)
+				}
+				want[i] = ms
+			}
+			got, errs := e.EvalBatch(paths)
+			for i := range paths {
+				if errs[i] != nil {
+					t.Fatalf("seed %d %s: batch slot %d (%q): %v", seed, rot.name, i, paths[i], errs[i])
+				}
+				if len(got[i]) == 0 && len(want[i]) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Errorf("seed %d %s: %q: batch %d matches, serial %d",
+						seed, rot.name, paths[i], len(got[i]), len(want[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestEvalBatchErrorSlots proves a failing query occupies exactly its own
+// slot with the same error serial evaluation reports, leaving batch mates
+// untouched.
+func TestEvalBatchErrorSlots(t *testing.T) {
+	e, _ := figureEngine(t)
+	bad := lpath.MustParse(`//S@lex`)
+	_, serialErr := e.Eval(bad)
+	if serialErr == nil {
+		t.Fatal("serial Eval accepted a main-path attribute step")
+	}
+	paths := []*lpath.Path{lpath.MustParse(`//NP`), bad, lpath.MustParse(`//VP/V`)}
+	got, errs := e.EvalBatch(paths)
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("healthy slots errored: %v, %v", errs[0], errs[2])
+	}
+	if errs[1] == nil || errs[1].Error() != serialErr.Error() {
+		t.Fatalf("bad slot: got %v, want %v", errs[1], serialErr)
+	}
+	if got[1] != nil {
+		t.Errorf("bad slot carries %d matches", len(got[1]))
+	}
+	if len(got[0]) != 4 {
+		t.Errorf("//NP: %d matches, want 4", len(got[0]))
+	}
+}
+
+// TestEvalBatchDuplicateRowsMemo pins the singleflight layer: duplicate
+// queries evaluate once and hit the rows memo thereafter, with identical
+// results in every slot.
+func TestEvalBatchDuplicateRowsMemo(t *testing.T) {
+	e, _ := figureEngine(t)
+	p := lpath.MustParse(`//NP`)
+	paths := []*lpath.Path{p, lpath.MustParse(`//NP`), lpath.MustParse(`//NP`)}
+	got, errs, stats := e.EvalBatchStats(context.Background(), paths, nil)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+	}
+	if stats.RowsMisses != 1 || stats.RowsHits != 2 {
+		t.Errorf("rows memo: %d misses / %d hits, want 1 / 2", stats.RowsMisses, stats.RowsHits)
+	}
+	if !reflect.DeepEqual(got[0], got[1]) || !reflect.DeepEqual(got[0], got[2]) {
+		t.Error("duplicate slots differ")
+	}
+	want, err := e.Eval(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got[0], want) {
+		t.Errorf("batch %d matches, serial %d", len(got[0]), len(want))
+	}
+}
+
+// TestEvalBatchSharedFrontier pins the frontier memo: two queries whose main
+// paths share the same canonical step prefix (differing only in scoped tail)
+// reuse the step frontier, and the shared results stay identical to serial.
+func TestEvalBatchSharedFrontier(t *testing.T) {
+	tc := cancelCorpus(t)
+	e := cancelEngine(t, tc)
+	paths := []*lpath.Path{lpath.MustParse(`//VP{/NP$}`), lpath.MustParse(`//VP{//NP$}`)}
+	got, errs, stats := e.EvalBatchStats(context.Background(), paths, nil)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+	}
+	if stats.FrontierHits < 1 {
+		t.Errorf("frontier memo: %d hits (%d misses), want >= 1 hit",
+			stats.FrontierHits, stats.FrontierMisses)
+	}
+	for i, p := range paths {
+		want, err := e.Eval(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("%q: batch %d matches, serial %d", p, len(got[i]), len(want))
+		}
+	}
+}
+
+// TestEvalBatchSharedSatisfiers pins the satisfier-bitset memo: two distinct
+// queries with the same existential filter (planned as a semijoin on this
+// corpus) share the materialized satisfier set.
+func TestEvalBatchSharedSatisfiers(t *testing.T) {
+	tc := cancelCorpus(t)
+	e := cancelEngine(t, tc)
+	paths := []*lpath.Path{
+		lpath.MustParse(`//S[//_[@lex=saw]]`),
+		lpath.MustParse(`//NP[//_[@lex=saw]]`),
+	}
+	got, errs, stats := e.EvalBatchStats(context.Background(), paths, nil)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+	}
+	if stats.SatMisses < 1 || stats.SatHits < 1 {
+		t.Errorf("satisfier memo: %d misses / %d hits, want >= 1 each",
+			stats.SatMisses, stats.SatHits)
+	}
+	for i, p := range paths {
+		want, err := e.Eval(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("%q: batch %d matches, serial %d", p, len(got[i]), len(want))
+		}
+	}
+}
+
+// TestEvalBatchLimit pins limit semantics: negative = unlimited, zero = empty
+// non-nil, positive = the exact prefix of the full serial result — and a
+// capped duplicate must not shrink what an uncapped batch mate sees.
+func TestEvalBatchLimit(t *testing.T) {
+	e, _ := figureEngine(t)
+	p := lpath.MustParse(`//NP`)
+	full, err := e.Eval(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != 4 {
+		t.Fatalf("//NP: %d matches, want 4", len(full))
+	}
+	paths := []*lpath.Path{p, p, p, p, p}
+	limits := []int{-1, 0, 1, 2, 10}
+	got, errs := e.EvalBatchLimit(context.Background(), paths, limits)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+	}
+	for i, limit := range limits {
+		want := full
+		if limit >= 0 && limit < len(full) {
+			want = full[:limit]
+		}
+		if len(got[i]) != len(want) {
+			t.Errorf("limit %d: %d matches, want %d", limit, len(got[i]), len(want))
+			continue
+		}
+		if limit == 0 {
+			if got[i] == nil {
+				t.Error("limit 0: nil result, want empty non-nil")
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("limit %d: result is not the serial prefix", limit)
+		}
+	}
+}
+
+// TestCountBatchMatchesSerial checks CountBatch slot-for-slot against serial
+// Count, including a duplicate that rides the rows memo.
+func TestCountBatchMatchesSerial(t *testing.T) {
+	e, _ := figureEngine(t)
+	queries := []string{`//NP`, `//VP/V`, `//NP`, `//_[@lex=missing]`}
+	paths := make([]*lpath.Path, len(queries))
+	for i, q := range queries {
+		paths[i] = lpath.MustParse(q)
+	}
+	counts, errs := e.CountBatch(context.Background(), paths)
+	for i, p := range paths {
+		if errs[i] != nil {
+			t.Fatalf("slot %d: %v", i, errs[i])
+		}
+		want, err := e.Count(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if counts[i] != want {
+			t.Errorf("%q: batch count %d, serial %d", p, counts[i], want)
+		}
+	}
+}
+
+// TestEvalBatchPreCancelled: a dead context fails every slot with its error
+// before any store access.
+func TestEvalBatchPreCancelled(t *testing.T) {
+	e, _ := figureEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	paths := []*lpath.Path{lpath.MustParse(`//NP`), lpath.MustParse(`//VP`)}
+	got, errs := e.EvalBatchContext(ctx, paths)
+	for i := range paths {
+		if !errors.Is(errs[i], context.Canceled) {
+			t.Errorf("slot %d: got %v, want context.Canceled", i, errs[i])
+		}
+		if got[i] != nil {
+			t.Errorf("slot %d carries %d matches", i, len(got[i]))
+		}
+	}
+}
+
+// TestEvalBatchMidCancel cancels cooperatively mid-batch (via the countdown
+// context) and requires every interrupted slot to carry the context error —
+// and the engine's pooled state to stay healthy for the next evaluation.
+func TestEvalBatchMidCancel(t *testing.T) {
+	tc := cancelCorpus(t)
+	e := cancelEngine(t, tc, WithoutPlanner())
+	p := lpath.MustParse(`//_[//_[//NP]]`)
+	paths := []*lpath.Path{p, p, p}
+
+	cctx := newCountdownCtx()
+	cctx.setPolls(2) // batch entry check + first in-sweep poll survive
+	_, errs := e.EvalBatchContext(cctx, paths)
+	for i := range paths {
+		if !errors.Is(errs[i], context.Canceled) {
+			t.Fatalf("slot %d: got %v, want context.Canceled", i, errs[i])
+		}
+	}
+
+	want, err := e.Eval(lpath.MustParse(`//NP`))
+	if err != nil {
+		t.Fatalf("post-cancel Eval: %v", err)
+	}
+	fresh := cancelEngine(t, tc, WithoutPlanner())
+	ref, err := fresh.Eval(lpath.MustParse(`//NP`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, ref) {
+		t.Fatalf("post-cancel results differ: %d vs %d matches", len(want), len(ref))
+	}
+}
+
+// TestEvalBatchParallelMatchesSerial is the sharded batch identity property:
+// for every shard count and worker count, EvalBatchParallel's slot i equals
+// EvalParallel for that query alone — which the parallel tests hold equal to
+// serial Eval.
+func TestEvalBatchParallelMatchesSerial(t *testing.T) {
+	paths := make([]*lpath.Path, len(queryCorpus))
+	for i, q := range queryCorpus {
+		paths[i] = lpath.MustParse(q)
+	}
+	for seed := int64(1); seed <= 2; seed++ {
+		c := randomCorpus(seed, 7)
+		serial := buildEngine(t, c)
+		want := make([][]Match, len(paths))
+		for i, p := range paths {
+			ms, err := serial.Eval(p)
+			if err != nil {
+				t.Fatalf("seed %d: serial %q: %v", seed, queryCorpus[i], err)
+			}
+			want[i] = ms
+		}
+		for _, k := range []int{1, 3, 7} {
+			shards := shardEngines(t, c, k)
+			for _, workers := range []int{1, 3} {
+				got, errs := EvalBatchParallel(context.Background(), shards, paths, WithWorkers(workers))
+				for i := range paths {
+					if errs[i] != nil {
+						t.Fatalf("seed %d k=%d w=%d: %q: %v", seed, k, workers, queryCorpus[i], errs[i])
+					}
+					if len(got[i]) == 0 && len(want[i]) == 0 {
+						continue
+					}
+					if !reflect.DeepEqual(got[i], want[i]) {
+						t.Errorf("seed %d k=%d w=%d: %q: batch %d matches, serial %d",
+							seed, k, workers, queryCorpus[i], len(got[i]), len(want[i]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEvalBatchParallelErrorSlots: a failing query fails only its own slot,
+// positionally, across shards.
+func TestEvalBatchParallelErrorSlots(t *testing.T) {
+	c := tree.NewCorpus()
+	c.Add(tree.Figure1())
+	shards := shardEngines(t, c, 2)
+	bad := lpath.MustParse(`//S@lex`)
+	paths := []*lpath.Path{lpath.MustParse(`//NP`), bad}
+	got, errs := EvalBatchParallel(context.Background(), shards, paths)
+	if errs[0] != nil {
+		t.Fatalf("healthy slot: %v", errs[0])
+	}
+	if errs[1] == nil {
+		t.Fatal("bad slot did not error")
+	}
+	if len(got[0]) != 4 {
+		t.Errorf("//NP: %d matches, want 4", len(got[0]))
+	}
+}
+
+// TestEvalBatchParallelEmptyShards mirrors EvalParallel's empty-shard
+// behavior per slot: empty results, validation errors still surfaced.
+func TestEvalBatchParallelEmptyShards(t *testing.T) {
+	paths := []*lpath.Path{lpath.MustParse(`//NP`), lpath.MustParse(`//S@lex`)}
+	got, errs := EvalBatchParallel(context.Background(), nil, paths)
+	if errs[0] != nil || len(got[0]) != 0 {
+		t.Errorf("healthy slot on empty shards: %d matches, %v", len(got[0]), errs[0])
+	}
+	if errs[1] == nil {
+		t.Error("invalid query accepted on empty shards")
+	}
+}
+
+// TestEvalBatchParallelPreCancelled: a dead context fails every slot.
+func TestEvalBatchParallelPreCancelled(t *testing.T) {
+	c := tree.NewCorpus()
+	c.Add(tree.Figure1())
+	shards := shardEngines(t, c, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, errs := EvalBatchParallel(ctx, shards, []*lpath.Path{lpath.MustParse(`//NP`)})
+	if !errors.Is(errs[0], context.Canceled) {
+		t.Errorf("got %v, want context.Canceled", errs[0])
+	}
+}

@@ -159,18 +159,31 @@ func TestDeadlineExceededMidSweep(t *testing.T) {
 	e := cancelEngine(t, tc, WithoutPlanner())
 	p := lpath.MustParse(`//_[//_[//_]]`)
 
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
-	defer cancel()
-	start := time.Now()
-	_, err := e.EvalContext(ctx, p)
-	elapsed := time.Since(start)
-	if !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("got err %v after %v, want context.DeadlineExceeded", err, elapsed)
-	}
-	// The strided poll abandons work within a few thousand loop iterations;
-	// anything near a second means cancellation is not reaching the sweep.
-	if elapsed > 5*time.Second {
-		t.Fatalf("cancelled evaluation took %v, cancellation is not cooperative", elapsed)
+	// On a loaded machine the runtime may fire a short timer late enough
+	// that a fast evaluation finishes first; halving the deadline until it
+	// lands mid-sweep keeps the test independent of machine speed (a
+	// sub-microsecond deadline is already expired at the entry check).
+	for timeout := 10 * time.Millisecond; ; timeout /= 2 {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		start := time.Now()
+		_, err := e.EvalContext(ctx, p)
+		elapsed := time.Since(start)
+		cancel()
+		if errors.Is(err, context.DeadlineExceeded) {
+			// The strided poll abandons work within a few thousand loop
+			// iterations; anything near a second means cancellation is not
+			// reaching the sweep.
+			if elapsed > 5*time.Second {
+				t.Fatalf("cancelled evaluation took %v, cancellation is not cooperative", elapsed)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("got err %v after %v, want context.DeadlineExceeded", err, elapsed)
+		}
+		if timeout < time.Microsecond {
+			t.Fatalf("no DeadlineExceeded even with an expired deadline (last err <nil> after %v)", elapsed)
+		}
 	}
 }
 

@@ -373,6 +373,39 @@ func (e *Engine) ExplainContext(cctx context.Context, p *lpath.Path) (string, er
 	return plan.Render(ctx.act), nil
 }
 
+// ExplainPlan is Explain executing a supplied cached plan instead of
+// replanning — the serving path for EXPLAIN over a plan cache. The actual
+// cardinalities are collected into a fresh counter set on every call, so a
+// plan reused across executions never reports a prior run's actuals. A nil
+// plan (a WithoutPlanner cache entry) falls back to Explain's own planning.
+func (e *Engine) ExplainPlan(p *lpath.Path, plan *planner.Plan) (string, error) {
+	return e.ExplainPlanContext(context.Background(), p, plan)
+}
+
+// ExplainPlanContext is ExplainPlan honoring a context for cooperative
+// cancellation.
+func (e *Engine) ExplainPlanContext(cctx context.Context, p *lpath.Path, plan *planner.Plan) (string, error) {
+	if plan == nil {
+		return e.ExplainContext(cctx, p)
+	}
+	if err := lpath.Validate(p); err != nil {
+		return "", err
+	}
+	if err := cctx.Err(); err != nil {
+		return "", err
+	}
+	ctx := e.newEvalCtx(plan, cctx)
+	defer e.releaseCtx(ctx)
+	ctx.act = &planner.Actuals{}
+	rows, err := e.evalRows(p, ctx)
+	if err != nil {
+		return "", err
+	}
+	ctx.act.Matches = len(rows)
+	ctx.ar.putInts(rows)
+	return plan.Render(ctx.act), nil
+}
+
 // evalPath runs the join pipeline for one relative path. The input binds are
 // owned by the caller and never released here; the returned slice is owned
 // by ctx's arena and must be released by the caller with ctx.ar.putBinds.
@@ -386,6 +419,28 @@ func (e *Engine) evalPath(p *lpath.Path, binds []bind, ctx *evalCtx) ([]bind, er
 // arena-owned and released here; otherwise they belong to the caller.
 func (e *Engine) evalSteps(p *lpath.Path, start int, binds []bind, owned bool, ctx *evalCtx) ([]bind, error) {
 	cur := binds
+	// Batched evaluation: the frontier after the main path's step sequence is
+	// a pure function of its canonical key from the virtual root, so a batch
+	// mate that already walked an identical step sequence hands its frontier
+	// over (batch.go). Hits skip the step loop and resume at the scoped tail.
+	frontKey := ctx.frontierKey(p, start, binds)
+	if frontKey != "" {
+		if cached, ok := ctx.batch.frontiers[frontKey]; ok {
+			ctx.batch.stats.FrontierHits++
+			if owned {
+				ctx.ar.putBinds(cur)
+			}
+			if len(cached) == 0 {
+				return nil, nil
+			}
+			cur = append(ctx.ar.getBinds(), cached...)
+			owned = true
+			start = len(p.Steps)
+			frontKey = "" // served from the memo; nothing to store
+		} else {
+			ctx.batch.stats.FrontierMisses++
+		}
+	}
 	for i := start; i < len(p.Steps); {
 		var next []bind
 		var err error
@@ -410,9 +465,15 @@ func (e *Engine) evalSteps(p *lpath.Path, start int, binds []bind, owned bool, c
 		}
 		cur, owned = next, true
 		if len(cur) == 0 {
+			if frontKey != "" {
+				ctx.batch.frontiers[frontKey] = []bind{}
+			}
 			ctx.ar.putBinds(cur)
 			return nil, nil
 		}
+	}
+	if frontKey != "" {
+		ctx.batch.frontiers[frontKey] = append([]bind(nil), cur...)
 	}
 	if p.Scoped != nil {
 		if e.useBitmapEntry(p.Scoped, ctx) {

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lpath/internal/lpath"
+)
+
+// TestPlanCacheConcurrentEviction hammers GetOrPlan from many goroutines
+// over more texts than the cache holds, with store-generation churn forcing
+// re-planning and a concurrent Stats poller, and requires the counters to
+// stay consistent: every call lands exactly one hit or miss, the resident
+// set never exceeds capacity, and eviction pressure is visible. The CI race
+// job runs this under -race, so it also proves the locking discipline.
+func TestPlanCacheConcurrentEviction(t *testing.T) {
+	e, _ := figureEngine(t)
+	const (
+		capacity   = 4
+		texts      = 16
+		goroutines = 8
+		iters      = 200
+	)
+	pc := NewPlanCache(capacity)
+	queries := make([]string, texts)
+	for i := range queries {
+		queries[i] = fmt.Sprintf(`//NP/_[position()=%d]`, i+1)
+	}
+	compile := func(s string) (*lpath.Path, error) { return lpath.Parse(s) }
+
+	done := make(chan struct{})
+	var poller sync.WaitGroup
+	poller.Add(1)
+	go func() {
+		defer poller.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			st := pc.Stats()
+			if st.Len > st.Capacity {
+				t.Errorf("mid-flight Len %d exceeds capacity %d", st.Len, st.Capacity)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				text := queries[(g*7+i*3)%texts]
+				// Alternating generations keep the stale-exec re-plan path
+				// (AST hit, plan refresh) under contention too.
+				gen := uint64(i % 2)
+				ast, _, err := pc.GetOrPlan(text, gen, compile, e.Plan)
+				if err != nil {
+					t.Errorf("GetOrPlan(%q): %v", text, err)
+					return
+				}
+				if ast == nil {
+					t.Errorf("GetOrPlan(%q): nil AST", text)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(done)
+	poller.Wait()
+
+	st := pc.Stats()
+	if got, want := st.Hits+st.Misses, uint64(goroutines*iters); got != want {
+		t.Errorf("hits+misses = %d, want %d (every call counts exactly once)", got, want)
+	}
+	if st.Len > capacity {
+		t.Errorf("Len = %d, want <= %d", st.Len, capacity)
+	}
+	if st.Capacity != capacity {
+		t.Errorf("Capacity = %d, want %d", st.Capacity, capacity)
+	}
+	if st.Misses < texts {
+		t.Errorf("misses = %d, want >= %d (each text misses at least once)", st.Misses, texts)
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions despite 4x over-subscription")
+	}
+	// Counters only grow; a fresh snapshot must dominate the previous one.
+	st2 := pc.Stats()
+	if st2.Hits < st.Hits || st2.Misses < st.Misses || st2.Evictions < st.Evictions {
+		t.Errorf("counters regressed: %+v then %+v", st, st2)
+	}
+}
+
+// TestPlanCacheConcurrentGetPut covers the plain Get/Put surface under the
+// same contention, including AST replacement invalidating cached exec plans.
+func TestPlanCacheConcurrentGetPut(t *testing.T) {
+	pc := NewPlanCache(3)
+	queries := []string{`//NP`, `//VP`, `//V`, `//S//NP`, `//Det->_`}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				text := queries[(g+i)%len(queries)]
+				if p, ok := pc.Get(text); ok && p == nil {
+					t.Errorf("Get(%q): hit with nil plan", text)
+					return
+				}
+				if i%3 == 0 {
+					pc.Put(text, lpath.MustParse(text))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := pc.Stats(); st.Len > st.Capacity {
+		t.Errorf("Len %d exceeds capacity %d", st.Len, st.Capacity)
+	}
+}

@@ -19,32 +19,73 @@ type resultKey struct {
 	Query  string
 }
 
-// ResultCache is a thread-safe LRU of fully rendered query results. Entries
-// are immutable once stored; handlers must not mutate a cached value.
+// ResultCache is a thread-safe LRU of fully rendered query results, bounded
+// both by entry count and by total estimated bytes. Entries are immutable
+// once stored; handlers must not mutate a cached value.
 type ResultCache struct {
 	mu       sync.Mutex
 	capacity int
+	maxBytes int64 // 0 = no byte bound
+	curBytes int64
 	ll       *list.List // front = most recent
 	items    map[resultKey]*list.Element
 
-	hits      uint64
-	misses    uint64
-	evictions uint64
+	hits           uint64
+	misses         uint64
+	evictions      uint64
+	bytesEvictions uint64
 }
 
 type resultEntry struct {
 	key   resultKey
 	value any
+	size  int64
 }
 
-// NewResultCache creates a cache holding at most capacity results; capacity
-// below 1 disables caching (every Get misses, Put is a no-op).
+// NewResultCache creates a cache holding at most capacity results with no
+// byte bound; capacity below 1 disables caching (every Get misses, Put is a
+// no-op).
 func NewResultCache(capacity int) *ResultCache {
+	return NewResultCacheBytes(capacity, 0)
+}
+
+// NewResultCacheBytes is NewResultCache with a total-bytes bound: once the
+// estimated size of the resident entries exceeds maxBytes, least recently
+// used entries are evicted until it fits. maxBytes <= 0 disables the byte
+// bound; a single value larger than maxBytes is never cached at all.
+func NewResultCacheBytes(capacity int, maxBytes int64) *ResultCache {
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
 	return &ResultCache{
 		capacity: capacity,
+		maxBytes: maxBytes,
 		ll:       list.New(),
 		items:    make(map[resultKey]*list.Element),
 	}
+}
+
+// entrySize estimates one entry's resident memory: the key's strings, the
+// list/map bookkeeping, and the value. The estimate is deliberately simple —
+// it exists to bound the cache's footprint, not to audit the allocator.
+func entrySize(key resultKey, value any) int64 {
+	const bookkeeping = 256 // entry struct, list element, map slot
+	n := int64(bookkeeping + len(key.Corpus) + len(key.Kind) + len(key.Query))
+	switch v := value.(type) {
+	case *queryResult:
+		const matchOverhead = 48 // matchJSON struct + string headers
+		for _, m := range v.matches {
+			n += matchOverhead + int64(len(m.Tag)+len(m.Text))
+		}
+	case *queryResponse:
+		n += 128 + int64(len(v.Corpus)+len(v.Query)+len(v.Explain))
+		for _, m := range v.Matches {
+			n += 48 + int64(len(m.Tag)+len(m.Text))
+		}
+	default:
+		n += 512 // unknown value type: charge a conservative flat estimate
+	}
+	return n
 }
 
 // Get returns the cached value for the key, marking it most recently used.
@@ -73,25 +114,41 @@ func (c *ResultCache) GetServe(key resultKey, usable func(any) bool) (any, bool)
 	return nil, false
 }
 
-// Put stores a value, evicting the least recently used entry at capacity.
+// Put stores a value, evicting least recently used entries while either
+// bound (entry count, total bytes) is exceeded. A value whose own estimated
+// size exceeds the byte bound is not stored — caching it would evict the
+// entire working set for an entry unlikely to be re-served before it is
+// evicted in turn.
 func (c *ResultCache) Put(key resultKey, value any) {
 	if c.capacity < 1 {
+		return
+	}
+	size := entrySize(key, value)
+	if c.maxBytes > 0 && size > c.maxBytes {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*resultEntry).value = value
+		e := el.Value.(*resultEntry)
+		c.curBytes += size - e.size
+		e.value, e.size = value, size
 		c.ll.MoveToFront(el)
-		return
+	} else {
+		el := c.ll.PushFront(&resultEntry{key: key, value: value, size: size})
+		c.items[key] = el
+		c.curBytes += size
 	}
-	el := c.ll.PushFront(&resultEntry{key: key, value: value})
-	c.items[key] = el
-	if c.ll.Len() > c.capacity {
+	for c.ll.Len() > c.capacity || (c.maxBytes > 0 && c.curBytes > c.maxBytes) {
 		oldest := c.ll.Back()
+		e := oldest.Value.(*resultEntry)
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*resultEntry).key)
+		delete(c.items, e.key)
+		c.curBytes -= e.size
 		c.evictions++
+		if c.maxBytes > 0 && c.ll.Len() <= c.capacity {
+			c.bytesEvictions++ // the byte bound alone forced this one out
+		}
 	}
 }
 
@@ -106,6 +163,7 @@ func (c *ResultCache) InvalidateCorpus(name string) {
 		if e := el.Value.(*resultEntry); e.key.Corpus == name {
 			c.ll.Remove(el)
 			delete(c.items, e.key)
+			c.curBytes -= e.size
 		}
 		el = next
 	}
@@ -116,8 +174,15 @@ type ResultCacheStats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
-	Len       int
-	Capacity  int
+	// BytesEvictions counts evictions forced by the byte bound alone (the
+	// entry count was still under capacity); a subset of Evictions.
+	BytesEvictions uint64
+	Len            int
+	Capacity       int
+	// Bytes is the estimated resident size of the cached values; MaxBytes is
+	// the configured bound (0 = unbounded).
+	Bytes    int64
+	MaxBytes int64
 }
 
 // Stats snapshots the hit/miss/eviction counters.
@@ -125,10 +190,13 @@ func (c *ResultCache) Stats() ResultCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return ResultCacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Len:       c.ll.Len(),
-		Capacity:  c.capacity,
+		Hits:           c.hits,
+		Misses:         c.misses,
+		Evictions:      c.evictions,
+		BytesEvictions: c.bytesEvictions,
+		Len:            c.ll.Len(),
+		Capacity:       c.capacity,
+		Bytes:          c.curBytes,
+		MaxBytes:       c.maxBytes,
 	}
 }

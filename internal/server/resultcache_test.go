@@ -85,3 +85,69 @@ func TestResultCacheUpdateExisting(t *testing.T) {
 		t.Fatalf("len %d, want 1 (update, not insert)", st.Len)
 	}
 }
+
+// queryResultOfSize builds a *queryResult whose estimated entry size is
+// dominated by one text payload of n bytes.
+func queryResultOfSize(n int) *queryResult {
+	return &queryResult{
+		matches:  []matchJSON{{Tree: 1, Tag: "NP", Text: string(make([]byte, n))}},
+		complete: true, count: 1, countKnown: true,
+	}
+}
+
+func TestResultCacheBytesBound(t *testing.T) {
+	// Capacity far above the byte bound: only bytes force evictions.
+	c := NewResultCacheBytes(1000, 8<<10)
+	for i := 0; i < 16; i++ {
+		c.Put(rk("a", 1, string(rune('a'+i))), queryResultOfSize(1<<10))
+	}
+	st := c.Stats()
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("resident bytes %d exceed bound %d", st.Bytes, st.MaxBytes)
+	}
+	if st.BytesEvictions == 0 {
+		t.Fatal("no byte-bound evictions despite 2x over-subscription")
+	}
+	if st.Evictions < st.BytesEvictions {
+		t.Fatalf("evictions %d < bytes evictions %d", st.Evictions, st.BytesEvictions)
+	}
+	if st.Len == 0 || st.Len >= 16 {
+		t.Fatalf("len %d, want a nonempty strict subset of the inserts", st.Len)
+	}
+	// Recently used entries survive; the eldest are the ones evicted.
+	if _, ok := c.Get(rk("a", 1, string(rune('a'+15)))); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+}
+
+func TestResultCacheOversizeEntryNotStored(t *testing.T) {
+	c := NewResultCacheBytes(8, 1<<10)
+	c.Put(rk("a", 1, "small"), queryResultOfSize(64))
+	c.Put(rk("a", 1, "huge"), queryResultOfSize(1<<20))
+	if _, ok := c.Get(rk("a", 1, "huge")); ok {
+		t.Fatal("entry larger than the byte bound was cached")
+	}
+	if _, ok := c.Get(rk("a", 1, "small")); !ok {
+		t.Fatal("oversize insert disturbed the resident working set")
+	}
+}
+
+func TestResultCacheBytesAccounting(t *testing.T) {
+	c := NewResultCacheBytes(8, 0) // unbounded: pure accounting
+	key := rk("a", 1, "q")
+	c.Put(key, queryResultOfSize(100))
+	before := c.Stats().Bytes
+	if before <= 0 {
+		t.Fatalf("bytes %d after insert", before)
+	}
+	// Replacing a value re-accounts its size instead of double-counting.
+	c.Put(key, queryResultOfSize(5000))
+	mid := c.Stats().Bytes
+	if mid <= before || mid > before+6000 {
+		t.Fatalf("bytes %d after replace (was %d)", mid, before)
+	}
+	c.InvalidateCorpus("a")
+	if got := c.Stats().Bytes; got != 0 {
+		t.Fatalf("bytes %d after invalidating every entry, want 0", got)
+	}
+}

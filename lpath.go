@@ -574,13 +574,26 @@ func (c *Corpus) ExplainContext(ctx context.Context, q *Query) (string, error) {
 	return c.eng.ExplainContext(ctx, q.path)
 }
 
-// ExplainText is Explain on raw query text.
+// ExplainText is Explain on raw query text through the plan cache: the
+// report renders the cached executable plan a repeated text will actually
+// run, and the actual-cardinality counters are fresh on every call — a
+// cached plan never reports a prior execution's actuals.
 func (c *Corpus) ExplainText(text string) (string, error) {
-	q, err := c.CompileCached(text)
+	if c.planCache == nil {
+		q, err := Compile(text)
+		if err != nil {
+			return "", err
+		}
+		return c.Explain(q)
+	}
+	if err := c.Build(); err != nil {
+		return "", err
+	}
+	ast, exec, err := c.cachedPlan(text)
 	if err != nil {
 		return "", err
 	}
-	return c.Explain(q)
+	return c.eng.ExplainPlan(ast, exec)
 }
 
 // Strategies plans the query against the current corpus statistics and
@@ -681,6 +694,126 @@ func (c *Corpus) CountParallelContext(ctx context.Context, q *Query) (int, error
 		return 0, err
 	}
 	return engine.CountParallel(ctx, c.shards, q.path, engine.WithWorkers(c.numWorkers()))
+}
+
+// SelectBatch evaluates the queries as one batch in a single shared pass:
+// the engine memoizes whole-query results, main-path step frontiers and
+// predicate satisfier sets by canonical structural key across the batch
+// (docs/EXECUTION.md, "Batched evaluation"), so overlapping queries —
+// duplicates, shared step prefixes, shared filters — amortize the corpus
+// scans they have in common. Results and errors are positional: slot i is
+// element-wise identical to Select(qs[i]), error included, and a failing
+// query never disturbs its batch mates.
+func (c *Corpus) SelectBatch(qs []*Query) ([][]Match, []error) {
+	return c.SelectBatchContext(context.Background(), qs)
+}
+
+// SelectBatchContext is SelectBatch honoring a context: once the context is
+// done, the queries it interrupted report its error.
+func (c *Corpus) SelectBatchContext(ctx context.Context, qs []*Query) ([][]Match, []error) {
+	if err := c.Build(); err != nil {
+		return nil, batchErrs(len(qs), err)
+	}
+	return c.eng.EvalBatchContext(ctx, batchPaths(qs))
+}
+
+// SelectBatchStats is SelectBatch additionally reporting the cross-query
+// memo hit rates the batch achieved.
+func (c *Corpus) SelectBatchStats(ctx context.Context, qs []*Query) ([][]Match, []error, engine.BatchStats) {
+	if err := c.Build(); err != nil {
+		return nil, batchErrs(len(qs), err), engine.BatchStats{}
+	}
+	return c.eng.EvalBatchStats(ctx, batchPaths(qs), nil)
+}
+
+// CountBatch counts each query's matches in one shared batch pass; slot i
+// always equals Count(qs[i]).
+func (c *Corpus) CountBatch(qs []*Query) ([]int, []error) {
+	return c.CountBatchContext(context.Background(), qs)
+}
+
+// CountBatchContext is CountBatch honoring a context.
+func (c *Corpus) CountBatchContext(ctx context.Context, qs []*Query) ([]int, []error) {
+	if err := c.Build(); err != nil {
+		return nil, batchErrs(len(qs), err)
+	}
+	return c.eng.CountBatch(ctx, batchPaths(qs))
+}
+
+// SelectBatchParallel is SelectBatch over the tree-ID shards: shards are the
+// unit of work, every shard visit evaluates all queries of the batch under
+// one per-shard memo, and each query's per-shard results merge back into
+// global (tree, document) order. Slot i is identical to SelectParallel's —
+// and Select's — result for qs[i], deterministically.
+func (c *Corpus) SelectBatchParallel(qs []*Query) ([][]Match, []error) {
+	return c.SelectBatchParallelContext(context.Background(), qs)
+}
+
+// SelectBatchParallelContext is SelectBatchParallel honoring a context.
+func (c *Corpus) SelectBatchParallelContext(ctx context.Context, qs []*Query) ([][]Match, []error) {
+	if err := c.buildShards(); err != nil {
+		return nil, batchErrs(len(qs), err)
+	}
+	return engine.EvalBatchParallel(ctx, c.shards, batchPaths(qs), engine.WithWorkers(c.numWorkers()))
+}
+
+func batchPaths(qs []*Query) []*ast.Path {
+	paths := make([]*ast.Path, len(qs))
+	for i, q := range qs {
+		paths[i] = q.path
+	}
+	return paths
+}
+
+// batchErrs fans one setup failure (a corpus build error) out to every slot
+// of a batch.
+func batchErrs(n int, err error) []error {
+	errs := make([]error, n)
+	for i := range errs {
+		errs[i] = err
+	}
+	return errs
+}
+
+// SelectBatchText is SelectBatch on raw query texts, each resolved through
+// the plan cache (see WithPlanCache): the repeated-traffic batch entry
+// point. A text that fails to compile occupies its slot with that error.
+func (c *Corpus) SelectBatchText(texts []string) ([][]Match, []error) {
+	return c.SelectBatchLimitTextContext(context.Background(), texts, nil)
+}
+
+// SelectBatchLimitTextContext is SelectBatchText honoring a context and an
+// optional per-query result cap — the serving path lpathd's request
+// coalescer calls (docs/SERVER.md). limits may be nil (no caps); otherwise
+// it is parallel to texts, where a negative limit means unlimited and zero
+// yields an empty result. Capped slots are the exact prefix of the query's
+// full (tree, document)-ordered result.
+func (c *Corpus) SelectBatchLimitTextContext(ctx context.Context, texts []string, limits []int) ([][]Match, []error) {
+	if err := c.Build(); err != nil {
+		return nil, batchErrs(len(texts), err)
+	}
+	paths := make([]*ast.Path, len(texts))
+	plans := make([]*planner.Plan, len(texts))
+	errs := make([]error, len(texts))
+	for i, text := range texts {
+		if c.planCache == nil {
+			q, err := Compile(text)
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			paths[i], plans[i] = q.path, c.eng.Plan(q.path)
+			continue
+		}
+		paths[i], plans[i], errs[i] = c.cachedPlan(text)
+	}
+	out, evalErrs, _ := c.eng.EvalBatchPlans(ctx, paths, plans, limits)
+	for i, err := range evalErrs {
+		if errs[i] == nil {
+			errs[i] = err
+		}
+	}
+	return out, errs
 }
 
 // CompileCached compiles a query through the corpus's plan cache (see

@@ -1,0 +1,302 @@
+package lpath
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// batchSizes chunks the 23-query suite: a singleton batch (must degenerate
+// to Select), small and medium batches, and the whole suite at once.
+var batchSizes = []int{1, 4, 16, 23}
+
+// TestSelectBatchParity is the public batch identity property: for every
+// executor strategy and every batch size, chunking the paper's 23-query
+// suite through SelectBatch yields slot-for-slot exactly what Select
+// returns for each query alone.
+func TestSelectBatchParity(t *testing.T) {
+	for _, st := range limitStrategies() {
+		t.Run(st.name, func(t *testing.T) {
+			c, err := GenerateCorpus("wsj", 0.004, 3, st.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs := make([]*Query, 0, len(EvalQueries()))
+			want := make([][]Match, 0, len(EvalQueries()))
+			for _, eq := range EvalQueries() {
+				q := MustCompile(eq.Text)
+				ms, err := c.Select(q)
+				if err != nil {
+					t.Fatalf("Q%d select: %v", eq.ID, err)
+				}
+				qs = append(qs, q)
+				want = append(want, ms)
+			}
+			for _, size := range batchSizes {
+				for lo := 0; lo < len(qs); lo += size {
+					hi := min(lo+size, len(qs))
+					got, errs := c.SelectBatch(qs[lo:hi])
+					for i := range got {
+						if errs[i] != nil {
+							t.Fatalf("size %d: %q: %v", size, qs[lo+i], errs[i])
+						}
+						if len(got[i]) == 0 && len(want[lo+i]) == 0 {
+							continue
+						}
+						if !reflect.DeepEqual(got[i], want[lo+i]) {
+							t.Errorf("size %d: %q: batch %d matches, serial %d",
+								size, qs[lo+i], len(got[i]), len(want[lo+i]))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSelectBatchParallelParity holds the sharded batch path to the same
+// contract, across shard and worker counts.
+func TestSelectBatchParallelParity(t *testing.T) {
+	c, err := GenerateCorpus("wsj", 0.004, 3, WithShards(3), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]*Query, 0, len(EvalQueries()))
+	want := make([][]Match, 0, len(EvalQueries()))
+	for _, eq := range EvalQueries() {
+		q := MustCompile(eq.Text)
+		ms, err := c.Select(q)
+		if err != nil {
+			t.Fatalf("Q%d select: %v", eq.ID, err)
+		}
+		qs = append(qs, q)
+		want = append(want, ms)
+	}
+	for _, size := range batchSizes {
+		for lo := 0; lo < len(qs); lo += size {
+			hi := min(lo+size, len(qs))
+			got, errs := c.SelectBatchParallel(qs[lo:hi])
+			for i := range got {
+				if errs[i] != nil {
+					t.Fatalf("size %d: %q: %v", size, qs[lo+i], errs[i])
+				}
+				if len(got[i]) == 0 && len(want[lo+i]) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got[i], want[lo+i]) {
+					t.Errorf("size %d: %q: parallel batch %d matches, serial %d",
+						size, qs[lo+i], len(got[i]), len(want[lo+i]))
+				}
+			}
+		}
+	}
+}
+
+// TestSelectBatchLimitTextParity drives the serving path (texts through the
+// plan cache, with per-query caps): each capped slot is the exact prefix of
+// the full serial result, and the batch shares plans across duplicates.
+func TestSelectBatchLimitTextParity(t *testing.T) {
+	c, err := GenerateCorpus("wsj", 0.004, 3, WithPlanCache(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := make([]string, 0, len(EvalQueries()))
+	for _, eq := range EvalQueries() {
+		texts = append(texts, eq.Text)
+	}
+	full := make([][]Match, len(texts))
+	for i, text := range texts {
+		ms, err := c.Select(MustCompile(text))
+		if err != nil {
+			t.Fatalf("%q: %v", text, err)
+		}
+		full[i] = ms
+	}
+	limits := make([]int, len(texts))
+	for i := range limits {
+		switch i % 4 {
+		case 0:
+			limits[i] = -1
+		case 1:
+			limits[i] = 0
+		case 2:
+			limits[i] = 1
+		case 3:
+			limits[i] = 7
+		}
+	}
+	got, errs := c.SelectBatchLimitTextContext(context.Background(), texts, limits)
+	for i := range texts {
+		if errs[i] != nil {
+			t.Fatalf("%q: %v", texts[i], errs[i])
+		}
+		want := full[i]
+		if limits[i] >= 0 && limits[i] < len(want) {
+			want = want[:limits[i]]
+		}
+		if len(got[i]) != len(want) {
+			t.Errorf("%q limit %d: %d matches, want %d", texts[i], limits[i], len(got[i]), len(want))
+			continue
+		}
+		if len(want) > 0 && !reflect.DeepEqual(got[i], want) {
+			t.Errorf("%q limit %d: result is not the serial prefix", texts[i], limits[i])
+		}
+	}
+	if st := c.PlanCacheStats(); st.Misses == 0 {
+		t.Error("plan cache reports no misses after a batch of fresh texts")
+	}
+}
+
+// TestSelectBatchTextCompileError: an uncompilable text occupies exactly its
+// own slot with the compile error; batch mates are unaffected.
+func TestSelectBatchTextCompileError(t *testing.T) {
+	for _, opts := range [][]Option{nil, {WithPlanCache(8)}} {
+		c := NewCorpus(opts...)
+		if err := c.AddSentence(`(S (NP (N I)) (VP (V saw) (NP (D the) (N dog))))`); err != nil {
+			t.Fatal(err)
+		}
+		got, errs := c.SelectBatchText([]string{`//NP`, `//[`, `//V`})
+		if errs[0] != nil || errs[2] != nil {
+			t.Fatalf("healthy slots errored: %v, %v", errs[0], errs[2])
+		}
+		if errs[1] == nil {
+			t.Fatal("uncompilable text did not error its slot")
+		}
+		if got[1] != nil {
+			t.Errorf("failed slot carries %d matches", len(got[1]))
+		}
+		if len(got[0]) != 2 || len(got[2]) != 1 {
+			t.Errorf("matches = %d, %d; want 2, 1", len(got[0]), len(got[2]))
+		}
+	}
+}
+
+// TestSelectBatchCancelled: a dead context fails every slot with its error,
+// for both the serial and the sharded batch entry points.
+func TestSelectBatchCancelled(t *testing.T) {
+	c, err := GenerateCorpus("wsj", 0.002, 5, WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Build(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	qs := []*Query{MustCompile(`//NP`), MustCompile(`//VP//V`)}
+	_, errs := c.SelectBatchContext(ctx, qs)
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("serial slot %d: got %v, want context.Canceled", i, err)
+		}
+	}
+	_, errs = c.SelectBatchParallelContext(ctx, qs)
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("parallel slot %d: got %v, want context.Canceled", i, err)
+		}
+	}
+}
+
+// TestCountBatchParity checks the public CountBatch against serial Count
+// over the whole suite in one batch.
+func TestCountBatchParity(t *testing.T) {
+	c, err := GenerateCorpus("wsj", 0.002, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]*Query, 0, len(EvalQueries()))
+	for _, eq := range EvalQueries() {
+		qs = append(qs, MustCompile(eq.Text))
+	}
+	counts, errs := c.CountBatch(qs)
+	for i, q := range qs {
+		if errs[i] != nil {
+			t.Fatalf("%q: %v", q, errs[i])
+		}
+		want, err := c.Count(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if counts[i] != want {
+			t.Errorf("%q: batch count %d, serial %d", q, counts[i], want)
+		}
+	}
+}
+
+// TestSelectBatchStatsSharing: a duplicate-heavy batch over the suite
+// reports rows-memo hits through the public stats surface, and the shared
+// results stay identical to serial.
+func TestSelectBatchStatsSharing(t *testing.T) {
+	c, err := GenerateCorpus("wsj", 0.002, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]*Query, 0, 2*len(EvalQueries()))
+	for _, eq := range EvalQueries() {
+		qs = append(qs, MustCompile(eq.Text))
+	}
+	qs = append(qs, qs...) // every query appears twice
+	got, errs, stats := c.SelectBatchStats(context.Background(), qs)
+	n := len(qs) / 2
+	for i := 0; i < n; i++ {
+		if errs[i] != nil || errs[n+i] != nil {
+			t.Fatalf("%q: %v / %v", qs[i], errs[i], errs[n+i])
+		}
+		if !reflect.DeepEqual(got[i], got[n+i]) {
+			t.Errorf("%q: duplicate slots differ", qs[i])
+		}
+	}
+	if stats.RowsHits < n {
+		t.Errorf("rows memo: %d hits for %d duplicates", stats.RowsHits, n)
+	}
+}
+
+// TestExplainTextCachedPlanFreshActuals pins the EXPLAIN-through-cache
+// contract: repeated ExplainText renders the cached executable plan with
+// fresh actual-cardinality counters — byte-identical reports, no stale or
+// doubled actuals — and the repeats hit the plan cache rather than
+// replanning.
+func TestExplainTextCachedPlanFreshActuals(t *testing.T) {
+	c, err := GenerateCorpus("wsj", 0.002, 5, WithPlanCache(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const text = `//VP{//NP$}`
+	first, err := c.ExplainText(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first, "actual") {
+		t.Fatalf("EXPLAIN report carries no actuals:\n%s", first)
+	}
+	before := c.PlanCacheStats()
+	for i := 0; i < 3; i++ {
+		again, err := c.ExplainText(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != first {
+			t.Fatalf("ExplainText drifted on repeat %d:\n--- first ---\n%s\n--- again ---\n%s", i+1, first, again)
+		}
+	}
+	after := c.PlanCacheStats()
+	if after.Hits <= before.Hits {
+		t.Errorf("repeated ExplainText did not hit the plan cache (hits %d -> %d)", before.Hits, after.Hits)
+	}
+	if after.Misses != before.Misses {
+		t.Errorf("repeated ExplainText re-missed the plan cache (misses %d -> %d)", before.Misses, after.Misses)
+	}
+
+	// The cached-plan report must agree with a from-scratch Explain of the
+	// same text (same plan, same fresh actuals).
+	fresh, err := c.Explain(MustCompile(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh != first {
+		t.Fatalf("cached-plan EXPLAIN differs from from-scratch EXPLAIN:\n--- cached ---\n%s\n--- fresh ---\n%s", first, fresh)
+	}
+}
